@@ -1,0 +1,126 @@
+//! One-to-all broadcast by dimension sweeps ([NASS81] style).
+//!
+//! The value at `source` is spread along dimension 1, then the full
+//! hyperplane spreads along dimension 2, and so on — `l_i − 1` unit
+//! routes per dimension, `Σ(l_i − 1)` = the mesh diameter in total.
+//! On `D_n` that is `1 + 2 + ⋯ + (n−1) = n(n−1)/2` mesh routes, hence
+//! at most `3·n(n−1)/2` star routes through the embedding — the
+//! mesh-borrowed alternative to the star-native flooding of
+//! `sg_star::broadcast` (compared head-to-head in the benches).
+
+use sg_mesh::shape::Sign;
+use sg_mesh::MeshPoint;
+use sg_simd::MeshSimd;
+
+/// Broadcasts `source`'s value in register `reg` to every PE.
+/// `reg` must hold `Option<V>`-typed data (only `source` needs to be
+/// `Some`; everything else is overwritten).
+///
+/// Returns the number of logical mesh unit routes used
+/// (`Σ (l_i − 1)`).
+///
+/// # Panics
+/// Panics if `source` lies outside the shape.
+pub fn broadcast<V, M>(m: &mut M, reg: &str, source: &MeshPoint) -> u64
+where
+    V: Clone,
+    M: MeshSimd<Option<V>>,
+{
+    let shape = m.shape().clone();
+    shape.check(source).expect("source outside mesh");
+    // Mark everything but the source as empty.
+    {
+        let src = source.clone();
+        m.update(reg, &mut |p, v| {
+            if *p != src {
+                *v = None;
+            } else {
+                assert!(v.is_some(), "source PE holds no value");
+            }
+        });
+    }
+    let mut routes = 0u64;
+    let tmp = "__bcast_tmp";
+    for dim in 1..=shape.dims() {
+        let li = shape.extent(dim);
+        let c = source.d(dim) as usize;
+        // Spread upward from coordinate c, then downward.
+        for (sign, steps) in [(Sign::Plus, li - 1 - c), (Sign::Minus, c)] {
+            for _ in 0..steps {
+                crate::util::copy_reg(m, reg, tmp);
+                m.route(tmp, dim, sign);
+                m.combine(reg, tmp, &mut |_, dst, src| {
+                    if dst.is_none() && src.is_some() {
+                        *dst = src.clone();
+                    }
+                });
+                routes += 1;
+            }
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_mesh::dn::DnMesh;
+    use sg_mesh::shape::MeshShape;
+    use sg_simd::{EmbeddedMeshMachine, MeshMachine, MeshSimd};
+
+    fn run_broadcast<M: MeshSimd<Option<u64>>>(m: &mut M, source: &MeshPoint) -> Vec<Option<u64>> {
+        let size = m.shape().size() as usize;
+        let src_idx = m.shape().index_of(source) as usize;
+        let mut init: Vec<Option<u64>> = vec![Some(999); size];
+        init[src_idx] = Some(42);
+        m.load("B", init);
+        let routes = broadcast(m, "B", source);
+        assert_eq!(routes, m.shape().diameter());
+        m.read("B")
+    }
+
+    #[test]
+    fn broadcast_on_native_mesh() {
+        let shape = MeshShape::new(&[4, 3, 2]).unwrap();
+        let mut m: MeshMachine<Option<u64>> = MeshMachine::new(shape.clone());
+        let source = MeshPoint::from_ascending(&[2, 1, 0]).unwrap();
+        let out = run_broadcast(&mut m, &source);
+        assert!(out.iter().all(|v| *v == Some(42)));
+        assert_eq!(m.stats().physical_routes, shape.diameter());
+    }
+
+    #[test]
+    fn broadcast_on_star_via_embedding() {
+        for n in 3..=5usize {
+            let dn = DnMesh::new(n);
+            let mut m: EmbeddedMeshMachine<Option<u64>> = EmbeddedMeshMachine::new(n);
+            let source = dn.point_at(0);
+            let out = run_broadcast(&mut m, &source);
+            assert!(out.iter().all(|v| *v == Some(42)), "n={n}");
+            // Theorem 6: at most 3x the mesh routes; dimension n-1's
+            // routes cost only 1 each.
+            let mesh_routes = dn.shape().diameter();
+            assert!(m.stats().physical_routes <= 3 * mesh_routes, "n={n}");
+            assert!(m.stats().physical_routes >= mesh_routes, "n={n}");
+        }
+    }
+
+    #[test]
+    fn broadcast_from_interior_source() {
+        let shape = MeshShape::new(&[5]).unwrap();
+        let mut m: MeshMachine<Option<u64>> = MeshMachine::new(shape);
+        let source = MeshPoint::from_ascending(&[2]).unwrap();
+        let out = run_broadcast(&mut m, &source);
+        assert!(out.iter().all(|v| *v == Some(42)));
+    }
+
+    #[test]
+    #[should_panic(expected = "source PE holds no value")]
+    fn broadcast_requires_source_value() {
+        let shape = MeshShape::new(&[3]).unwrap();
+        let mut m: MeshMachine<Option<u64>> = MeshMachine::new(shape);
+        m.load("B", vec![None, None, None]);
+        let source = MeshPoint::from_ascending(&[1]).unwrap();
+        let _ = broadcast(&mut m, "B", &source);
+    }
+}

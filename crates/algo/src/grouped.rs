@@ -1,0 +1,543 @@
+//! The Appendix's grouped-dimension view: simulate a `d`-dimensional
+//! mesh on `D_n` (and hence on the star graph).
+//!
+//! The Appendix factorizes the extent multiset `{2, …, n}` into `d`
+//! groups and claims the `(n−1)`-dimensional mesh can simulate the
+//! resulting `l_1 × ⋯ × l_d` mesh with constant overhead. The
+//! construction made concrete: linearize each group of dimensions in
+//! **snake (boustrophedon) order**, so that consecutive virtual
+//! coordinates are physically adjacent. One virtual unit route then
+//! decomposes into a handful of masked SIMD-A routes — one per
+//! `(inner dimension, direction)` *move class* — and the measured
+//! class count is exactly the constant the Appendix hides in its
+//! `O(1)`.
+//!
+//! [`GroupedMachine`] implements the full `MeshSimd` interface for the
+//! virtual mesh, so 2-D algorithms (shearsort!) run unchanged on a
+//! grouped `D_n` — natively or through the star-graph embedding.
+
+use sg_mesh::factorization::factorize;
+use sg_mesh::shape::{MeshShape, Sign};
+use sg_mesh::MeshPoint;
+use sg_simd::machine::{MeshSimd, RouteStats};
+use std::collections::HashMap;
+
+/// Scratch register for class routing.
+const SCRATCH: &str = "__grouped_scratch";
+
+/// Boustrophedon walk over a sub-mesh with the given extents
+/// (dimension 0 of the tuple fastest). Consecutive tuples differ by
+/// ±1 in exactly one slot.
+#[must_use]
+pub fn snake_walk(extents: &[usize]) -> Vec<Vec<u32>> {
+    assert!(!extents.is_empty() && extents.iter().all(|&l| l > 0));
+    let g = extents.len();
+    let total: usize = extents.iter().product();
+    let mut coords = vec![0u32; g];
+    let mut dirs = vec![true; g]; // true = increasing
+    let mut out = Vec::with_capacity(total);
+    out.push(coords.clone());
+    for _ in 1..total {
+        let mut t = 0;
+        loop {
+            assert!(t < g, "walk exhausted early");
+            let can = if dirs[t] {
+                (coords[t] as usize) + 1 < extents[t]
+            } else {
+                coords[t] > 0
+            };
+            if can {
+                coords[t] = if dirs[t] { coords[t] + 1 } else { coords[t] - 1 };
+                break;
+            }
+            dirs[t] = !dirs[t];
+            t += 1;
+        }
+        out.push(coords.clone());
+    }
+    out
+}
+
+/// One group of inner dimensions linearized in snake order.
+#[derive(Debug, Clone)]
+struct SnakeGroup {
+    /// Inner dimensions (1-based), fastest first.
+    dims: Vec<usize>,
+    /// Snake sequence of coordinate tuples (aligned with `dims`).
+    order: Vec<Vec<u32>>,
+    /// Inverse of `order`.
+    pos: HashMap<Vec<u32>, u32>,
+}
+
+impl SnakeGroup {
+    fn new(inner: &MeshShape, dims: Vec<usize>) -> Self {
+        let extents: Vec<usize> = dims.iter().map(|&d| inner.extent(d)).collect();
+        let order = snake_walk(&extents);
+        let pos = order
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i as u32))
+            .collect();
+        SnakeGroup { dims, order, pos }
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn coords_of(&self, p: &MeshPoint) -> Vec<u32> {
+        self.dims.iter().map(|&d| p.d(d)).collect()
+    }
+
+    fn position_of(&self, p: &MeshPoint) -> u32 {
+        self.pos[&self.coords_of(p)]
+    }
+
+    /// The inner `(dim, sign)` move carrying position `v` to `v ± 1`,
+    /// or `None` at the snake boundary.
+    fn move_class(&self, v: u32, sign: Sign) -> Option<(usize, Sign)> {
+        let next = match sign {
+            Sign::Plus => {
+                if (v as usize) + 1 >= self.len() {
+                    return None;
+                }
+                v + 1
+            }
+            Sign::Minus => v.checked_sub(1)?,
+        };
+        let a = &self.order[v as usize];
+        let b = &self.order[next as usize];
+        let slot = (0..a.len()).find(|&s| a[s] != b[s]).expect("snake step moves");
+        let isign = if b[slot] > a[slot] { Sign::Plus } else { Sign::Minus };
+        Some((self.dims[slot], isign))
+    }
+}
+
+/// Geometry of a grouped view: a partition of the inner dimensions
+/// into `d` snake-linearized virtual dimensions.
+#[derive(Debug, Clone)]
+pub struct GroupedGeometry {
+    inner: MeshShape,
+    groups: Vec<SnakeGroup>,
+    vshape: MeshShape,
+}
+
+impl GroupedGeometry {
+    /// Builds the geometry from an explicit partition (`partition[k]`
+    /// lists the inner dimensions, 1-based, of virtual dimension
+    /// `k+1`; fastest inner dimension first).
+    ///
+    /// # Panics
+    /// Panics unless the partition covers each inner dimension exactly
+    /// once.
+    #[must_use]
+    pub fn new(inner: &MeshShape, partition: &[Vec<usize>]) -> Self {
+        let mut seen = vec![false; inner.dims() + 1];
+        for dims in partition {
+            for &d in dims {
+                assert!(d >= 1 && d <= inner.dims(), "dimension {d} out of range");
+                assert!(!seen[d], "dimension {d} appears twice");
+                seen[d] = true;
+            }
+        }
+        assert!(
+            seen[1..].iter().all(|&b| b),
+            "partition must cover every inner dimension"
+        );
+        let groups: Vec<SnakeGroup> =
+            partition.iter().map(|dims| SnakeGroup::new(inner, dims.clone())).collect();
+        let vshape = MeshShape::new(
+            &groups.iter().map(SnakeGroup::len).collect::<Vec<_>>(),
+        )
+        .expect("nonempty partition");
+        GroupedGeometry { inner: inner.clone(), groups, vshape }
+    }
+
+    /// The Appendix partition of `D_n` into `d` groups: group `k`
+    /// (1-based) takes the factors `n−k+1, n−k+1−d, …`, i.e. inner
+    /// dimensions `n−k, n−k−d, …` (listed smallest first). The
+    /// resulting virtual extents are exactly
+    /// `sg_mesh::factorization::factorize(n, d)`.
+    #[must_use]
+    pub fn appendix(n: usize, d: usize) -> Self {
+        let inner = sg_mesh::dn::DnMesh::new(n).shape().clone();
+        let mut partition: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for k in 1..=d {
+            let mut dims = Vec::new();
+            let mut f = n as i64 - (k as i64 - 1);
+            while f >= 2 {
+                dims.push((f - 1) as usize); // factor f is dimension f-1
+                f -= d as i64;
+            }
+            dims.sort_unstable();
+            partition.push(dims);
+        }
+        let geom = GroupedGeometry::new(&inner, &partition);
+        // Cross-check against the factorization module: virtual dim k
+        // has extent l_k, and factorize returns [l_1, …, l_d].
+        debug_assert_eq!(
+            geom.vshape.extents().iter().map(|&x| x as u64).collect::<Vec<_>>(),
+            factorize(n, d)
+        );
+        geom
+    }
+
+    /// Virtual mesh shape.
+    #[must_use]
+    pub fn virtual_shape(&self) -> &MeshShape {
+        &self.vshape
+    }
+
+    /// Inner mesh shape.
+    #[must_use]
+    pub fn inner_shape(&self) -> &MeshShape {
+        &self.inner
+    }
+
+    /// Virtual point of an inner point.
+    #[must_use]
+    pub fn virtual_point(&self, p: &MeshPoint) -> MeshPoint {
+        let coords: Vec<u32> = self.groups.iter().map(|g| g.position_of(p)).collect();
+        MeshPoint::from_ascending(&coords).expect("nonempty")
+    }
+
+    /// Inner point of a virtual point.
+    #[must_use]
+    pub fn inner_point(&self, v: &MeshPoint) -> MeshPoint {
+        let mut coords = vec![0u32; self.inner.dims()];
+        for (k, g) in self.groups.iter().enumerate() {
+            let tuple = &g.order[v.d(k + 1) as usize];
+            for (slot, &dim) in g.dims.iter().enumerate() {
+                coords[dim - 1] = tuple[slot];
+            }
+        }
+        MeshPoint::from_ascending(&coords).expect("nonempty")
+    }
+
+    /// The inner `(dim, sign)` move class of `p` for a virtual route
+    /// along `vdim` with direction `sign`; `None` at the boundary.
+    #[must_use]
+    pub fn move_class(&self, p: &MeshPoint, vdim: usize, sign: Sign) -> Option<(usize, Sign)> {
+        let g = &self.groups[vdim - 1];
+        g.move_class(g.position_of(p), sign)
+    }
+
+    /// All move classes a route along `vdim` can use: each inner
+    /// dimension of the group in both directions.
+    fn classes(&self, vdim: usize) -> Vec<(usize, Sign)> {
+        self.groups[vdim - 1]
+            .dims
+            .iter()
+            .flat_map(|&d| [(d, Sign::Plus), (d, Sign::Minus)])
+            .collect()
+    }
+}
+
+/// A virtual `d`-dimensional machine over an inner [`MeshSimd`].
+pub struct GroupedMachine<'a, T: Clone, M: MeshSimd<T>> {
+    inner: &'a mut M,
+    geom: GroupedGeometry,
+    stats: RouteStats,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Clone, M: MeshSimd<T>> GroupedMachine<'a, T, M> {
+    /// Wraps `inner` with the given grouped geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry's inner shape differs from the
+    /// machine's.
+    pub fn new(inner: &'a mut M, geom: GroupedGeometry) -> Self {
+        assert_eq!(inner.shape(), &geom.inner, "geometry built for another shape");
+        GroupedMachine { inner, geom, stats: RouteStats::default(), _marker: std::marker::PhantomData }
+    }
+
+    /// The geometry (for mapping indices in reports).
+    #[must_use]
+    pub fn geometry(&self) -> &GroupedGeometry {
+        &self.geom
+    }
+
+    /// Inner machine access (for its route statistics).
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        self.inner
+    }
+
+    fn sync_stats(&mut self) {
+        self.stats.physical_routes = self.inner.stats().physical_routes;
+    }
+}
+
+impl<'a, T: Clone, M: MeshSimd<T>> MeshSimd<T> for GroupedMachine<'a, T, M> {
+    fn shape(&self) -> &MeshShape {
+        &self.geom.vshape
+    }
+
+    fn load(&mut self, reg: &str, data: Vec<T>) {
+        assert_ne!(reg, SCRATCH, "register name {SCRATCH} is reserved");
+        // data is in virtual index order; permute to inner order.
+        let inner_shape = &self.geom.inner;
+        let mut by_inner: Vec<Option<T>> = vec![None; data.len()];
+        for (vidx, v) in data.into_iter().enumerate() {
+            let vp = self.geom.vshape.point_at(vidx as u64);
+            let ip = self.geom.inner_point(&vp);
+            by_inner[inner_shape.index_of(&ip) as usize] = Some(v);
+        }
+        self.inner
+            .load(reg, by_inner.into_iter().map(|o| o.expect("bijection")).collect());
+    }
+
+    fn read(&self, reg: &str) -> Vec<T> {
+        let by_inner = self.inner.read(reg);
+        let inner_shape = &self.geom.inner;
+        let mut out: Vec<Option<T>> = vec![None; by_inner.len()];
+        for (iidx, v) in by_inner.into_iter().enumerate() {
+            let ip = inner_shape.point_at(iidx as u64);
+            let vp = self.geom.virtual_point(&ip);
+            out[self.geom.vshape.index_of(&vp) as usize] = Some(v);
+        }
+        out.into_iter().map(|o| o.expect("bijection")).collect()
+    }
+
+    fn update(&mut self, reg: &str, f: &mut dyn FnMut(&MeshPoint, &mut T)) {
+        let geom = self.geom.clone();
+        self.inner.update(reg, &mut |ip, v| f(&geom.virtual_point(ip), v));
+    }
+
+    fn combine(&mut self, dst: &str, src: &str, f: &mut dyn FnMut(&MeshPoint, &mut T, &T)) {
+        let geom = self.geom.clone();
+        self.inner
+            .combine(dst, src, &mut |ip, d, s| f(&geom.virtual_point(ip), d, s));
+    }
+
+    fn route_where(
+        &mut self,
+        reg: &str,
+        vdim: usize,
+        sign: Sign,
+        mask: &dyn Fn(&MeshPoint) -> bool,
+    ) {
+        assert!(vdim >= 1 && vdim <= self.geom.vshape.dims(), "virtual dim out of range");
+        let geom = self.geom.clone();
+        let snapshot = self.inner.read(reg);
+        for (idim, isign) in geom.classes(vdim) {
+            // Senders of this class under the virtual mask.
+            let sender = |ip: &MeshPoint| {
+                geom.move_class(ip, vdim, sign) == Some((idim, isign))
+                    && mask(&geom.virtual_point(ip))
+            };
+            // Skip empty classes without spending a unit route.
+            let inner_shape = geom.inner_shape();
+            let any = (0..inner_shape.size())
+                .any(|i| sender(&inner_shape.point_at(i)));
+            if !any {
+                continue;
+            }
+            self.inner.load(SCRATCH, snapshot.clone());
+            self.inner.route_where(SCRATCH, idim, isign, &sender);
+            // Receivers: inner points whose virtual predecessor (w.r.t.
+            // the routed direction) is a masked sender of this class.
+            self.inner.combine(reg, SCRATCH, &mut |ip, d, s| {
+                let vp = geom.virtual_point(ip);
+                let vc = vp.d(vdim);
+                let pred_vc = match sign {
+                    Sign::Plus => {
+                        if vc == 0 {
+                            return;
+                        }
+                        vc - 1
+                    }
+                    Sign::Minus => {
+                        if vc as usize + 1 >= geom.vshape.extent(vdim) {
+                            return;
+                        }
+                        vc + 1
+                    }
+                };
+                let pred_v = vp.with_d(vdim, pred_vc);
+                let pred_i = geom.inner_point(&pred_v);
+                if geom.move_class(&pred_i, vdim, sign) == Some((idim, isign))
+                    && mask(&pred_v)
+                {
+                    *d = s.clone();
+                }
+            });
+        }
+        self.stats.logical_mesh_routes += 1;
+        self.sync_stats();
+    }
+
+    fn stats(&self) -> &RouteStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_simd::machine::mesh_route_semantics;
+    use sg_simd::{EmbeddedMeshMachine, MeshMachine};
+
+    #[test]
+    fn snake_walk_is_adjacent_and_complete() {
+        for extents in [vec![2usize, 3], vec![3, 2, 2], vec![4], vec![2, 2, 2, 2]] {
+            let walk = snake_walk(&extents);
+            let total: usize = extents.iter().product();
+            assert_eq!(walk.len(), total);
+            let set: std::collections::HashSet<_> = walk.iter().cloned().collect();
+            assert_eq!(set.len(), total, "all tuples distinct");
+            for w in walk.windows(2) {
+                let diff: Vec<usize> =
+                    (0..extents.len()).filter(|&s| w[0][s] != w[1][s]).collect();
+                assert_eq!(diff.len(), 1, "single-step moves");
+                assert_eq!(w[0][diff[0]].abs_diff(w[1][diff[0]]), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn appendix_geometry_extents_match_factorize() {
+        for n in 3..=7usize {
+            for d in 1..n {
+                let geom = GroupedGeometry::appendix(n, d);
+                let mut got: Vec<u64> = geom
+                    .virtual_shape()
+                    .extents()
+                    .iter()
+                    .map(|&x| x as u64)
+                    .collect();
+                got.sort_unstable();
+                let mut expect = factorize(n, d);
+                expect.sort_unstable();
+                assert_eq!(got, expect, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_mapping_roundtrip() {
+        let geom = GroupedGeometry::appendix(5, 2);
+        let vshape = geom.virtual_shape().clone();
+        for vidx in 0..vshape.size() {
+            let vp = vshape.point_at(vidx);
+            let ip = geom.inner_point(&vp);
+            assert_eq!(geom.virtual_point(&ip), vp);
+        }
+    }
+
+    /// Routes on the grouped view must match a genuine mesh of the
+    /// virtual shape.
+    fn compare_virtual_route(n: usize, d: usize, vdim: usize, sign: Sign) {
+        let geom = GroupedGeometry::appendix(n, d);
+        let vshape = geom.virtual_shape().clone();
+        let size = vshape.size() as usize;
+        let data: Vec<u64> = (0..size as u64).collect();
+
+        // Reference: native machine with the virtual shape.
+        let expect = mesh_route_semantics(&vshape, &data, vdim, sign, &|_| true);
+
+        // Grouped over a native D_n machine.
+        let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+        let mut grouped = GroupedMachine::new(&mut inner, geom);
+        grouped.load("A", data.clone());
+        grouped.route("A", vdim, sign);
+        assert_eq!(grouped.read("A"), expect, "n={n} d={d} vdim={vdim} {sign:?}");
+    }
+
+    #[test]
+    fn virtual_routes_match_reference_semantics() {
+        for (n, d) in [(4, 2), (5, 2), (5, 3), (6, 2)] {
+            for vdim in 1..=d {
+                for sign in [Sign::Plus, Sign::Minus] {
+                    compare_virtual_route(n, d, vdim, sign);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_virtual_routes_match() {
+        let geom = GroupedGeometry::appendix(5, 2);
+        let vshape = geom.virtual_shape().clone();
+        let size = vshape.size() as usize;
+        let data: Vec<u64> = (0..size as u64).map(|x| x * 3 + 1).collect();
+        let mask = |p: &MeshPoint| p.d(2).is_multiple_of(2);
+        let expect = mesh_route_semantics(&vshape, &data, 1, Sign::Plus, &mask);
+
+        let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+        let mut grouped = GroupedMachine::new(&mut inner, geom);
+        grouped.load("A", data);
+        grouped.route_where("A", 1, Sign::Plus, &mask);
+        assert_eq!(grouped.read("A"), expect);
+    }
+
+    #[test]
+    fn appendix_constant_is_measured() {
+        // The O(1) constant: inner unit routes per virtual route is at
+        // most 2 * (group size), usually far less.
+        let geom = GroupedGeometry::appendix(6, 2);
+        let group_size = 3; // dims {5,3,1} resp {4,2}
+        let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+        let mut grouped = GroupedMachine::new(&mut inner, geom);
+        let size = grouped.shape().size() as usize;
+        grouped.load("A", (0..size as u64).collect());
+        grouped.route("A", 1, Sign::Plus);
+        let inner_routes = grouped.stats().physical_routes;
+        assert!(inner_routes >= 1);
+        assert!(
+            inner_routes <= 2 * group_size,
+            "virtual route used {inner_routes} inner routes"
+        );
+    }
+
+    #[test]
+    fn shearsort_on_grouped_dn() {
+        // Appendix d=2 view of D_5 (15 x 8), sorted by shearsort.
+        use crate::shearsort::shearsort;
+        use crate::util::is_sorted_snake;
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+
+        let geom = GroupedGeometry::appendix(5, 2);
+        let vshape = geom.virtual_shape().clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let data: Vec<u64> = (0..vshape.size()).map(|_| rng.gen_range(0..10_000)).collect();
+
+        let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+        let mut grouped = GroupedMachine::new(&mut inner, geom);
+        grouped.load("A", data.clone());
+        shearsort(&mut grouped, "A");
+        assert!(is_sorted_snake(&vshape, &grouped.read("A")));
+    }
+
+    #[test]
+    fn shearsort_on_the_star_graph() {
+        // The §5 scenario end-to-end: shearsort on the 2-D grouped view
+        // of D_4, executed on S_4 through the dilation-3 embedding.
+        use crate::shearsort::shearsort;
+        use crate::util::is_sorted_snake;
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+
+        let n = 4;
+        let geom = GroupedGeometry::appendix(n, 2);
+        let vshape = geom.virtual_shape().clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let data: Vec<u64> = (0..vshape.size()).map(|_| rng.gen_range(0..100)).collect();
+
+        let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+        let mut grouped = GroupedMachine::new(&mut star, geom);
+        grouped.load("A", data.clone());
+        shearsort(&mut grouped, "A");
+        let out = grouped.read("A");
+        assert!(is_sorted_snake(&vshape, &out));
+        let mut expect = data;
+        expect.sort_unstable();
+        let snake: Vec<u64> = crate::util::snake_order_2d(&vshape)
+            .iter()
+            .map(|&i| out[i as usize])
+            .collect();
+        assert_eq!(snake, expect);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sg-algo — SIMD mesh algorithms, runnable on the star graph
+//!
+//! The paper's motivation (§1) is that "most algorithms for the
+//! (n−1)-dimensional mesh … can be efficiently simulated on the star
+//! graph": any `T(n)`-unit-route mesh algorithm costs at most `3·T(n)`
+//! star unit routes (Theorem 6). This crate supplies the algorithms —
+//! written **once** against the `sg_simd::MeshSimd` interface and
+//! therefore runnable unchanged on
+//!
+//! * the native SIMD-A mesh machine,
+//! * the star graph through the dilation-3 embedding
+//!   (`EmbeddedMeshMachine`), and
+//! * (for 2-D algorithms) the Appendix's grouped-dimension view of
+//!   `D_n` via [`grouped::GroupedMachine`] — stacking all the way to
+//!   *shearsort on the star graph* (§5).
+//!
+//! Modules: [`broadcast`] (dimension-sweep one-to-all, [NASS81]),
+//! [`scan`] (prefix combine), [`reduce`] (all-reduce), [`oddeven`]
+//! (odd-even transposition sort), [`shearsort`] ([SCHE89]),
+//! [`stencil`] (the intro's image-smoothing workload), [`grouped`]
+//! (Appendix snake linearization), [`util`] (register copies, snake
+//! order checks).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod grouped;
+pub mod oddeven;
+pub mod reduce;
+pub mod scan;
+pub mod shearsort;
+pub mod stencil;
+pub mod util;

@@ -1,0 +1,138 @@
+//! Odd–even transposition sort along one mesh dimension.
+//!
+//! The classical `O(l)`-phase SIMD line sort (the 1-D base case of the
+//! mesh sorting literature the paper cites: [THOM77], [NASS79]).
+//! Every line along `dim` is sorted independently; the direction of
+//! each line is chosen by a caller-supplied predicate — exactly the
+//! hook shearsort needs for its boustrophedon rows.
+//!
+//! Cost: `l` phases × 2 unit routes = `2·l` unit routes.
+
+use sg_mesh::shape::Sign;
+use sg_mesh::MeshPoint;
+use sg_simd::MeshSimd;
+
+/// Sorts every line along `dim` in place. `asc(point)` gives the
+/// line's direction (evaluated per PE; it must be constant along each
+/// line — e.g. depend only on the other coordinates). Returns unit
+/// routes used (`2·l_dim`).
+pub fn odd_even_sort<T, M>(
+    m: &mut M,
+    reg: &str,
+    dim: usize,
+    asc: &dyn Fn(&MeshPoint) -> bool,
+) -> u64
+where
+    T: Ord + Clone,
+    M: MeshSimd<T>,
+{
+    let shape = m.shape().clone();
+    let l = shape.extent(dim);
+    let from_right = "__oes_right"; // holds value of coordinate c+1
+    let from_left = "__oes_left"; // holds value of coordinate c-1
+    let mut routes = 0u64;
+    for phase in 0..l {
+        let parity = (phase % 2) as u32;
+        crate::util::copy_reg(m, reg, from_right);
+        m.route(from_right, dim, Sign::Minus);
+        crate::util::copy_reg(m, reg, from_left);
+        m.route(from_left, dim, Sign::Plus);
+        routes += 2;
+        // Compare-exchange pairs (c, c+1) with c ≡ parity (mod 2).
+        m.combine(reg, from_right, &mut |p, mine, right| {
+            let c = p.d(dim);
+            if c % 2 == parity && (c as usize) + 1 < l {
+                // Left partner keeps the smaller (ascending) / larger.
+                let keep_small = asc(p);
+                if (keep_small && *right < *mine) || (!keep_small && *right > *mine) {
+                    *mine = right.clone();
+                }
+            }
+        });
+        m.combine(reg, from_left, &mut |p, mine, left| {
+            let c = p.d(dim);
+            if c % 2 != parity && c >= 1 {
+                let keep_small = asc(p);
+                if (keep_small && *left > *mine) || (!keep_small && *left < *mine) {
+                    *mine = left.clone();
+                }
+            }
+        });
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::lines_sorted;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use sg_mesh::shape::MeshShape;
+    use sg_simd::{EmbeddedMeshMachine, MeshMachine, MeshSimd};
+
+    #[test]
+    fn sorts_a_line_ascending() {
+        let mut m: MeshMachine<u64> = MeshMachine::new(MeshShape::new(&[7]).unwrap());
+        m.load("A", vec![5, 1, 4, 1, 5, 9, 2]);
+        let routes = odd_even_sort(&mut m, "A", 1, &|_| true);
+        assert_eq!(routes, 14);
+        assert_eq!(m.read("A"), vec![1, 1, 2, 4, 5, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_descending() {
+        let mut m: MeshMachine<u64> = MeshMachine::new(MeshShape::new(&[5]).unwrap());
+        m.load("A", vec![3, 1, 4, 1, 5]);
+        odd_even_sort(&mut m, "A", 1, &|_| false);
+        assert_eq!(m.read("A"), vec![5, 4, 3, 1, 1]);
+    }
+
+    #[test]
+    fn sorts_rows_boustrophedon() {
+        // 4 columns x 3 rows; even rows ascending, odd descending.
+        let shape = MeshShape::new(&[4, 3]).unwrap();
+        let mut m: MeshMachine<u64> = MeshMachine::new(shape.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let data: Vec<u64> = (0..12).map(|_| rng.gen_range(0..100)).collect();
+        m.load("A", data);
+        let dir = |p: &MeshPoint| p.d(2).is_multiple_of(2);
+        odd_even_sort(&mut m, "A", 1, &dir);
+        assert!(lines_sorted(&shape, &m.read("A"), 1, &dir));
+    }
+
+    #[test]
+    fn multiset_preserved() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let shape = MeshShape::new(&[8]).unwrap();
+        let mut m: MeshMachine<u64> = MeshMachine::new(shape);
+        let data: Vec<u64> = (0..8).map(|_| rng.gen_range(0..10)).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        m.load("A", data);
+        odd_even_sort(&mut m, "A", 1, &|_| true);
+        assert_eq!(m.read("A"), expect);
+    }
+
+    #[test]
+    fn columns_of_dn_sorted_on_star() {
+        // Sort along dimension 3 of D_4 (the length-4 dimension), on
+        // both machines; Theorem 6 bounds the physical cost.
+        let n = 4;
+        let dn = sg_mesh::dn::DnMesh::new(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let data: Vec<u64> = (0..24).map(|_| rng.gen_range(0..50)).collect();
+
+        let mut native: MeshMachine<u64> = MeshMachine::new(dn.shape().clone());
+        native.load("A", data.clone());
+        let mesh_routes = odd_even_sort(&mut native, "A", 3, &|_| true);
+
+        let mut emb: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+        emb.load("A", data);
+        odd_even_sort(&mut emb, "A", 3, &|_| true);
+
+        assert_eq!(native.read("A"), emb.read("A"));
+        assert!(lines_sorted(dn.shape(), &emb.read("A"), 3, &|_| true));
+        assert!(emb.stats().physical_routes <= 3 * mesh_routes);
+    }
+}

@@ -1,0 +1,113 @@
+//! Shearsort on a 2-D mesh ([SCHE89], cited in §5).
+//!
+//! Alternately sort rows boustrophedon (even rows ascending, odd rows
+//! descending) and columns ascending; after `⌈log₂ r⌉ + 1` full
+//! rounds plus a final row pass, the mesh is sorted in **snake
+//! order**. Cost `O((log r)(2c + 2r))` unit routes with the odd-even
+//! line sorter.
+//!
+//! Because it is written against `MeshSimd`, the same code sorts
+//! * a native 2-D mesh machine,
+//! * the grouped (Appendix-factorized) 2-D view of `D_n`, and —
+//!   stacking the grouped view on the embedded machine —
+//! * **the star graph** (the §5 scenario).
+
+use crate::oddeven::odd_even_sort;
+use sg_simd::MeshSimd;
+
+/// Snake-sorts a 2-D machine in place. Returns logical unit routes
+/// used (as counted by this algorithm's calls).
+///
+/// # Panics
+/// Panics unless the shape is 2-D.
+pub fn shearsort<T, M>(m: &mut M, reg: &str) -> u64
+where
+    T: Ord + Clone,
+    M: MeshSimd<T>,
+{
+    let shape = m.shape().clone();
+    assert_eq!(shape.dims(), 2, "shearsort needs a 2-D machine");
+    let rows = shape.extent(2);
+    let rounds = (rows.max(2) as f64).log2().ceil() as usize + 1;
+    let mut routes = 0u64;
+    for _ in 0..rounds {
+        // Rows: boustrophedon directions keyed by row parity.
+        routes += odd_even_sort(m, reg, 1, &|p| p.d(2) % 2 == 0);
+        // Columns: ascending.
+        routes += odd_even_sort(m, reg, 2, &|_| true);
+    }
+    // Final row pass leaves the snake order.
+    routes += odd_even_sort(m, reg, 1, &|p| p.d(2) % 2 == 0);
+    routes
+}
+
+/// Theoretical unit-route count of [`shearsort`] on an `c × r` mesh:
+/// `(⌈log₂ r⌉ + 1)(2c + 2r) + 2c`.
+#[must_use]
+pub fn shearsort_route_model(cols: usize, rows: usize) -> u64 {
+    let rounds = (rows.max(2) as f64).log2().ceil() as u64 + 1;
+    rounds * (2 * cols as u64 + 2 * rows as u64) + 2 * cols as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::is_sorted_snake;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use sg_mesh::shape::MeshShape;
+    use sg_simd::{MeshMachine, MeshSimd};
+
+    fn random_data(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..1_000)).collect()
+    }
+
+    #[test]
+    fn sorts_square_mesh() {
+        let shape = MeshShape::new(&[8, 8]).unwrap();
+        let mut m: MeshMachine<u64> = MeshMachine::new(shape.clone());
+        let data = random_data(64, 1);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        m.load("A", data);
+        let routes = shearsort(&mut m, "A");
+        assert_eq!(routes, shearsort_route_model(8, 8));
+        assert_eq!(m.stats().physical_routes, routes);
+        let out = m.read("A");
+        assert!(is_sorted_snake(&shape, &out));
+        // Snake order recovers the sorted sequence.
+        let snake: Vec<u64> = crate::util::snake_order_2d(&shape)
+            .iter()
+            .map(|&i| out[i as usize])
+            .collect();
+        assert_eq!(snake, expect);
+    }
+
+    #[test]
+    fn sorts_rectangular_meshes() {
+        for (c, r, seed) in [(15, 8, 2u64), (4, 6, 3), (9, 3, 4), (2, 2, 5), (1, 5, 6)] {
+            let shape = MeshShape::new(&[c, r]).unwrap();
+            let mut m: MeshMachine<u64> = MeshMachine::new(shape.clone());
+            let data = random_data(c * r, seed);
+            m.load("A", data);
+            shearsort(&mut m, "A");
+            assert!(is_sorted_snake(&shape, &m.read("A")), "{c}x{r}");
+        }
+    }
+
+    #[test]
+    fn adversarial_patterns() {
+        let shape = MeshShape::new(&[6, 6]).unwrap();
+        for data in [
+            (0..36u64).rev().collect::<Vec<_>>(),       // reverse sorted
+            vec![1; 36],                                 // all equal
+            (0..36u64).map(|x| x % 2).collect::<Vec<_>>(), // binary
+        ] {
+            let mut m: MeshMachine<u64> = MeshMachine::new(shape.clone());
+            m.load("A", data);
+            shearsort(&mut m, "A");
+            assert!(is_sorted_snake(&shape, &m.read("A")));
+        }
+    }
+}

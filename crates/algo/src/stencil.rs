@@ -1,0 +1,111 @@
+//! Neighborhood averaging (the intro's image-processing workload).
+//!
+//! §1 motivates mesh embeddings with "numerical analysis, image
+//! processing, computer vision and pattern recognition" — all
+//! stencil-shaped: every PE repeatedly combines its value with its
+//! mesh neighbors'. One smoothing iteration gathers both neighbors
+//! along every dimension (2 unit routes per dimension) and averages.
+
+use sg_mesh::shape::Sign;
+use sg_simd::MeshSimd;
+
+/// Fixed-point value type used by the smoothing kernel: integer
+/// micro-units avoid float Ord issues on the generic machines.
+pub type Fixed = i64;
+
+/// One Jacobi-style smoothing iteration on `reg` (type [`Fixed`]):
+/// each PE becomes the mean of itself and its existing neighbors.
+/// Returns unit routes used (`2 × dims`).
+pub fn smooth_once<M: MeshSimd<Fixed>>(m: &mut M, reg: &str) -> u64 {
+    let shape = m.shape().clone();
+    let dims = shape.dims();
+    let sum = "__sten_sum";
+    let cnt_src = "__sten_in";
+    // sum starts as own value; count starts at 1.
+    crate::util::copy_reg(m, reg, sum);
+    let mut routes = 0u64;
+    for dim in 1..=dims {
+        for sign in [Sign::Plus, Sign::Minus] {
+            crate::util::copy_reg(m, reg, cnt_src);
+            m.route(cnt_src, dim, sign);
+            routes += 1;
+            // Only PEs that actually have a neighbor on that side
+            // received a fresh value; boundary PEs kept their own copy,
+            // which must not be double counted.
+            let shape2 = shape.clone();
+            m.combine(sum, cnt_src, &mut |p, acc, inc| {
+                if shape2.neighbor(p, dim, sign.flip()).is_some() {
+                    *acc += *inc;
+                }
+            });
+        }
+    }
+    // Divide by 1 + degree, all local.
+    let shape3 = shape.clone();
+    m.combine(reg, sum, &mut |p, v, s| {
+        let k = 1 + shape3.degree(p) as Fixed;
+        *v = *s / k;
+    });
+    routes
+}
+
+/// Runs `iters` smoothing iterations; returns total unit routes.
+pub fn smooth<M: MeshSimd<Fixed>>(m: &mut M, reg: &str, iters: usize) -> u64 {
+    (0..iters).map(|_| smooth_once(m, reg)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_mesh::shape::MeshShape;
+    use sg_simd::{EmbeddedMeshMachine, MeshMachine, MeshSimd};
+
+    #[test]
+    fn uniform_field_is_fixed_point() {
+        let mut m: MeshMachine<Fixed> = MeshMachine::new(MeshShape::new(&[4, 4]).unwrap());
+        m.load("I", vec![100; 16]);
+        smooth(&mut m, "I", 3);
+        assert!(m.read("I").iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn impulse_spreads_and_mass_decays_smoothly() {
+        let shape = MeshShape::new(&[5]).unwrap();
+        let mut m: MeshMachine<Fixed> = MeshMachine::new(shape);
+        m.load("I", vec![0, 0, 900, 0, 0]);
+        let routes = smooth_once(&mut m, "I");
+        assert_eq!(routes, 2);
+        // Center averages with two zeros: 900/3 = 300; its neighbors
+        // average self(0)+900+0 over 3 = 300.
+        assert_eq!(m.read("I"), vec![0, 300, 300, 300, 0]);
+    }
+
+    #[test]
+    fn boundary_degrees_respected() {
+        // A corner PE of a 2-D mesh has degree 2: mean over 3 values.
+        let mut m: MeshMachine<Fixed> = MeshMachine::new(MeshShape::new(&[2, 2]).unwrap());
+        m.load("I", vec![90, 0, 0, 0]);
+        smooth_once(&mut m, "I");
+        assert_eq!(m.read("I"), vec![30, 30, 30, 0]);
+    }
+
+    #[test]
+    fn star_matches_mesh_on_dn() {
+        for n in 3..=5usize {
+            let dn = sg_mesh::dn::DnMesh::new(n);
+            let size = dn.node_count() as usize;
+            let data: Vec<Fixed> = (0..size as i64).map(|x| (x * x) % 997).collect();
+
+            let mut native: MeshMachine<Fixed> = MeshMachine::new(dn.shape().clone());
+            native.load("I", data.clone());
+            let mesh_routes = smooth(&mut native, "I", 2);
+
+            let mut emb: EmbeddedMeshMachine<Fixed> = EmbeddedMeshMachine::new(n);
+            emb.load("I", data);
+            smooth(&mut emb, "I", 2);
+
+            assert_eq!(native.read("I"), emb.read("I"), "n={n}");
+            assert!(emb.stats().physical_routes <= 3 * mesh_routes, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared helpers: register copies, snake order, sortedness checks.
+
+use sg_mesh::shape::MeshShape;
+use sg_simd::MeshSimd;
+
+/// Intraprocessor register copy `dst := src` (free in the §2 cost
+/// model — no unit routes).
+pub fn copy_reg<T: Clone, M: MeshSimd<T>>(m: &mut M, src: &str, dst: &str) {
+    let data = m.read(src);
+    m.load(dst, data);
+}
+
+/// Snake (boustrophedon) linear order of a 2-D shape: row-major, with
+/// odd rows reversed. Returns mesh indices in snake order. Dimension 1
+/// runs within rows, dimension 2 enumerates rows.
+///
+/// # Panics
+/// Panics unless the shape is 2-D.
+#[must_use]
+pub fn snake_order_2d(shape: &MeshShape) -> Vec<u64> {
+    assert_eq!(shape.dims(), 2, "snake_order_2d needs a 2-D shape");
+    let cols = shape.extent(1) as u64;
+    let rows = shape.extent(2) as u64;
+    let mut order = Vec::with_capacity((rows * cols) as usize);
+    for r in 0..rows {
+        if r % 2 == 0 {
+            for c in 0..cols {
+                order.push(r * cols + c);
+            }
+        } else {
+            for c in (0..cols).rev() {
+                order.push(r * cols + c);
+            }
+        }
+    }
+    order
+}
+
+/// `true` iff `data` read in snake order is non-decreasing.
+#[must_use]
+pub fn is_sorted_snake<T: Ord>(shape: &MeshShape, data: &[T]) -> bool {
+    let order = snake_order_2d(shape);
+    order.windows(2).all(|w| data[w[0] as usize] <= data[w[1] as usize])
+}
+
+/// `true` iff every 1-D line along `dim` is sorted in the direction
+/// given by `asc(point)` evaluated at any point of the line.
+#[must_use]
+pub fn lines_sorted<T: Ord + Clone>(
+    shape: &MeshShape,
+    data: &[T],
+    dim: usize,
+    asc: &dyn Fn(&sg_mesh::MeshPoint) -> bool,
+) -> bool {
+    let l = shape.extent(dim);
+    for idx in 0..shape.size() {
+        let p = shape.point_at(idx);
+        if p.d(dim) as usize + 1 >= l {
+            continue;
+        }
+        let q = p.with_d(dim, p.d(dim) + 1);
+        let (a, b) = (
+            &data[shape.index_of(&p) as usize],
+            &data[shape.index_of(&q) as usize],
+        );
+        if asc(&p) {
+            if a > b {
+                return false;
+            }
+        } else if a < b {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_order_3x2() {
+        // 3 columns, 2 rows: indices 0 1 2 / 3 4 5; snake = 0 1 2 5 4 3.
+        let shape = MeshShape::new(&[3, 2]).unwrap();
+        assert_eq!(snake_order_2d(&shape), vec![0, 1, 2, 5, 4, 3]);
+    }
+
+    #[test]
+    fn snake_sortedness() {
+        let shape = MeshShape::new(&[3, 2]).unwrap();
+        // Snake-sorted data: 0 1 2 in row 0; row 1 holds 5 4 3 at
+        // indices 3,4,5 -> data[3]=5, data[4]=4, data[5]=3.
+        let good = vec![0, 1, 2, 5, 4, 3];
+        assert!(is_sorted_snake(&shape, &good));
+        let bad = vec![0, 1, 2, 3, 4, 5]; // row-major, not snake
+        assert!(!is_sorted_snake(&shape, &bad));
+    }
+
+    #[test]
+    fn lines_sorted_detects_direction() {
+        let shape = MeshShape::new(&[3, 2]).unwrap();
+        let data = vec![1, 2, 3, 9, 8, 7]; // row 0 asc, row 1 desc
+        assert!(lines_sorted(&shape, &data, 1, &|p| p.d(2) % 2 == 0));
+        assert!(!lines_sorted(&shape, &data, 1, &|_| true));
+    }
+}

@@ -1,0 +1,36 @@
+//! §2 property 3: broadcast — native star flooding vs the embedded
+//! mesh dimension sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_algo::broadcast::broadcast;
+use sg_mesh::dn::DnMesh;
+use sg_simd::machine::MeshSimd;
+use sg_simd::EmbeddedMeshMachine;
+use sg_star::broadcast::flood_schedule;
+use sg_star::StarGraph;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast");
+    group.sample_size(10);
+    for n in [5usize, 6, 7] {
+        group.bench_with_input(BenchmarkId::new("star_flood_schedule", n), &n, |b, &n| {
+            let star = StarGraph::new(n);
+            b.iter(|| flood_schedule(&star, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("embedded_mesh_sweep", n), &n, |b, &n| {
+            let dn = DnMesh::new(n);
+            let size = dn.node_count() as usize;
+            b.iter(|| {
+                let mut m: EmbeddedMeshMachine<Option<u64>> = EmbeddedMeshMachine::new(n);
+                let mut init: Vec<Option<u64>> = vec![None; size];
+                init[0] = Some(1);
+                m.load("B", init);
+                broadcast(&mut m, "B", &dn.point_at(0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

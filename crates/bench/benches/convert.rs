@@ -1,0 +1,51 @@
+//! Figures 5 & 6: the CONVERT algorithms are O(n²) — measure the
+//! scaling and the two formulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_core::convert::{convert_d_s, convert_d_s_via_exchanges, convert_s_d};
+use sg_mesh::dn::DnMesh;
+use std::hint::black_box;
+
+fn bench_convert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert");
+    for n in [6usize, 10, 14, 20] {
+        let dn = DnMesh::new(n);
+        // A "typical" node: alternating coordinates.
+        let idx = dn.node_count() / 3;
+        let d = dn.point_at(idx);
+        let pi = convert_d_s(&d);
+
+        group.bench_with_input(BenchmarkId::new("d_to_s", n), &d, |b, d| {
+            b.iter(|| convert_d_s(black_box(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("d_to_s_exchanges", n), &d, |b, d| {
+            b.iter(|| convert_d_s_via_exchanges(black_box(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("s_to_d", n), &pi, |b, pi| {
+            b.iter(|| convert_s_d(black_box(pi)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_table(c: &mut Criterion) {
+    // Whole-table generation (Figure 7 for larger n): n! conversions.
+    let mut group = c.benchmark_group("mapping_table");
+    group.sample_size(10);
+    for n in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let dn = DnMesh::new(n);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for d in dn.points() {
+                    acc ^= sg_perm::lehmer::rank(&convert_d_s(&d));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert, bench_full_table);
+criterion_main!(benches);

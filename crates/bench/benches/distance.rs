@@ -1,0 +1,58 @@
+//! The exact star distance formula vs BFS ground truth, and the
+//! constructive router.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_graph::bfs::distance as bfs_distance;
+use sg_graph::builders::star_graph;
+use sg_perm::factorial::factorial;
+use sg_perm::lehmer::unrank;
+use sg_star::distance::distance;
+use sg_star::routing::route_generators;
+use std::hint::black_box;
+
+fn bench_formula(c: &mut Criterion) {
+    let mut group = c.benchmark_group("star_distance_formula");
+    for n in [8usize, 12, 16, 20] {
+        let a = unrank(factorial(n) / 3, n).unwrap();
+        let b = unrank(factorial(n) / 5, n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bn, (a, b)| {
+            bn.iter(|| distance(black_box(a), black_box(b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_formula_vs_bfs(c: &mut Criterion) {
+    // n = 6: BFS over 720 nodes vs O(n) formula.
+    let n = 6;
+    let g = star_graph(n);
+    let a_rank = factorial(n) / 3;
+    let b_rank = factorial(n) / 5;
+    let a = unrank(a_rank, n).unwrap();
+    let b = unrank(b_rank, n).unwrap();
+    assert_eq!(distance(&a, &b), bfs_distance(&g, a_rank as u32, b_rank as u32));
+
+    let mut group = c.benchmark_group("distance_s6");
+    group.bench_function("formula", |bn| {
+        bn.iter(|| distance(black_box(&a), black_box(&b)));
+    });
+    group.bench_function("bfs", |bn| {
+        bn.iter(|| bfs_distance(&g, black_box(a_rank as u32), black_box(b_rank as u32)));
+    });
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortest_path_router");
+    for n in [8usize, 14, 20] {
+        let a = unrank(factorial(n) / 7, n).unwrap();
+        let b = unrank(factorial(n) / 11, n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bn, (a, b)| {
+            bn.iter(|| route_generators(black_box(a), black_box(b)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formula, bench_formula_vs_bfs, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: Lemma 3's O(n) closed-form neighbor vs the O(n²)
+//! convert-roundtrip it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_core::convert::{convert_d_s, convert_s_d};
+use sg_core::lemma3::mesh_neighbor_plus;
+use sg_mesh::dn::DnMesh;
+use sg_mesh::shape::Sign;
+use std::hint::black_box;
+
+fn bench_neighbor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_neighbor");
+    for n in [6usize, 10, 14, 20] {
+        let dn = DnMesh::new(n);
+        let d = dn.point_at(dn.node_count() / 3);
+        let pi = convert_d_s(&d);
+        let k = n / 2;
+
+        group.bench_with_input(BenchmarkId::new("lemma3_closed_form", n), &pi, |b, pi| {
+            b.iter(|| mesh_neighbor_plus(black_box(pi), k));
+        });
+        group.bench_with_input(BenchmarkId::new("convert_roundtrip", n), &pi, |b, pi| {
+            b.iter(|| {
+                let d = convert_s_d(black_box(pi));
+                dn.shape().neighbor(&d, k, Sign::Plus).map(|q| convert_d_s(&q))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor);
+criterion_main!(benches);

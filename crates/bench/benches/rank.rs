@@ -1,0 +1,66 @@
+//! Node addressing: Lehmer rank/unrank and permutation kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_perm::factorial::factorial;
+use sg_perm::lehmer::{next_perm, rank, unrank};
+use sg_perm::Perm;
+use std::hint::black_box;
+
+fn bench_rank_unrank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lehmer");
+    for n in [8usize, 12, 16, 20] {
+        let r = factorial(n) / 3;
+        let p = unrank(r, n).unwrap();
+        group.bench_with_input(BenchmarkId::new("rank", n), &p, |b, p| {
+            b.iter(|| rank(black_box(p)));
+        });
+        group.bench_with_input(BenchmarkId::new("unrank", n), &r, |b, &r| {
+            b.iter(|| unrank(black_box(r), n).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_next_perm_sweep(c: &mut Criterion) {
+    // Full S_n sweeps: successor iteration vs repeated unrank.
+    let mut group = c.benchmark_group("sweep_s7");
+    group.sample_size(10);
+    let n = 7;
+    group.bench_function("next_perm", |b| {
+        b.iter(|| {
+            let mut p = Perm::identity(n);
+            let mut acc = 0u64;
+            loop {
+                acc ^= u64::from(p.symbol_at(0));
+                if !next_perm(&mut p) {
+                    break;
+                }
+            }
+            acc
+        });
+    });
+    group.bench_function("unrank_each", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..factorial(n) {
+                acc ^= u64::from(unrank(r, n).unwrap().symbol_at(0));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_cycle_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_structure");
+    for n in [8usize, 14, 20] {
+        let p = unrank(factorial(n) / 3, n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| sg_perm::cycles::cycle_structure(black_box(p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_unrank, bench_next_perm_sweep, bench_cycle_structure);
+criterion_main!(benches);

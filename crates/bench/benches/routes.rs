@@ -1,0 +1,58 @@
+//! Theorem 6 at machine level: one mesh unit route on the native mesh
+//! vs through the star embedding (simulator throughput), plus the
+//! audits' own cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_mesh::dn::DnMesh;
+use sg_mesh::shape::Sign;
+use sg_simd::machine::MeshSimd;
+use sg_simd::{EmbeddedMeshMachine, MeshMachine};
+
+fn bench_unit_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unit_route");
+    group.sample_size(20);
+    for n in [5usize, 6, 7] {
+        let dn = DnMesh::new(n);
+        let size = dn.node_count() as usize;
+        let data: Vec<u64> = (0..size as u64).collect();
+        let dim = n / 2;
+
+        group.bench_with_input(BenchmarkId::new("native_mesh", n), &n, |b, _| {
+            let mut m: MeshMachine<u64> = MeshMachine::new(dn.shape().clone());
+            m.load("B", data.clone());
+            b.iter(|| m.route("B", dim, Sign::Plus));
+        });
+        group.bench_with_input(BenchmarkId::new("star_embedded", n), &n, |b, _| {
+            let mut m: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+            m.load("B", data.clone());
+            b.iter(|| m.route("B", dim, Sign::Plus));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma5_audit(c: &mut Criterion) {
+    // Cost of the exhaustive Lemma-5 verification itself (rayon sweep).
+    let mut group = c.benchmark_group("lemma5_audit");
+    group.sample_size(10);
+    for n in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| sg_core::congestion::verify_lemma5(n, 2, true).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dilation_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dilation_audit");
+    group.sample_size(10);
+    for n in [7usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| sg_core::dilation::audit_dilation(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_route, bench_lemma5_audit, bench_dilation_audit);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! §5: sorting n! keys — shearsort on the native 2-D mesh, on the
+//! grouped D_n, and on the star graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use sg_algo::grouped::{GroupedGeometry, GroupedMachine};
+use sg_algo::oddeven::odd_even_sort;
+use sg_algo::shearsort::shearsort;
+use sg_mesh::dn::DnMesh;
+use sg_simd::machine::MeshSimd;
+use sg_simd::{EmbeddedMeshMachine, MeshMachine};
+
+fn keys(count: u64, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(0..1_000_000)).collect()
+}
+
+fn bench_shearsort_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shearsort_stack");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        let geom = GroupedGeometry::appendix(n, 2);
+        let vshape = geom.virtual_shape().clone();
+        let data = keys(vshape.size(), 42);
+
+        group.bench_with_input(BenchmarkId::new("native_2d", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m: MeshMachine<u64> = MeshMachine::new(vshape.clone());
+                m.load("K", data.clone());
+                shearsort(&mut m, "K")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("grouped_dn", n), &n, |b, _| {
+            b.iter(|| {
+                let mut inner: MeshMachine<u64> =
+                    MeshMachine::new(geom.inner_shape().clone());
+                let mut g = GroupedMachine::new(&mut inner, geom.clone());
+                g.load("K", data.clone());
+                shearsort(&mut g, "K")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("star_graph", n), &n, |b, _| {
+            b.iter(|| {
+                let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+                let mut g = GroupedMachine::new(&mut star, geom.clone());
+                g.load("K", data.clone());
+                shearsort(&mut g, "K")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_oddeven_line(c: &mut Criterion) {
+    let mut group = c.benchmark_group("odd_even_line");
+    group.sample_size(10);
+    for n in [5usize, 6] {
+        let dn = DnMesh::new(n);
+        let data = keys(dn.node_count(), 7);
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m: MeshMachine<u64> = MeshMachine::new(dn.shape().clone());
+                m.load("K", data.clone());
+                odd_even_sort(&mut m, "K", n - 1, &|_| true)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+                m.load("K", data.clone());
+                odd_even_sort(&mut m, "K", n - 1, &|_| true)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shearsort_stack, bench_oddeven_line);
+criterion_main!(benches);

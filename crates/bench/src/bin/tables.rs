@@ -1,0 +1,476 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin tables -- all
+//! cargo run --release -p sg-bench --bin tables -- fig7
+//! cargo run --release -p sg-bench --bin tables -- dilation --max-n 8
+//! ```
+//!
+//! Subcommands map 1:1 to the experiment ids of DESIGN.md §2.
+
+use sg_bench::Table;
+use sg_core::congestion::{static_congestion, verify_lemma5_all};
+use sg_core::convert::{convert_d_s, mapping_table, table1_row};
+use sg_core::dilation::{audit_dilation, expected_mesh_edges, lemma1_degrees};
+use sg_core::embedding::star_mesh_embedding;
+use sg_core::fig4::figure4_embedding;
+use sg_core::lemma3::mesh_neighbor_plus;
+use sg_graph::builders;
+use sg_mesh::atallah::BlockMap;
+use sg_mesh::factorization::{
+    balance_bound, factorize, imbalance, optimal_dimension_sweep,
+    paper_predicted_optimal_dimension, predicted_optimal_dimension,
+};
+use sg_mesh::shape::{MeshShape, Sign};
+use sg_mesh::uniform::{
+    thm7_slowdown, thm8_slowdown, thm9_approx_log2, thm9_slowdown_log2, UniformMesh,
+};
+use sg_mesh::dn::DnMesh;
+use sg_perm::factorial::factorial;
+use sg_simd::machine::MeshSimd;
+use sg_simd::{EmbeddedMeshMachine, MeshMachine};
+use sg_star::broadcast::{flood_schedule, lower_bound, paper_bound, verify_schedule};
+use sg_star::StarGraph;
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "table1" => table1(parse_flag(&args, "--n", 6)),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig7" => fig7(parse_flag(&args, "--n", 4)),
+        "lemma1" => lemma1(),
+        "lemma3" => lemma3(parse_flag(&args, "--max-n", 7)),
+        "dilation" => dilation(parse_flag(&args, "--max-n", 8)),
+        "thm6" => thm6(parse_flag(&args, "--max-n", 6)),
+        "congestion" => congestion(parse_flag(&args, "--max-n", 6)),
+        "starprops" => starprops(),
+        "thm9" => thm9(),
+        "appendix" => appendix(),
+        "sorting" => sorting(),
+        "starvshypercube" => star_vs_hypercube(),
+        "all" => {
+            table1(6);
+            fig2();
+            fig3();
+            fig4();
+            fig7(4);
+            lemma1();
+            lemma3(7);
+            dilation(8);
+            thm6(6);
+            congestion(6);
+            starprops();
+            thm9();
+            appendix();
+            sorting();
+            star_vs_hypercube();
+        }
+        _ => {
+            eprintln!(
+                "usage: tables <table1|fig2|fig3|fig4|fig7|lemma1|lemma3|dilation|thm6|\
+                 congestion|starprops|thm9|appendix|sorting|starvshypercube|all> \
+                 [--n N] [--max-n N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(s: &str) {
+    println!("\n================ {s} ================\n");
+}
+
+/// E1 — Table 1: the exchange sequence of each mesh dimension.
+fn table1(n: usize) {
+    banner(&format!("Table 1 — exchange sequences (n = {n})"));
+    let mut t = Table::new(&["i", "sequence of exchanges"]);
+    for i in 1..n {
+        let seq: Vec<String> =
+            table1_row(i).iter().map(|(a, b)| format!("({a} {b})")).collect();
+        t.row(&[i.to_string(), seq.join(" ")]);
+    }
+    print!("{}", t.render());
+}
+
+/// E3 — Figure 2: the S_4 topology.
+fn fig2() {
+    banner("Figure 2 — the star graph S_4");
+    let star = StarGraph::new(4);
+    let g = star.to_csr();
+    println!(
+        "nodes = {}, degree = {}, edges = {}, diameter = {} (formula {})\n",
+        g.node_count(),
+        g.regular_degree().unwrap(),
+        g.edge_count(),
+        sg_graph::metrics::diameter(&g).unwrap(),
+        star.diameter()
+    );
+    let label = |v: u32| star.node_at(u64::from(v)).to_string();
+    print!("{}", sg_graph::viz::to_adjacency_list(&g, label));
+}
+
+/// E4 — Figure 3: the 2×3×4 mesh.
+fn fig3() {
+    banner("Figure 3 — the 2*3*4 mesh");
+    let shape = MeshShape::from_display(&[2, 3, 4]).unwrap();
+    let g = shape.to_csr();
+    println!(
+        "nodes = {}, edges = {}, diameter = {}, max degree = {}\n",
+        g.node_count(),
+        g.edge_count(),
+        shape.diameter(),
+        shape.max_degree()
+    );
+    let label = |v: u32| shape.point_at(u64::from(v)).to_string();
+    print!("{}", sg_graph::viz::to_adjacency_list(&g, label));
+}
+
+/// E5 — Figure 4: the worked embedding example.
+fn fig4() {
+    banner("Figure 4 — example embedding G into S");
+    let e = figure4_embedding();
+    let m = e.analyze().expect("valid");
+    println!(
+        "expansion = {}, dilation = {}, congestion = {}",
+        m.expansion, m.dilation, m.congestion
+    );
+    println!("(paper: expansion 1, dilation 2, congestion 2)");
+}
+
+/// E2 — Figure 7: the full V(D_n) ↔ V(S_n) table.
+fn fig7(n: usize) {
+    banner(&format!("Figure 7 — mapping of V(D_{n}) into V(S_{n})"));
+    let table = mapping_table(n);
+    let mut t = Table::new(&["D_n", "S_n"]);
+    for (m, s) in table {
+        t.row(&[m, s]);
+    }
+    print!("{}", t.render());
+}
+
+/// E6 — Lemma 1: the degree obstruction to dilation 1.
+fn lemma1() {
+    banner("Lemma 1 — no dilation-1 embedding for n > 2");
+    let mut t = Table::new(&[
+        "n",
+        "max mesh degree 2n-3",
+        "star degree n-1",
+        "dilation-1 possible",
+    ]);
+    for n in 2..=12usize {
+        let (md, sd) = lemma1_degrees(n);
+        t.row(&[n.to_string(), md.to_string(), sd.to_string(), (md <= sd).to_string()]);
+    }
+    print!("{}", t.render());
+}
+
+/// E8 — Lemma 3: closed-form neighbors equal convert-roundtrip.
+fn lemma3(max_n: usize) {
+    banner("Lemma 3 — closed-form mesh neighbors (exhaustive check)");
+    let mut t = Table::new(&["n", "nodes", "neighbor pairs checked", "mismatches"]);
+    for n in 2..=max_n {
+        let dn = DnMesh::new(n);
+        let shape = dn.shape().clone();
+        let mut checked = 0u64;
+        let mut mismatches = 0u64;
+        for d in dn.points() {
+            let pi = convert_d_s(&d);
+            for k in 1..n {
+                let expect = shape.neighbor(&d, k, Sign::Plus).map(|q| convert_d_s(&q));
+                let got = mesh_neighbor_plus(&pi, k);
+                checked += 1;
+                if expect != got {
+                    mismatches += 1;
+                }
+            }
+        }
+        t.rowd(&[n as u64, dn.node_count(), checked, mismatches]);
+    }
+    print!("{}", t.render());
+}
+
+/// E7 — Theorem 4: exhaustive dilation audit.
+fn dilation(max_n: usize) {
+    banner("Theorem 4 — dilation audit over every mesh edge");
+    let mut t = Table::new(&[
+        "n", "nodes", "mesh edges", "dist=1", "dist=3", "dilation", "expected edges",
+    ]);
+    for n in 2..=max_n {
+        let r = audit_dilation(n);
+        let h1 = r.histogram.get(1).copied().unwrap_or(0);
+        let h3 = r.histogram.get(3).copied().unwrap_or(0);
+        t.rowd(&[
+            n as u64,
+            factorial(n),
+            r.edges,
+            h1,
+            h3,
+            u64::from(r.dilation()),
+            expected_mesh_edges(n),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(paper: dilation 3; distance-1 edges are exactly dimension n-1's)");
+}
+
+/// E9 — Lemma 5 / Theorem 6: conflict-free unit-route simulation.
+fn thm6(max_n: usize) {
+    banner("Lemma 5 / Theorem 6 — mesh unit route on the star graph");
+    let mut t =
+        Table::new(&["n", "dim k", "dir", "messages", "star unit routes", "conflict-free"]);
+    for n in 2..=max_n {
+        for r in verify_lemma5_all(n).expect("no conflicts") {
+            t.row(&[
+                n.to_string(),
+                r.k.to_string(),
+                if r.plus { "+" } else { "-" }.to_string(),
+                r.messages.to_string(),
+                r.unit_routes.to_string(),
+                "yes".to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("(paper: at most 3 unit routes; dimension n-1 costs 1)");
+
+    println!("\nSimulator cross-check (one + route per dimension):");
+    let mut t2 = Table::new(&["n", "logical mesh routes", "star routes", "slowdown"]);
+    for n in 3..=max_n {
+        let mut m: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+        m.load("B", (0..factorial(n)).collect());
+        for dim in 1..n {
+            m.route("B", dim, Sign::Plus);
+        }
+        let s = m.stats();
+        t2.row(&[
+            n.to_string(),
+            s.logical_mesh_routes.to_string(),
+            s.physical_routes.to_string(),
+            format!("{:.3}", s.slowdown().unwrap()),
+        ]);
+    }
+    print!("{}", t2.render());
+}
+
+/// Extension — static congestion of the embedding.
+fn congestion(max_n: usize) {
+    banner("Extension — static congestion of the embedding");
+    let mut t = Table::new(&["n", "congestion", "star edges used", "star edges total"]);
+    for n in 2..=max_n {
+        let c = static_congestion(n);
+        t.rowd(&[n as u64, c.congestion, c.edges_used, c.edges_total]);
+    }
+    print!("{}", t.render());
+    let m = star_mesh_embedding(4).analyze().unwrap();
+    println!(
+        "\ngeneric analyzer (n=4): expansion {}, dilation {}, congestion {}",
+        m.expansion, m.dilation, m.congestion
+    );
+}
+
+/// E10 — §2 star-graph properties.
+fn starprops() {
+    banner("S_n properties (paper §2)");
+    let mut t = Table::new(&[
+        "n", "nodes", "degree", "diam formula", "diam BFS", "kappa", "broadcast routes",
+        "lower bnd", "3 n lg n",
+    ]);
+    for n in 2..=7usize {
+        let star = StarGraph::new(n);
+        let g = star.to_csr();
+        let diam_bfs = sg_graph::metrics::diameter(&g).unwrap();
+        let kappa = if n <= 5 {
+            sg_graph::connectivity::vertex_connectivity(&g).to_string()
+        } else {
+            format!("{} (theory)", n - 1)
+        };
+        let sched = flood_schedule(&star, 0);
+        let routes = verify_schedule(&star, &sched).unwrap();
+        t.row(&[
+            n.to_string(),
+            star.node_count().to_string(),
+            star.degree().to_string(),
+            star.diameter().to_string(),
+            diam_bfs.to_string(),
+            kappa,
+            routes.to_string(),
+            lower_bound(n).to_string(),
+            format!("{:.1}", paper_bound(n)),
+        ]);
+    }
+    print!("{}", t.render());
+    let vt = sg_graph::transitivity::is_vertex_transitive(&builders::star_graph(4));
+    println!("\nvertex-transitive (exact automorphism search, S_4): {vt}");
+}
+
+/// E11 — Theorems 7–9: uniform mesh simulation bounds + measurement.
+fn thm9() {
+    banner("Theorems 7-9 — simulating uniform meshes");
+    let mut t = Table::new(&[
+        "n", "N=n!", "thm7 slowdown", "thm8 slowdown", "log2 thm9", "log2 O(2^n)",
+    ]);
+    for n in 4..=14usize {
+        let full = MeshShape::new(&(2..=n).collect::<Vec<_>>()).unwrap();
+        t.row(&[
+            n.to_string(),
+            factorial(n).to_string(),
+            format!("{:.2}", thm7_slowdown(&full)),
+            format!("{:.1}", thm8_slowdown(&full)),
+            format!("{:.2}", thm9_slowdown_log2(n)),
+            format!("{:.0}", thm9_approx_log2(n)),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nMeasured (Atallah block map, U = nearest uniform mesh):");
+    let mut t2 = Table::new(&["n", "d", "R extents", "U", "max load", "routes per U step"]);
+    for (n, d) in [(5usize, 2usize), (5, 4), (6, 2), (6, 3), (6, 5), (7, 2), (7, 3)] {
+        let ext = factorize(n, d);
+        let r =
+            MeshShape::new(&ext.iter().map(|&x| x as usize).collect::<Vec<_>>()).unwrap();
+        let u = UniformMesh::nearest(r.size(), d);
+        let map = BlockMap::new(u, r);
+        let (_, maxload) = map.load_stats();
+        t2.row(&[
+            n.to_string(),
+            d.to_string(),
+            format!("{ext:?}"),
+            format!("{}^{}", u.side, d),
+            maxload.to_string(),
+            map.worst_route_congestion().to_string(),
+        ]);
+    }
+    print!("{}", t2.render());
+    println!("(shape claim: full-dimension simulation explodes ~2^n; low-d stays small)");
+}
+
+/// E12 — Appendix: factorizations and the optimal dimension.
+fn appendix() {
+    banner("Appendix — factorizing 2*3*...*n into d extents");
+    let mut t = Table::new(&["n", "d", "extents l_1..l_d", "l1/ld", "bound n(1+n mod d)"]);
+    for n in [6usize, 8, 10, 12] {
+        for d in [1usize, 2, 3, 4] {
+            if d >= n {
+                continue;
+            }
+            let ext = factorize(n, d);
+            t.row(&[
+                n.to_string(),
+                d.to_string(),
+                format!("{ext:?}"),
+                format!("{:.2}", imbalance(&ext)),
+                format!("{:.1}", balance_bound(n, d)),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    println!("\nOptimal simulation dimension (cost d*2^d*N^(2/d), log2):");
+    let mut t2 = Table::new(&["n", "best d", "sqrt(2 log2 N)", "paper 0.5*sqrt(log2 N)"]);
+    for n in 6..=14usize {
+        let (_, best) = optimal_dimension_sweep(n);
+        t2.row(&[
+            n.to_string(),
+            best.to_string(),
+            format!("{:.2}", predicted_optimal_dimension(n)),
+            format!("{:.2}", paper_predicted_optimal_dimension(n)),
+        ]);
+    }
+    print!("{}", t2.render());
+    println!(
+        "(the Θ(sqrt(log N)) claim holds; the paper's 1/2 constant does not \
+         minimize its own model — see EXPERIMENTS.md)"
+    );
+}
+
+/// E13 — §5: sorting on mesh vs star.
+fn sorting() {
+    banner("Sorting (§5) — shearsort via the 2-D Appendix view");
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use sg_algo::grouped::{GroupedGeometry, GroupedMachine};
+    use sg_algo::shearsort::{shearsort, shearsort_route_model};
+    use sg_algo::util::is_sorted_snake;
+
+    let mut t = Table::new(&[
+        "n", "N=n!", "2-D shape", "model routes", "native 2-D routes",
+        "grouped D_n routes", "star routes", "sorted",
+    ]);
+    for n in 4..=6usize {
+        let geom = GroupedGeometry::appendix(n, 2);
+        let vshape = geom.virtual_shape().clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let keys: Vec<u64> =
+            (0..vshape.size()).map(|_| rng.gen_range(0..1_000_000)).collect();
+
+        // (a) native 2-D rectangular mesh of the same shape
+        let mut flat: MeshMachine<u64> = MeshMachine::new(vshape.clone());
+        flat.load("K", keys.clone());
+        let model = shearsort_route_model(vshape.extent(1), vshape.extent(2));
+        let native_routes = shearsort(&mut flat, "K");
+
+        // (b) grouped view over a native D_n mesh
+        let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+        let mut grouped = GroupedMachine::new(&mut inner, geom.clone());
+        grouped.load("K", keys.clone());
+        shearsort(&mut grouped, "K");
+        let dn_routes = grouped.stats().physical_routes;
+
+        // (c) grouped view over the star graph
+        let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+        let mut gstar = GroupedMachine::new(&mut star, geom);
+        gstar.load("K", keys);
+        shearsort(&mut gstar, "K");
+        let star_routes = gstar.stats().physical_routes;
+        let sorted = is_sorted_snake(&vshape, &gstar.read("K"));
+
+        t.row(&[
+            n.to_string(),
+            vshape.size().to_string(),
+            format!("{}x{}", vshape.extent(1), vshape.extent(2)),
+            model.to_string(),
+            native_routes.to_string(),
+            dn_routes.to_string(),
+            star_routes.to_string(),
+            sorted.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "(columns grow left to right: the Appendix grouping costs a small \
+         constant, the star embedding at most 3x more)"
+    );
+}
+
+/// E14 — intro comparison: star vs hypercube.
+fn star_vs_hypercube() {
+    banner("Star graph vs hypercube (intro / [AKER87])");
+    let mut t = Table::new(&[
+        "degree", "star nodes (n+1)!", "cube nodes 2^n", "star diam", "cube diam",
+    ]);
+    for deg in 2..=9usize {
+        let star = StarGraph::new(deg + 1);
+        t.row(&[
+            deg.to_string(),
+            star.node_count().to_string(),
+            (1u64 << deg).to_string(),
+            star.diameter().to_string(),
+            deg.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "(star connects far more nodes per degree with asymptotically smaller diameter)"
+    );
+}

@@ -1,0 +1,17 @@
+//! # sg-bench — benchmark and table harness
+//!
+//! Regenerates every table and figure of the paper (see `DESIGN.md`'s
+//! per-experiment index) through the `tables` binary, and measures the
+//! algorithmic costs with Criterion benches.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin tables -- all
+//! cargo bench -p sg-bench
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::Table;

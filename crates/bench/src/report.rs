@@ -1,0 +1,88 @@
+//! Minimal fixed-width table rendering for the regenerators.
+
+/// A simple right-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (cells are stringified by the caller).
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: append a row of `Display` values.
+    pub fn rowd<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.row(&cells.iter().map(ToString::to_string).collect::<Vec<_>>());
+    }
+
+    /// Renders with per-column widths, two-space gutters, and a rule
+    /// under the header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = h.len();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{cell:>w$}", w = width[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["n", "value"]);
+        t.rowd(&[1, 100]);
+        t.rowd(&[12, 2]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], " n  value");
+        assert_eq!(lines[2], " 1    100");
+        assert_eq!(lines[3], "12      2");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x".to_string()]);
+    }
+}

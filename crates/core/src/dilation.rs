@@ -1,0 +1,179 @@
+//! Lemma 1 and the Theorem-4 dilation audit.
+//!
+//! * **Lemma 1**: no dilation-1 embedding of `D_n` into `S_n` exists
+//!   for `n > 2`, because the mesh node `(1, 1, …, 1)` has degree
+//!   `2n − 3 > n − 1`.
+//! * **Theorem 4**: the CONVERT embedding has dilation 3. We *audit*
+//!   this exhaustively: for every mesh edge, the star distance between
+//!   the images is computed with the exact distance formula and
+//!   histogrammed; the result must be `{1, 3}` with maximum 3.
+//!
+//! Audits sweep all `n!` nodes and are rayon-parallel over node
+//! indices (per the HPC guides); `n = 9` (362 880 nodes, ~3 M edges)
+//! runs in well under a second.
+
+use crate::convert::convert_d_s;
+use crate::lemma3::mesh_neighbor_plus;
+use rayon::prelude::*;
+use sg_mesh::dn::DnMesh;
+use sg_mesh::shape::Sign;
+use sg_star::distance::distance;
+
+/// Lemma 1's inequality: `true` iff a dilation-1 embedding is
+/// impossible, i.e. `2n − 3 > n − 1` ⟺ `n > 2`.
+#[must_use]
+pub fn lemma1_dilation1_impossible(n: usize) -> bool {
+    n > 2 && 2 * n - 3 > n - 1
+}
+
+/// Degree comparison backing Lemma 1: `(max mesh degree, star degree)`.
+#[must_use]
+pub fn lemma1_degrees(n: usize) -> (usize, usize) {
+    (DnMesh::new(n).max_degree(), n - 1)
+}
+
+/// Outcome of an exhaustive dilation audit of the embedding of `D_n`
+/// into `S_n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DilationReport {
+    /// Star-graph order audited.
+    pub n: usize,
+    /// Number of (undirected) mesh edges checked.
+    pub edges: u64,
+    /// `histogram[d]` = number of mesh edges whose images lie at star
+    /// distance `d`.
+    pub histogram: Vec<u64>,
+}
+
+impl DilationReport {
+    /// The measured dilation (largest distance observed).
+    #[must_use]
+    pub fn dilation(&self) -> u32 {
+        (self.histogram.len() as u32).saturating_sub(1)
+    }
+
+    /// `true` iff every distance is 1 or 3 (the Theorem-4 /
+    /// Lemma-2 shape).
+    #[must_use]
+    pub fn is_one_or_three(&self) -> bool {
+        self.histogram
+            .iter()
+            .enumerate()
+            .all(|(d, &c)| c == 0 || d == 1 || d == 3)
+    }
+}
+
+/// Exhaustive Theorem-4 audit over every mesh edge of `D_n`.
+///
+/// For each node (parallel over mesh indices) and each dimension with
+/// an existing `+` neighbor, computes the star distance between the
+/// convert images. (The `−` edges are the same undirected set.)
+///
+/// # Panics
+/// Panics if `n < 2` or the mesh is too large to sweep (`n > 11`).
+#[must_use]
+pub fn audit_dilation(n: usize) -> DilationReport {
+    assert!((2..=11).contains(&n), "exhaustive audit supported for 2 <= n <= 11");
+    let dn = DnMesh::new(n);
+    let shape = dn.shape().clone();
+    let per_node: Vec<Vec<u64>> = (0..dn.node_count())
+        .into_par_iter()
+        .map(|idx| {
+            let d = shape.point_at(idx);
+            let pi = convert_d_s(&d);
+            let mut hist = vec![0u64; 4];
+            for k in 1..n {
+                if shape.neighbor(&d, k, Sign::Plus).is_some() {
+                    let q = mesh_neighbor_plus(&pi, k)
+                        .expect("lemma 3 neighbor exists where mesh neighbor does");
+                    let dist = distance(&pi, &q) as usize;
+                    if hist.len() <= dist {
+                        hist.resize(dist + 1, 0);
+                    }
+                    hist[dist] += 1;
+                }
+            }
+            hist
+        })
+        .collect();
+    let maxlen = per_node.iter().map(Vec::len).max().unwrap_or(0);
+    let mut histogram = vec![0u64; maxlen];
+    for h in per_node {
+        for (d, c) in h.into_iter().enumerate() {
+            histogram[d] += c;
+        }
+    }
+    while histogram.last() == Some(&0) {
+        histogram.pop();
+    }
+    let edges = histogram.iter().sum();
+    DilationReport { n, edges, histogram }
+}
+
+/// Expected number of undirected edges of `D_n`:
+/// `Σ_k (l_k − 1) · Π_{j≠k} l_j = n! · Σ_k (l_k − 1)/l_k`.
+#[must_use]
+pub fn expected_mesh_edges(n: usize) -> u64 {
+    let total = sg_perm::factorial::factorial(n);
+    (2..=n as u64).map(|l| total / l * (l - 1)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_threshold() {
+        assert!(!lemma1_dilation1_impossible(2));
+        for n in 3..=12 {
+            assert!(lemma1_dilation1_impossible(n), "n={n}");
+            let (mesh_deg, star_deg) = lemma1_degrees(n);
+            assert!(mesh_deg > star_deg);
+        }
+        // n = 2: D_2 is a single edge, S_2 a single edge — dilation 1
+        // exists (and the audit below confirms it).
+        let (m2, s2) = lemma1_degrees(2);
+        assert!(m2 <= s2);
+    }
+
+    #[test]
+    fn theorem4_audit_small() {
+        for n in 3..=7usize {
+            let report = audit_dilation(n);
+            assert_eq!(report.dilation(), 3, "n={n}");
+            assert!(report.is_one_or_three(), "n={n}: {:?}", report.histogram);
+            assert_eq!(report.edges, expected_mesh_edges(n), "n={n}");
+            assert_eq!(report.histogram[0], 0);
+            assert_eq!(report.histogram[2], 0);
+        }
+    }
+
+    #[test]
+    fn n2_has_dilation_one() {
+        let report = audit_dilation(2);
+        assert_eq!(report.dilation(), 1);
+        assert_eq!(report.edges, 1);
+    }
+
+    #[test]
+    fn distance_one_edges_are_exactly_dimension_nminus1() {
+        // Dimension n-1 contributes n!·(n-1)/n edges, all at distance 1;
+        // everything else is at distance 3.
+        for n in 3..=7usize {
+            let report = audit_dilation(n);
+            let total = sg_perm::factorial::factorial(n);
+            let dim_top_edges = total / n as u64 * (n as u64 - 1);
+            assert_eq!(report.histogram[1], dim_top_edges, "n={n}");
+            assert_eq!(
+                report.histogram[3],
+                expected_mesh_edges(n) - dim_top_edges,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_edges_formula_matches_figure3() {
+        assert_eq!(expected_mesh_edges(4), 46);
+    }
+}

@@ -1,0 +1,242 @@
+//! The generic embedding framework of §3.1.
+//!
+//! An embedding of a guest graph `G` into a host graph `S` is an
+//! injective vertex map plus a mapping of every guest edge to a simple
+//! host path between the images. Its quality metrics:
+//!
+//! * **expansion** — `|S| / |G|`;
+//! * **dilation** — the longest edge-path (in the paper's definition,
+//!   the max *shortest-path distance* between images; for a valid
+//!   edge-path map ours upper-bounds that, and for the star-mesh
+//!   embedding they coincide);
+//! * **congestion** — the max number of edge-paths crossing any single
+//!   host edge.
+//!
+//! [`Embedding::analyze`] validates everything and computes the
+//! metrics; [`star_mesh_embedding`] materializes the paper's embedding
+//! for small `n` so it can be audited by the same generic machinery as
+//! the Figure-4 example.
+
+use sg_graph::csr::{CsrGraph, NodeId};
+
+/// An explicit embedding of `guest` into `host`.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Guest graph `G`.
+    pub guest: CsrGraph,
+    /// Host graph `S`.
+    pub host: CsrGraph,
+    /// `vertex_map[g]` = image of guest vertex `g` in the host.
+    pub vertex_map: Vec<NodeId>,
+    /// For every guest edge `(a, b)` with `a < b`, the host path from
+    /// `vertex_map[a]` to `vertex_map[b]` (inclusive endpoints), in
+    /// the same order as `guest.edges()`.
+    pub edge_paths: Vec<Vec<NodeId>>,
+}
+
+/// Metrics of a validated embedding (§3.1 definitions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingMetrics {
+    /// `|S| / |G|`.
+    pub expansion: f64,
+    /// Max path length (hops) over guest edges.
+    pub dilation: u32,
+    /// Max number of paths sharing one host edge.
+    pub congestion: u32,
+}
+
+/// Validation failures for [`Embedding::analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbeddingError {
+    /// Host is smaller than guest (no injective map possible).
+    HostTooSmall,
+    /// Vertex map has the wrong length, an out-of-range image, or a
+    /// repeated image.
+    BadVertexMap(String),
+    /// An edge path is missing, has wrong endpoints, repeats a vertex
+    /// (not simple), or uses a non-edge.
+    BadPath(String),
+}
+
+impl std::fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddingError::HostTooSmall => write!(f, "|S| < |G|"),
+            EmbeddingError::BadVertexMap(s) => write!(f, "bad vertex map: {s}"),
+            EmbeddingError::BadPath(s) => write!(f, "bad edge path: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {}
+
+impl Embedding {
+    /// Validates the §3.1 requirements and computes the metrics.
+    ///
+    /// # Errors
+    /// See [`EmbeddingError`].
+    pub fn analyze(&self) -> Result<EmbeddingMetrics, EmbeddingError> {
+        let g = self.guest.node_count();
+        let s = self.host.node_count();
+        if s < g {
+            return Err(EmbeddingError::HostTooSmall);
+        }
+        if self.vertex_map.len() != g {
+            return Err(EmbeddingError::BadVertexMap(format!(
+                "length {} != |G| = {g}",
+                self.vertex_map.len()
+            )));
+        }
+        let mut used = vec![false; s];
+        for (v, &img) in self.vertex_map.iter().enumerate() {
+            if (img as usize) >= s {
+                return Err(EmbeddingError::BadVertexMap(format!(
+                    "image of {v} out of range"
+                )));
+            }
+            if used[img as usize] {
+                return Err(EmbeddingError::BadVertexMap(format!(
+                    "image of {v} duplicated (m(x) must be distinct)"
+                )));
+            }
+            used[img as usize] = true;
+        }
+
+        let edges: Vec<(NodeId, NodeId)> = self.guest.edges().collect();
+        if edges.len() != self.edge_paths.len() {
+            return Err(EmbeddingError::BadPath(format!(
+                "{} paths for {} guest edges",
+                self.edge_paths.len(),
+                edges.len()
+            )));
+        }
+        let mut dilation = 0u32;
+        let mut congestion: std::collections::HashMap<(NodeId, NodeId), u32> =
+            std::collections::HashMap::new();
+        for ((a, b), path) in edges.iter().zip(&self.edge_paths) {
+            let exp_src = self.vertex_map[*a as usize];
+            let exp_dst = self.vertex_map[*b as usize];
+            if path.first() != Some(&exp_src) || path.last() != Some(&exp_dst) {
+                return Err(EmbeddingError::BadPath(format!(
+                    "path for ({a},{b}) has wrong endpoints"
+                )));
+            }
+            let mut seen = std::collections::HashSet::with_capacity(path.len());
+            for &v in path {
+                if !seen.insert(v) {
+                    return Err(EmbeddingError::BadPath(format!(
+                        "path for ({a},{b}) is not simple"
+                    )));
+                }
+            }
+            for w in path.windows(2) {
+                if !self.host.has_edge(w[0], w[1]) {
+                    return Err(EmbeddingError::BadPath(format!(
+                        "path for ({a},{b}) uses non-edge ({},{})",
+                        w[0], w[1]
+                    )));
+                }
+                let key = (w[0].min(w[1]), w[0].max(w[1]));
+                *congestion.entry(key).or_insert(0) += 1;
+            }
+            dilation = dilation.max((path.len() - 1) as u32);
+        }
+        Ok(EmbeddingMetrics {
+            expansion: s as f64 / g as f64,
+            dilation,
+            congestion: congestion.values().copied().max().unwrap_or(0),
+        })
+    }
+}
+
+/// Materializes the paper's embedding of `D_n` into `S_n` as an
+/// explicit [`Embedding`] (guest node ids = mesh indices, host node
+/// ids = Lehmer ranks), ready for [`Embedding::analyze`].
+///
+/// # Panics
+/// Panics for `n` outside `2..=7` (graph materialization).
+#[must_use]
+pub fn star_mesh_embedding(n: usize) -> Embedding {
+    assert!((2..=7).contains(&n), "materialization supported for 2 <= n <= 7");
+    let dn = sg_mesh::dn::DnMesh::new(n);
+    let shape = dn.shape().clone();
+    let guest = shape.to_csr();
+    let host = sg_graph::builders::star_graph(n);
+    let vertex_map: Vec<NodeId> = (0..dn.node_count())
+        .map(|idx| {
+            sg_perm::lehmer::rank(&crate::convert::convert_d_s(&shape.point_at(idx)))
+                as NodeId
+        })
+        .collect();
+    let mut edge_paths = Vec::new();
+    for (a, b) in guest.edges() {
+        let da = shape.point_at(u64::from(a));
+        let db = shape.point_at(u64::from(b));
+        // Find the dimension along which they differ.
+        let k = (1..n)
+            .find(|&k| da.d(k) != db.d(k))
+            .expect("mesh edge differs in one dimension");
+        let plus = db.d(k) == da.d(k) + 1;
+        let pi = crate::convert::convert_d_s(&da);
+        let path = crate::paths::dilation3_path(&pi, k, plus)
+            .expect("neighbor exists for a real mesh edge");
+        edge_paths.push(
+            path.iter().map(|p| sg_perm::lehmer::rank(p) as NodeId).collect(),
+        );
+    }
+    Embedding { guest, host, vertex_map, edge_paths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_mesh_embedding_metrics() {
+        for n in 2..=6usize {
+            let e = star_mesh_embedding(n);
+            let m = e.analyze().expect("valid embedding");
+            assert!((m.expansion - 1.0).abs() < 1e-12, "n={n}: expansion 1");
+            let expected_dilation = if n == 2 { 1 } else { 3 };
+            assert_eq!(m.dilation, expected_dilation, "n={n}");
+            assert!(m.congestion >= 1);
+        }
+    }
+
+    #[test]
+    fn validation_catches_duplicate_images() {
+        let mut e = star_mesh_embedding(3);
+        e.vertex_map[1] = e.vertex_map[0];
+        assert!(matches!(e.analyze(), Err(EmbeddingError::BadVertexMap(_))));
+    }
+
+    #[test]
+    fn validation_catches_bad_paths() {
+        let mut e = star_mesh_embedding(3);
+        // Break the first path's endpoint.
+        let last = e.edge_paths[0].len() - 1;
+        e.edge_paths[0][last] = e.edge_paths[0][0];
+        assert!(matches!(e.analyze(), Err(EmbeddingError::BadPath(_))));
+    }
+
+    #[test]
+    fn validation_catches_non_simple_paths() {
+        let mut e = star_mesh_embedding(3);
+        // Insert a back-and-forth detour.
+        let p = &mut e.edge_paths[0];
+        let first = p[0];
+        let second = p[1];
+        let mut detour = vec![first, second, first];
+        detour.extend_from_slice(&p[1..]);
+        *p = detour;
+        assert!(matches!(e.analyze(), Err(EmbeddingError::BadPath(_))));
+    }
+
+    #[test]
+    fn host_too_small_detected() {
+        let guest = sg_graph::builders::complete_graph(3);
+        let host = sg_graph::builders::path_graph(2);
+        let e = Embedding { guest, host, vertex_map: vec![0, 1, 2], edge_paths: vec![] };
+        assert_eq!(e.analyze(), Err(EmbeddingError::HostTooSmall));
+    }
+}

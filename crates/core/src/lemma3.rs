@@ -1,0 +1,235 @@
+//! Lemma 3: closed-form star-graph images of mesh neighbors.
+//!
+//! Let `π` be the star node of mesh node `(d_{n-1}, …, d_1)` and write
+//! `a_k` for the symbol at paper position `k` (our slot `n−1−k`).
+//! Lemma 3 states that the images of the mesh neighbors along
+//! dimension `k` are *symbol transpositions* of `π`:
+//!
+//! * `π_{k+}` (coordinate `d_k + 1`) swaps `a_k` with
+//!   `max { a_t | a_t < a_k, t < k }`,
+//! * `π_{k−}` (coordinate `d_k − 1`) swaps `a_k` with
+//!   `min { a_t | a_t > a_k, t < k }`,
+//!
+//! where `t` ranges over paper positions to the *right* of `k`. When
+//! the respective set is empty the neighbor does not exist (the mesh
+//! coordinate is at its boundary). This gives `O(n)` neighbor
+//! computation versus the `O(n²)` convert-roundtrip, and — because a
+//! symbol transposition not involving the front symbol is at star
+//! distance exactly 3 (Lemma 2) — it is the engine of the dilation-3
+//! result (Theorem 4).
+
+use sg_perm::Perm;
+
+/// Star image of the mesh neighbor along dimension `k` with
+/// coordinate `d_k + 1`; `None` if `d_k = k` (boundary).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ n−1`.
+#[must_use]
+pub fn mesh_neighbor_plus(pi: &Perm, k: usize) -> Option<Perm> {
+    let (ak, al) = plus_swap_symbols(pi, k)?;
+    Some(pi.with_symbols_swapped(ak, al))
+}
+
+/// Star image of the mesh neighbor along dimension `k` with
+/// coordinate `d_k − 1`; `None` if `d_k = 0` (boundary).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ n−1`.
+#[must_use]
+pub fn mesh_neighbor_minus(pi: &Perm, k: usize) -> Option<Perm> {
+    let (ak, am) = minus_swap_symbols(pi, k)?;
+    Some(pi.with_symbols_swapped(ak, am))
+}
+
+/// The symbol pair `(a_k, a_l)` that [`mesh_neighbor_plus`] swaps,
+/// or `None` at the boundary. Exposed because the Theorem-6 router
+/// needs the pair itself, not just the resulting node.
+#[must_use]
+pub fn plus_swap_symbols(pi: &Perm, k: usize) -> Option<(u8, u8)> {
+    let n = pi.len();
+    assert!(k >= 1 && k < n, "dimension k = {k} out of range 1..{n}");
+    let slot_k = n - 1 - k;
+    let ak = pi.symbol_at(slot_k);
+    // Paper positions t < k are our slots > slot_k.
+    let al = (slot_k + 1..n)
+        .map(|s| pi.symbol_at(s))
+        .filter(|&s| s < ak)
+        .max()?;
+    Some((ak, al))
+}
+
+/// The symbol pair `(a_k, a_m)` that [`mesh_neighbor_minus`] swaps,
+/// or `None` at the boundary.
+#[must_use]
+pub fn minus_swap_symbols(pi: &Perm, k: usize) -> Option<(u8, u8)> {
+    let n = pi.len();
+    assert!(k >= 1 && k < n, "dimension k = {k} out of range 1..{n}");
+    let slot_k = n - 1 - k;
+    let ak = pi.symbol_at(slot_k);
+    let am = (slot_k + 1..n)
+        .map(|s| pi.symbol_at(s))
+        .filter(|&s| s > ak)
+        .min()?;
+    Some((ak, am))
+}
+
+/// All existing mesh neighbors of `pi` (as star nodes), dimension-
+/// major with `+` before `−` — the star-side mirror of
+/// `MeshShape::neighbors`.
+#[must_use]
+pub fn all_mesh_neighbors(pi: &Perm) -> Vec<(usize, bool, Perm)> {
+    let n = pi.len();
+    let mut out = Vec::with_capacity(2 * (n - 1));
+    for k in 1..n {
+        if let Some(q) = mesh_neighbor_plus(pi, k) {
+            out.push((k, true, q));
+        }
+        if let Some(q) = mesh_neighbor_minus(pi, k) {
+            out.push((k, false, q));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{convert_d_s, convert_s_d};
+    use sg_mesh::dn::DnMesh;
+    use sg_mesh::shape::Sign;
+    use sg_mesh::MeshPoint;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_pi_3_plus_minus() {
+        // π = (2 3 4 0 1) corresponds to (2,1,0,1); π_{3+} = (2 1 4 0 3),
+        // π_{3-} = (2 4 3 0 1).
+        let pi = Perm::from_slice(&[2, 3, 4, 0, 1]).unwrap();
+        assert_eq!(convert_s_d(&pi).to_string(), "(2,1,0,1)");
+        assert_eq!(
+            mesh_neighbor_plus(&pi, 3).unwrap().as_slice(),
+            &[2, 1, 4, 0, 3]
+        );
+        assert_eq!(
+            mesh_neighbor_minus(&pi, 3).unwrap().as_slice(),
+            &[2, 4, 3, 0, 1]
+        );
+    }
+
+    #[test]
+    fn matches_convert_roundtrip_exhaustively() {
+        for n in 2..=7usize {
+            let dn = DnMesh::new(n);
+            for d in dn.points() {
+                let pi = convert_d_s(&d);
+                for k in 1..n {
+                    let expect_plus = dn
+                        .shape()
+                        .neighbor(&d, k, Sign::Plus)
+                        .map(|q| convert_d_s(&q));
+                    assert_eq!(
+                        mesh_neighbor_plus(&pi, k),
+                        expect_plus,
+                        "n={n} d={d} k={k} (+)"
+                    );
+                    let expect_minus = dn
+                        .shape()
+                        .neighbor(&d, k, Sign::Minus)
+                        .map(|q| convert_d_s(&q));
+                    assert_eq!(
+                        mesh_neighbor_minus(&pi, k),
+                        expect_minus,
+                        "n={n} d={d} k={k} (-)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_cases() {
+        // Origin: no minus neighbors anywhere; all plus neighbors exist.
+        let n = 5;
+        let origin = convert_d_s(&MeshPoint::from_ascending(&[0; 4]).unwrap());
+        for k in 1..n {
+            assert!(mesh_neighbor_minus(&origin, k).is_none());
+            assert!(mesh_neighbor_plus(&origin, k).is_some());
+        }
+        // Far corner (d_i = i): the reverse.
+        let corner =
+            convert_d_s(&MeshPoint::from_ascending(&[1, 2, 3, 4]).unwrap());
+        for k in 1..n {
+            assert!(mesh_neighbor_plus(&corner, k).is_none());
+            assert!(mesh_neighbor_minus(&corner, k).is_some());
+        }
+    }
+
+    #[test]
+    fn plus_and_minus_are_inverse_moves() {
+        let dn = DnMesh::new(6);
+        for (i, d) in dn.points().enumerate() {
+            if i % 7 != 0 {
+                continue; // sample
+            }
+            let pi = convert_d_s(&d);
+            for k in 1..6 {
+                if let Some(q) = mesh_neighbor_plus(&pi, k) {
+                    assert_eq!(mesh_neighbor_minus(&q, k), Some(pi));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_mesh_neighbors_counts_degree() {
+        let dn = DnMesh::new(5);
+        for d in dn.points() {
+            let pi = convert_d_s(&d);
+            assert_eq!(all_mesh_neighbors(&pi).len(), dn.shape().degree(&d));
+        }
+    }
+
+    #[test]
+    fn swapped_pair_never_contains_front_for_low_dims() {
+        // For k < n-1 the swapped symbols both sit at paper positions
+        // <= k < n-1, i.e. never the front symbol — this is why those
+        // hops cost exactly 3 (Lemma 2 / Theorem 4).
+        let dn = DnMesh::new(6);
+        for d in dn.points() {
+            let pi = convert_d_s(&d);
+            let front = pi.symbol_at(0);
+            for k in 1..5 {
+                if let Some((a, b)) = plus_swap_symbols(&pi, k) {
+                    assert_ne!(a, front);
+                    assert_ne!(b, front);
+                }
+                if let Some((a, b)) = minus_swap_symbols(&pi, k) {
+                    assert_ne!(a, front);
+                    assert_ne!(b, front);
+                }
+            }
+            // And for k = n-1 the pair ALWAYS contains the front symbol.
+            if let Some((a, _)) = plus_swap_symbols(&pi, 5) {
+                assert_eq!(a, front);
+            }
+            if let Some((a, _)) = minus_swap_symbols(&pi, 5) {
+                assert_eq!(a, front);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_convert(n in 2usize..=10, seed in any::<u64>(), k_seed in any::<usize>()) {
+            let dn = DnMesh::new(n);
+            let d = dn.point_at(seed % dn.node_count());
+            let k = 1 + k_seed % (n - 1);
+            let pi = convert_d_s(&d);
+            let expect = dn.shape().neighbor(&d, k, Sign::Plus).map(|q| convert_d_s(&q));
+            prop_assert_eq!(mesh_neighbor_plus(&pi, k), expect);
+            let expect_m = dn.shape().neighbor(&d, k, Sign::Minus).map(|q| convert_d_s(&q));
+            prop_assert_eq!(mesh_neighbor_minus(&pi, k), expect_m);
+        }
+    }
+}

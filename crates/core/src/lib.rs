@@ -1,0 +1,35 @@
+//! # sg-core — the paper's embedding
+//!
+//! The primary contribution of Ranka, Wang & Yeh (*Embedding Meshes on
+//! the Star Graph*, SC'90): an **expansion-1, dilation-3** embedding
+//! of the `(n−1)`-dimensional mesh `D_n = 2 × 3 × ⋯ × n` into the star
+//! graph `S_n`.
+//!
+//! * [`convert`] — the two `O(n²)` coordinate converters of Figures 5
+//!   and 6 (`CONVERT-D-S`, `CONVERT-S-D`) plus the Table-1 symbol-
+//!   exchange formulation;
+//! * [`lemma3`] — closed-form `O(n)` computation of the star-graph
+//!   images of a node's mesh neighbors (`π_{k+}`, `π_{k−}`);
+//! * [`paths`] — the constructive dilation-3 paths of Lemma 2 and the
+//!   per-mesh-edge router;
+//! * [`dilation`] — Lemma 1 (no dilation-1 embedding) and the
+//!   exhaustive Theorem-4 dilation audit;
+//! * [`congestion`] — Lemma 5's non-blocking property (the schedule
+//!   validity behind Theorem 6) and static edge-congestion metrics;
+//! * [`embedding`] — the generic §3.1 embedding framework (vertex
+//!   maps, edge-to-path maps, expansion/dilation/congestion);
+//! * [`fig4`] — the worked example of Figure 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod congestion;
+pub mod convert;
+pub mod dilation;
+pub mod embedding;
+pub mod fig4;
+pub mod lemma3;
+pub mod paths;
+
+pub use convert::{convert_d_s, convert_s_d};
+pub use embedding::{Embedding, EmbeddingMetrics};

@@ -1,0 +1,177 @@
+//! Breadth-first search: distances, parents, eccentricities.
+
+use crate::csr::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Result of a single-source BFS.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// `dist[v]` = hop distance from the source ([`UNREACHABLE`] if none).
+    pub dist: Vec<u32>,
+    /// `parent[v]` = predecessor on one shortest path (`NodeId::MAX`
+    /// for the source and unreachable nodes).
+    pub parent: Vec<NodeId>,
+    /// The source node.
+    pub source: NodeId,
+}
+
+impl BfsTree {
+    /// Reconstructs one shortest path `source → target`, inclusive.
+    /// Returns `None` if `target` is unreachable.
+    #[must_use]
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[target as usize] == UNREACHABLE {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Largest finite distance (the source's eccentricity), or `None`
+    /// if some node is unreachable.
+    #[must_use]
+    pub fn eccentricity(&self) -> Option<u32> {
+        let mut max = 0;
+        for &d in &self.dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            max = max.max(d);
+        }
+        Some(max)
+    }
+}
+
+/// Single-source BFS over the whole graph.
+#[must_use]
+pub fn bfs(g: &CsrGraph, source: NodeId) -> BfsTree {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![NodeId::MAX; n];
+    let mut queue = VecDeque::with_capacity(n.min(1024));
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                parent[w as usize] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsTree { dist, parent, source }
+}
+
+/// Hop distance between two nodes (early-exit BFS);
+/// [`UNREACHABLE`] if disconnected.
+#[must_use]
+pub fn distance(g: &CsrGraph, a: NodeId, b: NodeId) -> u32 {
+    if a == b {
+        return 0;
+    }
+    let n = g.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[a as usize] = 0;
+    queue.push_back(a);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                if w == b {
+                    return dv + 1;
+                }
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    UNREACHABLE
+}
+
+/// `true` iff the graph is connected (vacuously true for 0 or 1 nodes).
+#[must_use]
+pub fn is_connected(g: &CsrGraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    bfs(g, 0).dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn path_graph_distances() {
+        let g = builders::path_graph(5);
+        let t = bfs(&g, 0);
+        assert_eq!(t.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.eccentricity(), Some(4));
+        assert_eq!(t.path_to(3), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let g = builders::cycle_graph(6);
+        let t = bfs(&g, 0);
+        assert_eq!(t.dist, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn pairwise_distance_matches_bfs() {
+        let g = builders::hypercube(4);
+        let t = bfs(&g, 0);
+        for v in 0..g.node_count() as NodeId {
+            assert_eq!(distance(&g, 0, v), t.dist[v as usize]);
+        }
+        // Hypercube distance = popcount of XOR.
+        for v in 0..16u32 {
+            assert_eq!(distance(&g, 0, v), v.count_ones());
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        assert_eq!(distance(&g, 0, 3), UNREACHABLE);
+        assert_eq!(bfs(&g, 0).eccentricity(), None);
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let g = builders::complete_graph(3);
+        assert_eq!(distance(&g, 1, 1), 0);
+    }
+
+    #[test]
+    fn shortest_paths_are_valid_walks() {
+        let g = builders::hypercube(3);
+        let t = bfs(&g, 5);
+        for v in 0..8 {
+            let p = t.path_to(v).unwrap();
+            assert_eq!(p.len() as u32, t.dist[v as usize] + 1);
+            assert_eq!(*p.first().unwrap(), 5);
+            assert_eq!(*p.last().unwrap(), v);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    use crate::csr::CsrGraph;
+}

@@ -1,0 +1,236 @@
+//! Exact vertex connectivity and fault-injection checks.
+//!
+//! §2 property 4: "A star graph is maximally fault tolerant", i.e. its
+//! vertex connectivity equals its degree `n−1` (Akers et al.). We
+//! verify this *computationally*: `κ(G)` is computed exactly via
+//! unit-capacity max-flow on the node-split digraph (Menger), using
+//! the classical min-degree-vertex algorithm, and complemented by
+//! randomized fault injection for graphs too large for exact flow.
+
+use crate::bfs::is_connected;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Arc in the residual flow network.
+#[derive(Clone, Copy)]
+struct Arc {
+    to: u32,
+    cap: u32,
+    rev: u32,
+}
+
+/// Unit-capacity max-flow network over the node-split digraph:
+/// vertex `v` becomes `v_in = 2v`, `v_out = 2v + 1` joined by a
+/// capacity-1 arc (capacity ∞ for the two terminals), and each
+/// undirected edge `{u, v}` becomes `u_out → v_in`, `v_out → u_in`.
+struct FlowNet {
+    adj: Vec<Vec<Arc>>,
+}
+
+const INF: u32 = u32::MAX / 2;
+
+impl FlowNet {
+    fn new(g: &CsrGraph, s: NodeId, t: NodeId) -> Self {
+        let n = g.node_count();
+        let mut net = FlowNet { adj: vec![Vec::new(); 2 * n] };
+        for v in 0..n as u32 {
+            let cap = if v == s || v == t { INF } else { 1 };
+            net.add_arc(2 * v, 2 * v + 1, cap);
+        }
+        for (a, b) in g.edges() {
+            net.add_arc(2 * a + 1, 2 * b, INF);
+            net.add_arc(2 * b + 1, 2 * a, INF);
+        }
+        net
+    }
+
+    fn add_arc(&mut self, from: u32, to: u32, cap: u32) {
+        let rev_from = self.adj[to as usize].len() as u32;
+        let rev_to = self.adj[from as usize].len() as u32;
+        self.adj[from as usize].push(Arc { to, cap, rev: rev_from });
+        self.adj[to as usize].push(Arc { to: from, cap: 0, rev: rev_to });
+    }
+
+    /// One BFS augmentation of value 1 (unit capacities on the
+    /// vertex-split arcs bound every augmenting path to value 1).
+    fn augment(&mut self, s: u32, t: u32) -> bool {
+        let n = self.adj.len();
+        let mut pred: Vec<Option<(u32, u32)>> = vec![None; n]; // (node, arc idx)
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        let mut seen = vec![false; n];
+        seen[s as usize] = true;
+        'bfs: while let Some(v) = queue.pop_front() {
+            for (i, arc) in self.adj[v as usize].iter().enumerate() {
+                if arc.cap > 0 && !seen[arc.to as usize] {
+                    seen[arc.to as usize] = true;
+                    pred[arc.to as usize] = Some((v, i as u32));
+                    if arc.to == t {
+                        break 'bfs;
+                    }
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if !seen[t as usize] {
+            return false;
+        }
+        // Push one unit along the found path.
+        let mut cur = t;
+        while cur != s {
+            let (prev, idx) = pred[cur as usize].expect("path recorded");
+            let arc = self.adj[prev as usize][idx as usize];
+            self.adj[prev as usize][idx as usize].cap -= 1;
+            self.adj[arc.to as usize][arc.rev as usize].cap += 1;
+            cur = prev;
+        }
+        true
+    }
+}
+
+/// Maximum number of internally vertex-disjoint `s`–`t` paths
+/// (Menger), for non-adjacent `s ≠ t`, stopping early once `limit`
+/// paths are found.
+///
+/// # Panics
+/// Panics if `s == t`.
+#[must_use]
+pub fn max_disjoint_paths(g: &CsrGraph, s: NodeId, t: NodeId, limit: u32) -> u32 {
+    assert_ne!(s, t, "s and t must differ");
+    let mut net = FlowNet::new(g, s, t);
+    let (src, dst) = (2 * s + 1, 2 * t);
+    let mut flow = 0;
+    while flow < limit && net.augment(src, dst) {
+        flow += 1;
+    }
+    flow
+}
+
+/// Exact vertex connectivity `κ(G)`.
+///
+/// * complete graphs: `κ(K_n) = n − 1` by convention;
+/// * disconnected graphs: 0;
+/// * otherwise the classical algorithm: with `v` a minimum-degree
+///   vertex, `κ = min` over (a) `flow(v, t)` for all `t ∉ N[v]` and
+///   (b) `flow(x, y)` for non-adjacent pairs of neighbors of `v`.
+#[must_use]
+pub fn vertex_connectivity(g: &CsrGraph) -> u32 {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    if !is_connected(g) {
+        return 0;
+    }
+    let complete = g.edge_count() == n * (n - 1) / 2;
+    if complete {
+        return (n - 1) as u32;
+    }
+    let v = (0..n as NodeId).min_by_key(|&v| g.degree(v)).expect("nonempty");
+    let mut best = g.degree(v) as u32;
+    for t in 0..n as NodeId {
+        if t != v && !g.has_edge(v, t) {
+            best = best.min(max_disjoint_paths(g, v, t, best));
+        }
+    }
+    let nbrs = g.neighbors(v).to_vec();
+    for (i, &x) in nbrs.iter().enumerate() {
+        for &y in &nbrs[i + 1..] {
+            if !g.has_edge(x, y) {
+                best = best.min(max_disjoint_paths(g, x, y, best));
+            }
+        }
+    }
+    best
+}
+
+/// Fault-injection probe: removes each of the given fault sets and
+/// reports whether the survivor graph stayed connected every time.
+/// (A `κ = k` graph survives any `k−1` faults; this is the empirical
+/// face of "maximally fault tolerant".)
+#[must_use]
+pub fn survives_faults(g: &CsrGraph, fault_sets: &[Vec<NodeId>]) -> bool {
+    fault_sets.iter().all(|faults| {
+        let (sub, _) = g.remove_nodes(faults);
+        sub.node_count() <= 1 || is_connected(&sub)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn cycle_is_2_connected() {
+        assert_eq!(vertex_connectivity(&builders::cycle_graph(7)), 2);
+    }
+
+    #[test]
+    fn path_is_1_connected() {
+        assert_eq!(vertex_connectivity(&builders::path_graph(6)), 1);
+    }
+
+    #[test]
+    fn complete_graph_convention() {
+        assert_eq!(vertex_connectivity(&builders::complete_graph(5)), 4);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(vertex_connectivity(&g), 0);
+    }
+
+    #[test]
+    fn hypercube_connectivity_equals_degree() {
+        for d in 1..=4 {
+            assert_eq!(vertex_connectivity(&builders::hypercube(d)), d as u32);
+        }
+    }
+
+    #[test]
+    fn star_graph_is_maximally_fault_tolerant_small() {
+        // §2 property 4: κ(S_n) = n - 1.
+        for n in 2..=5usize {
+            let g = builders::star_graph(n);
+            assert_eq!(vertex_connectivity(&g), (n - 1) as u32, "S_{n}");
+        }
+    }
+
+    #[test]
+    fn mesh_connectivity_is_min_nonunit_dims() {
+        // κ of a multidim mesh = number of dimensions with extent > 1
+        // (corner vertex has that degree and meshes are κ = δ_corner).
+        let g = builders::mesh(&[2, 3, 4]);
+        assert_eq!(vertex_connectivity(&g), 3);
+        let g2 = builders::mesh(&[5, 5]);
+        assert_eq!(vertex_connectivity(&g2), 2);
+    }
+
+    #[test]
+    fn cut_vertex_detected() {
+        // Two triangles sharing vertex 2: κ = 1.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(vertex_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn disjoint_paths_on_cycle() {
+        let g = builders::cycle_graph(6);
+        assert_eq!(max_disjoint_paths(&g, 0, 3, 10), 2);
+        assert_eq!(max_disjoint_paths(&g, 0, 3, 1), 1); // limit respected
+    }
+
+    #[test]
+    fn fault_injection_on_star4() {
+        let g = builders::star_graph(4); // κ = 3
+        // All single and double faults survive.
+        let singles: Vec<Vec<NodeId>> = (0..24).map(|v| vec![v]).collect();
+        assert!(survives_faults(&g, &singles));
+        let doubles: Vec<Vec<NodeId>> =
+            (0..24).flat_map(|a| (a + 1..24).map(move |b| vec![a, b])).collect();
+        assert!(survives_faults(&g, &doubles));
+    }
+
+    use crate::csr::CsrGraph;
+}

@@ -1,0 +1,272 @@
+//! Compressed-sparse-row (CSR) undirected graph.
+
+use core::fmt;
+
+/// Dense node identifier. Graphs we materialize stay well under
+/// `u32::MAX` nodes (`S_8` has 40 320; even `S_{12}` at 4.8 × 10⁸
+/// would fit, although nobody should build it).
+pub type NodeId = u32;
+
+/// An immutable undirected graph in CSR form.
+///
+/// Neighbor lists are sorted, enabling `O(log d)` edge queries and
+/// deterministic iteration order (important for reproducible figure
+/// output).
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` nodes from an undirected edge list.
+    /// Duplicate edges and self-loops are rejected.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`, on self-loops, or on duplicate
+    /// edges (after normalization `(min,max)`).
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert_ne!(a, b, "self-loop ({a},{a}) not allowed");
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut targets = vec![0 as NodeId; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(a, b) in edges {
+            targets[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        for i in 0..n {
+            let row = &mut targets[offsets[i]..offsets[i + 1]];
+            row.sort_unstable();
+            if let Some(w) = row.windows(2).find(|w| w[0] == w[1]) {
+                panic!("duplicate edge ({i},{})", w[0]);
+            }
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Builds a graph from a per-node neighbor generator. The
+    /// generator must be *symmetric* (`b ∈ f(a) ⇔ a ∈ f(b)`); this is
+    /// checked in debug builds.
+    #[must_use]
+    pub fn from_neighbor_fn<F, I>(n: usize, mut f: F) -> Self
+    where
+        F: FnMut(NodeId) -> I,
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0usize);
+        for v in 0..n as NodeId {
+            let mut row: Vec<NodeId> = f(v).into_iter().collect();
+            row.sort_unstable();
+            row.dedup();
+            assert!(!row.contains(&v), "self-loop at {v}");
+            targets.extend_from_slice(&row);
+            offsets.push(targets.len());
+        }
+        let g = CsrGraph { offsets, targets };
+        debug_assert!(g.is_symmetric(), "neighbor function is not symmetric");
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbor slice of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// `true` iff `{a, b}` is an edge (binary search).
+    #[inline]
+    #[must_use]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count() as NodeId).flat_map(move |a| {
+            self.neighbors(a).iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
+        })
+    }
+
+    /// `true` iff every directed arc has its reverse.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.node_count() as NodeId)
+            .all(|v| self.neighbors(v).iter().all(|&w| self.has_edge(w, v)))
+    }
+
+    /// `true` iff all nodes have the same degree; returns that degree.
+    #[must_use]
+    pub fn regular_degree(&self) -> Option<usize> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        let d = self.degree(0);
+        (1..n as NodeId).all(|v| self.degree(v) == d).then_some(d)
+    }
+
+    /// Induced subgraph on `keep` (sorted, deduped internally).
+    /// Returns the subgraph and the mapping from new ids to old ids.
+    #[must_use]
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+        let mut keep: Vec<NodeId> = keep.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        let mut new_id = vec![NodeId::MAX; self.node_count()];
+        for (new, &old) in keep.iter().enumerate() {
+            new_id[old as usize] = new as NodeId;
+        }
+        let g = CsrGraph::from_neighbor_fn(keep.len(), |v| {
+            let old = keep[v as usize];
+            self.neighbors(old)
+                .iter()
+                .copied()
+                .filter(|&w| new_id[w as usize] != NodeId::MAX)
+                .map(|w| new_id[w as usize])
+                .collect::<Vec<_>>()
+        });
+        (g, keep)
+    }
+
+    /// Graph with the given nodes removed (fault injection for the
+    /// "maximally fault tolerant" experiments). Returns the surviving
+    /// subgraph and the new→old id map.
+    #[must_use]
+    pub fn remove_nodes(&self, faulty: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+        let dead: std::collections::HashSet<NodeId> = faulty.iter().copied().collect();
+        let keep: Vec<NodeId> =
+            (0..self.node_count() as NodeId).filter(|v| !dead.contains(v)).collect();
+        self.induced_subgraph(&keep)
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CsrGraph(n={}, m={})", self.node_count(), self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = square();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.regular_degree(), Some(2));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_queryable() {
+        let g = square();
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = square();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let _ = CsrGraph::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edges() {
+        let _ = CsrGraph::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn from_neighbor_fn_matches_from_edges() {
+        let a = square();
+        let b = CsrGraph::from_neighbor_fn(4, |v| vec![(v + 1) % 4, (v + 3) % 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = square();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // 0-1 and 1-2 survive; 3 gone
+        assert_eq!(map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn remove_nodes_is_fault_injection() {
+        let g = square();
+        let (sub, map) = g.remove_nodes(&[1]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // 0-3 and 2-3
+        assert_eq!(map, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_degenerate() {
+        let g = CsrGraph::from_edges(1, &[]);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.regular_degree(), Some(0));
+    }
+}

@@ -1,0 +1,35 @@
+//! # sg-graph — static-graph substrate
+//!
+//! The embedding definitions of the paper's §3.1 (dilation, expansion,
+//! congestion) and the star-graph properties of §2 (diameter, maximal
+//! fault tolerance, symmetry) are statements about finite undirected
+//! graphs. This crate provides the graph machinery to *check* them:
+//!
+//! * [`csr::CsrGraph`] — a compact, immutable adjacency structure,
+//! * [`bfs`] — single-source shortest paths and eccentricities,
+//! * [`metrics`] — diameter / radius / distance distributions
+//!   (rayon-parallel all-pairs sweeps),
+//! * [`connectivity`] — exact vertex connectivity via unit-capacity
+//!   max-flow with node splitting (the "maximally fault tolerant"
+//!   claim is `κ(S_n) = n−1`),
+//! * [`transitivity`] — vertex-transitivity checks (exact
+//!   automorphism search for small graphs, distance-profile
+//!   necessary conditions for larger ones),
+//! * [`builders`] — constructors for every topology the paper
+//!   mentions: star graphs, hypercubes, meshes/tori, plus classical
+//!   graphs used in tests,
+//! * [`viz`] — DOT / adjacency-list output for the figure
+//!   regenerators (Figures 2 and 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod builders;
+pub mod connectivity;
+pub mod csr;
+pub mod metrics;
+pub mod transitivity;
+pub mod viz;
+
+pub use csr::{CsrGraph, NodeId};

@@ -1,0 +1,146 @@
+//! Whole-graph distance metrics (diameter, radius, distributions).
+//!
+//! These back the §2 property checks — notably "the diameter `k_n` of
+//! the star graph `S_n` is `⌊3(n−1)/2⌋`" — and the distance-histogram
+//! evidence used by the figure regenerators. All-pairs sweeps run one
+//! BFS per node, parallelized with rayon per the HPC guides.
+
+use crate::bfs::{bfs, UNREACHABLE};
+use crate::csr::{CsrGraph, NodeId};
+use rayon::prelude::*;
+
+/// Diameter (max finite eccentricity); `None` if disconnected.
+#[must_use]
+pub fn diameter(g: &CsrGraph) -> Option<u32> {
+    eccentricities(g).map(|e| e.into_iter().max().unwrap_or(0))
+}
+
+/// Radius (min eccentricity); `None` if disconnected.
+#[must_use]
+pub fn radius(g: &CsrGraph) -> Option<u32> {
+    eccentricities(g).map(|e| e.into_iter().min().unwrap_or(0))
+}
+
+/// Eccentricity of every node; `None` if the graph is disconnected.
+#[must_use]
+pub fn eccentricities(g: &CsrGraph) -> Option<Vec<u32>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    (0..n as NodeId)
+        .into_par_iter()
+        .map(|v| bfs(g, v).eccentricity())
+        .collect::<Option<Vec<u32>>>()
+}
+
+/// Histogram of pairwise distances: `hist[d]` counts *ordered* pairs
+/// `(u, v)`, `u ≠ v`, at distance `d`. `None` if disconnected.
+#[must_use]
+pub fn distance_histogram(g: &CsrGraph) -> Option<Vec<u64>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let per_node: Option<Vec<Vec<u64>>> = (0..n as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            let t = bfs(g, v);
+            let mut h: Vec<u64> = Vec::new();
+            for &d in &t.dist {
+                if d == UNREACHABLE {
+                    return None;
+                }
+                let d = d as usize;
+                if h.len() <= d {
+                    h.resize(d + 1, 0);
+                }
+                h[d] += 1;
+            }
+            Some(h)
+        })
+        .collect();
+    let per_node = per_node?;
+    let maxlen = per_node.iter().map(Vec::len).max().unwrap_or(0);
+    let mut total = vec![0u64; maxlen];
+    for h in per_node {
+        for (d, c) in h.into_iter().enumerate() {
+            total[d] += c;
+        }
+    }
+    if !total.is_empty() {
+        total[0] -= n as u64; // drop the (v, v) self-pairs
+        debug_assert_eq!(total[0], 0);
+    }
+    Some(total)
+}
+
+/// Mean pairwise distance over ordered distinct pairs; `None` if
+/// disconnected or fewer than two nodes.
+#[must_use]
+pub fn mean_distance(g: &CsrGraph) -> Option<f64> {
+    let hist = distance_histogram(g)?;
+    let pairs: u64 = hist.iter().sum();
+    if pairs == 0 {
+        return None;
+    }
+    let weighted: u64 = hist.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
+    Some(weighted as f64 / pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn cycle_diameter_radius() {
+        let g = builders::cycle_graph(8);
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(radius(&g), Some(4));
+    }
+
+    #[test]
+    fn path_diameter_vs_radius() {
+        let g = builders::path_graph(9);
+        assert_eq!(diameter(&g), Some(8));
+        assert_eq!(radius(&g), Some(4));
+    }
+
+    #[test]
+    fn star_diameter_formula_small() {
+        // Paper §2 property 2: k_n = floor(3(n-1)/2).
+        for n in 2..=6usize {
+            let g = builders::star_graph(n);
+            let expect = (3 * (n - 1) / 2) as u32;
+            assert_eq!(diameter(&g), Some(expect), "S_{n}");
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_ordered_pairs() {
+        let g = builders::hypercube(4);
+        let h = distance_histogram(&g).unwrap();
+        let n = g.node_count() as u64;
+        assert_eq!(h.iter().sum::<u64>(), n * (n - 1));
+        // Q_4 distance distribution = binomial(4, d) per source.
+        assert_eq!(h[1], n * 4);
+        assert_eq!(h[2], n * 6);
+        assert_eq!(h[3], n * 4);
+        assert_eq!(h[4], n);
+    }
+
+    #[test]
+    fn disconnected_yields_none() {
+        let g = crate::csr::CsrGraph::from_edges(3, &[(0, 1)]);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(distance_histogram(&g), None);
+        assert_eq!(mean_distance(&g), None);
+    }
+
+    #[test]
+    fn mean_distance_of_complete_graph_is_one() {
+        let g = builders::complete_graph(6);
+        assert!((mean_distance(&g).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Vertex-transitivity checks.
+//!
+//! §2 property 1: "Each node is symmetrical to every other node" —
+//! i.e. the star graph is vertex-transitive. For small graphs we
+//! verify this *exactly* by exhibiting, for every vertex `v`, a graph
+//! automorphism mapping a base vertex to `v` (backtracking search with
+//! BFS-level pruning). For larger graphs the cheap necessary condition
+//! (identical per-node distance profiles) is exposed separately.
+//! `sg-star` additionally verifies the *algebraic* automorphisms
+//! (left translations of the Cayley graph) directly.
+
+use crate::bfs::bfs;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Necessary condition for vertex-transitivity: every node sees the
+/// same multiset of distances to all other nodes. Cheap (`n` BFS
+/// sweeps) but not sufficient in general.
+#[must_use]
+pub fn distance_profiles_identical(g: &CsrGraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let profile = |v: NodeId| {
+        let mut d = bfs(g, v).dist;
+        d.sort_unstable();
+        d
+    };
+    let base = profile(0);
+    (1..n as NodeId).all(|v| profile(v) == base)
+}
+
+/// Searches for a graph automorphism `φ` with `φ(u) = v`.
+/// Returns the full vertex map on success.
+///
+/// Backtracking over vertices in BFS order from `u`, pruning by
+/// degree, BFS level (`dist(u, x) = dist(v, φ(x))`), and adjacency
+/// consistency with all previously assigned vertices. Exponential in
+/// the worst case — intended for graphs of ≲ a few hundred nodes
+/// (asymmetric inputs fail fast at the first level).
+#[must_use]
+pub fn find_automorphism(g: &CsrGraph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    if g.degree(u) != g.degree(v) {
+        return None;
+    }
+    let du = bfs(g, u).dist;
+    let dv = bfs(g, v).dist;
+    {
+        let mut a = du.clone();
+        let mut b = dv.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        if a != b {
+            return None;
+        }
+    }
+    // Assign vertices in BFS order from u: each new vertex has an
+    // already-assigned neighbor, which sharply restricts candidates.
+    let order = {
+        let mut idx: Vec<NodeId> = (0..n as NodeId).collect();
+        idx.sort_by_key(|&x| du[x as usize]);
+        idx
+    };
+    let mut image = vec![NodeId::MAX; n]; // φ
+    let mut used = vec![false; n];
+    image[u as usize] = v;
+    used[v as usize] = true;
+
+    fn consistent(g: &CsrGraph, image: &[NodeId], x: NodeId, w: NodeId) -> bool {
+        // Adjacency (and non-adjacency) with every assigned vertex must
+        // be preserved. Checking x's full row suffices when done for
+        // every newly assigned vertex.
+        for y in 0..image.len() as NodeId {
+            let fy = image[y as usize];
+            if fy == NodeId::MAX || y == x {
+                continue;
+            }
+            if g.has_edge(x, y) != g.has_edge(w, fy) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn backtrack(
+        g: &CsrGraph,
+        order: &[NodeId],
+        pos: usize,
+        du: &[u32],
+        dv: &[u32],
+        image: &mut Vec<NodeId>,
+        used: &mut Vec<bool>,
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let x = order[pos];
+        if image[x as usize] != NodeId::MAX {
+            return backtrack(g, order, pos + 1, du, dv, image, used);
+        }
+        for w in 0..g.node_count() as NodeId {
+            if used[w as usize]
+                || g.degree(w) != g.degree(x)
+                || dv[w as usize] != du[x as usize]
+                || !consistent(g, image, x, w)
+            {
+                continue;
+            }
+            image[x as usize] = w;
+            used[w as usize] = true;
+            if backtrack(g, order, pos + 1, du, dv, image, used) {
+                return true;
+            }
+            image[x as usize] = NodeId::MAX;
+            used[w as usize] = false;
+        }
+        false
+    }
+
+    backtrack(g, &order, 0, &du, &dv, &mut image, &mut used).then_some(image)
+}
+
+/// Exact vertex-transitivity: exhibits an automorphism `0 ↦ v` for
+/// every `v`. Exponential worst case; use on small graphs only.
+#[must_use]
+pub fn is_vertex_transitive(g: &CsrGraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    if g.regular_degree().is_none() {
+        return false;
+    }
+    (1..n as NodeId).all(|v| find_automorphism(g, 0, v).is_some())
+}
+
+/// Verifies that an explicit vertex map is an automorphism (a
+/// bijection preserving adjacency both ways).
+#[must_use]
+pub fn is_automorphism(g: &CsrGraph, map: &[NodeId]) -> bool {
+    let n = g.node_count();
+    if map.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &w in map {
+        if (w as usize) >= n || seen[w as usize] {
+            return false;
+        }
+        seen[w as usize] = true;
+    }
+    g.edges().all(|(a, b)| g.has_edge(map[a as usize], map[b as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn cycle_is_vertex_transitive() {
+        assert!(is_vertex_transitive(&builders::cycle_graph(7)));
+    }
+
+    #[test]
+    fn path_is_not_vertex_transitive() {
+        assert!(!is_vertex_transitive(&builders::path_graph(4)));
+        assert!(!distance_profiles_identical(&builders::path_graph(4)));
+    }
+
+    #[test]
+    fn hypercube_is_vertex_transitive() {
+        assert!(is_vertex_transitive(&builders::hypercube(3)));
+    }
+
+    #[test]
+    fn star_graph_s4_is_vertex_transitive() {
+        // §2 property 1 for the Figure-2 graph.
+        let g = builders::star_graph(4);
+        assert!(distance_profiles_identical(&g));
+        assert!(is_vertex_transitive(&g));
+    }
+
+    #[test]
+    fn mesh_2x3_is_not_vertex_transitive() {
+        let g = builders::mesh(&[2, 3]);
+        assert!(!is_vertex_transitive(&g));
+    }
+
+    #[test]
+    fn explicit_automorphism_check() {
+        let g = builders::cycle_graph(5);
+        // Rotation by 1 is an automorphism; an arbitrary non-bijection
+        // or adjacency-breaking map is not.
+        let rot: Vec<NodeId> = (0..5).map(|v| (v + 1) % 5).collect();
+        assert!(is_automorphism(&g, &rot));
+        assert!(!is_automorphism(&g, &[0, 0, 1, 2, 3]));
+        let swap02: Vec<NodeId> = vec![2, 1, 0, 3, 4];
+        assert!(!is_automorphism(&g, &swap02));
+    }
+
+    #[test]
+    fn found_automorphisms_are_valid() {
+        let g = builders::star_graph(3); // 6-cycle
+        for v in 0..6 {
+            let m = find_automorphism(&g, 0, v).expect("vertex-transitive");
+            assert!(is_automorphism(&g, &m));
+            assert_eq!(m[0], v);
+        }
+    }
+
+    #[test]
+    fn automorphism_respects_degree_mismatch() {
+        // K_1,3: center has degree 3, leaves 1.
+        let g = crate::csr::CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert!(find_automorphism(&g, 0, 1).is_none());
+        assert!(find_automorphism(&g, 1, 2).is_some());
+    }
+}

@@ -1,0 +1,66 @@
+//! Text renderings of graphs for the figure regenerators.
+//!
+//! Figures 2 and 3 of the paper are drawings of `S_4` and the `2×3×4`
+//! mesh. We regenerate them as labelled adjacency lists and Graphviz
+//! DOT documents (deterministic ordering, so output is diffable).
+
+use crate::csr::{CsrGraph, NodeId};
+use std::fmt::Write as _;
+
+/// Renders the graph as a Graphviz DOT document with caller-supplied
+/// node labels.
+#[must_use]
+pub fn to_dot<F>(g: &CsrGraph, name: &str, mut label: F) -> String
+where
+    F: FnMut(NodeId) -> String,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for v in 0..g.node_count() as NodeId {
+        let _ = writeln!(out, "  n{v} [label=\"{}\"];", label(v));
+    }
+    for (a, b) in g.edges() {
+        let _ = writeln!(out, "  n{a} -- n{b};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a labelled adjacency list, one node per line:
+/// `label: neighbor, neighbor, …`.
+#[must_use]
+pub fn to_adjacency_list<F>(g: &CsrGraph, mut label: F) -> String
+where
+    F: FnMut(NodeId) -> String,
+{
+    let mut out = String::new();
+    for v in 0..g.node_count() as NodeId {
+        let nbrs: Vec<String> = g.neighbors(v).iter().map(|&w| label(w)).collect();
+        let _ = writeln!(out, "{}: {}", label(v), nbrs.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn dot_contains_all_edges_once() {
+        let g = builders::cycle_graph(4);
+        let dot = to_dot(&g, "c4", |v| format!("v{v}"));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.contains("graph c4 {"));
+        assert!(dot.contains("n0 [label=\"v0\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn adjacency_list_is_deterministic_and_complete() {
+        let g = builders::path_graph(3);
+        let s = to_adjacency_list(&g, |v| v.to_string());
+        assert_eq!(s, "0: 1\n1: 0, 2\n2: 1\n");
+    }
+}

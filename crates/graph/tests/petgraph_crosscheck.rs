@@ -1,0 +1,59 @@
+//! Cross-validates our CSR/BFS implementation against petgraph, an
+//! independent graph library (dev-dependency only; nothing in the
+//! shipped library path depends on it).
+
+use petgraph::algo::dijkstra;
+use petgraph::graph::{NodeIndex, UnGraph};
+use sg_graph::bfs::bfs;
+use sg_graph::{builders, CsrGraph};
+
+fn to_petgraph(g: &CsrGraph) -> UnGraph<(), ()> {
+    let mut pg = UnGraph::<(), ()>::new_undirected();
+    let nodes: Vec<NodeIndex> = (0..g.node_count()).map(|_| pg.add_node(())).collect();
+    for (a, b) in g.edges() {
+        pg.add_edge(nodes[a as usize], nodes[b as usize], ());
+    }
+    pg
+}
+
+fn check_distances_match(g: &CsrGraph) {
+    let pg = to_petgraph(g);
+    for src in 0..g.node_count().min(50) {
+        let ours = bfs(g, src as u32);
+        let theirs = dijkstra(&pg, NodeIndex::new(src), None, |_| 1u32);
+        for v in 0..g.node_count() {
+            let pd = theirs.get(&NodeIndex::new(v)).copied();
+            match pd {
+                Some(d) => assert_eq!(ours.dist[v], d, "src {src} dst {v}"),
+                None => assert_eq!(ours.dist[v], sg_graph::bfs::UNREACHABLE),
+            }
+        }
+    }
+}
+
+#[test]
+fn bfs_matches_petgraph_on_star_graph() {
+    check_distances_match(&builders::star_graph(4));
+    check_distances_match(&builders::star_graph(5));
+}
+
+#[test]
+fn bfs_matches_petgraph_on_meshes() {
+    check_distances_match(&builders::mesh(&[2, 3, 4]));
+    check_distances_match(&builders::mesh(&[5, 5]));
+    check_distances_match(&builders::torus(&[4, 3]));
+}
+
+#[test]
+fn bfs_matches_petgraph_on_hypercube_and_bubblesort() {
+    check_distances_match(&builders::hypercube(5));
+    check_distances_match(&builders::bubble_sort_graph(4));
+}
+
+#[test]
+fn connected_components_agree() {
+    let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+    let pg = to_petgraph(&g);
+    assert_eq!(petgraph::algo::connected_components(&pg), 3);
+    assert!(!sg_graph::bfs::is_connected(&g));
+}

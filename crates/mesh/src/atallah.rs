@@ -1,0 +1,214 @@
+//! Empirical U-on-R simulation ([ATAL88], paper §4).
+//!
+//! Theorems 7–8 bound the cost of simulating a uniform mesh `U`
+//! (extent `u` in each of `d` dimensions) on a rectangular mesh `R`
+//! (`l_1 × ⋯ × l_d`). The simulation maps `U` onto `R` by proportional
+//! coordinate scaling — `x_i ↦ ⌊x_i · l_i / u⌋` — so each `R` node
+//! hosts a contiguous block of `U` nodes, and a `U` unit route becomes
+//! block-internal moves (free) plus messages crossing block boundaries
+//! (serialized per `R` edge, one per unit route).
+//!
+//! This module *measures* that cost: for each `U` dimension it counts
+//! the maximum number of messages any single directed `R` edge must
+//! carry — the number of `R` unit routes needed under store-and-
+//! forward — so the paper's asymptotic claims get concrete numbers.
+
+use crate::coords::MeshPoint;
+use crate::shape::MeshShape;
+use crate::uniform::UniformMesh;
+use std::collections::HashMap;
+
+/// The block mapping from a uniform mesh onto a rectangular mesh of
+/// the same dimensionality.
+#[derive(Debug, Clone)]
+pub struct BlockMap {
+    /// The uniform source mesh `U`.
+    pub u: UniformMesh,
+    /// The rectangular target mesh `R`.
+    pub r: MeshShape,
+}
+
+impl BlockMap {
+    /// Creates the proportional block mapping. Extents of `R` may be
+    /// smaller *or larger* than `U`'s side: a shorter `R` dimension
+    /// packs several `U` layers per node, a longer one stretches a `U`
+    /// hop across several `R` edges (both occur for the Appendix
+    /// factorizations, e.g. `48 × 15` vs `27 × 27`).
+    ///
+    /// # Panics
+    /// Panics if dimensionalities differ.
+    #[must_use]
+    pub fn new(u: UniformMesh, r: MeshShape) -> Self {
+        assert_eq!(u.d, r.dims(), "U and R must have equal dimensionality");
+        BlockMap { u, r }
+    }
+
+    /// Image in `R` of the `U` point with ascending coordinates `x`.
+    #[must_use]
+    pub fn map_ascending(&self, x: &[u32]) -> MeshPoint {
+        debug_assert_eq!(x.len(), self.u.d);
+        let coords: Vec<u32> = x
+            .iter()
+            .enumerate()
+            .map(|(k, &xi)| {
+                ((xi as u64 * self.r.extent(k + 1) as u64) / self.u.side as u64) as u32
+            })
+            .collect();
+        MeshPoint::from_ascending(&coords).expect("nonempty")
+    }
+
+    /// Per-`R`-node load statistics `(min, max)` over all `R` nodes —
+    /// Theorem 7's `O(…)` hides exactly this max.
+    ///
+    /// Enumerates all `u^d` nodes of `U`; intended for laptop-scale
+    /// shapes (`u^d ≲ 10⁷`).
+    #[must_use]
+    pub fn load_stats(&self) -> (u64, u64) {
+        let mut load: HashMap<u64, u64> = HashMap::new();
+        let ushape = self.u.shape();
+        for idx in 0..ushape.size() {
+            let x = ushape.point_at(idx);
+            let rpt = self.map_ascending(x.ascending());
+            *load.entry(self.r.index_of(&rpt)).or_insert(0) += 1;
+        }
+        // R nodes receiving no U node count as zero load.
+        let populated = load.len() as u64;
+        let min = if populated < self.r.size() {
+            0
+        } else {
+            *load.values().min().expect("nonempty")
+        };
+        let max = *load.values().max().expect("nonempty");
+        (min, max)
+    }
+
+    /// Measures the `R` unit routes required to simulate one `U` unit
+    /// route along dimension `dim` (1-based) in the `+` direction:
+    /// the maximum, over directed `R` edges, of `U` messages crossing
+    /// that edge (block-internal messages are free). A message whose
+    /// image moves several `R` hops (stretched dimension) loads every
+    /// edge on its segment.
+    ///
+    /// Enumerates all `u^d` messages; laptop-scale shapes only.
+    #[must_use]
+    pub fn route_congestion(&self, dim: usize) -> u64 {
+        assert!(dim >= 1 && dim <= self.u.d, "dimension out of range");
+        let ushape = self.u.shape();
+        let mut crossing: HashMap<(u64, u32), u64> = HashMap::new();
+        for idx in 0..ushape.size() {
+            let x = ushape.point_at(idx);
+            if x.d(dim) as usize + 1 >= self.u.side {
+                continue; // boundary: no message
+            }
+            let src_r = self.map_ascending(x.ascending());
+            let dst_u = x.with_d(dim, x.d(dim) + 1);
+            let dst_r = self.map_ascending(dst_u.ascending());
+            // Images differ only along `dim` (per-dimension scaling).
+            let (a, b) = (src_r.d(dim), dst_r.d(dim));
+            debug_assert!(a <= b);
+            for c in a..b {
+                // Directed edge (…, c, …) -> (…, c+1, …) along `dim`,
+                // keyed by the base node index and the coordinate.
+                let key = (self.r.index_of(&src_r.with_d(dim, 0)), c);
+                *crossing.entry(key).or_insert(0) += 1;
+            }
+        }
+        crossing.values().copied().max().unwrap_or(0)
+    }
+
+    /// Worst-case measured slowdown over all dimensions.
+    #[must_use]
+    pub fn worst_route_congestion(&self) -> u64 {
+        (1..=self.u.d).map(|dim| self.route_congestion(dim)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factorization::factorize;
+    use crate::uniform::thm8_slowdown;
+
+    fn rshape(extents: &[u64]) -> MeshShape {
+        MeshShape::new(&extents.iter().map(|&x| x as usize).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn identity_mapping_when_equal() {
+        // U = R: every block holds exactly one node; zero crossing cost
+        // means one R route per U route (congestion 1).
+        let u = UniformMesh::new(2, 6);
+        let map = BlockMap::new(u, rshape(&[6, 6]));
+        assert_eq!(map.load_stats(), (1, 1));
+        assert_eq!(map.route_congestion(1), 1);
+        assert_eq!(map.route_congestion(2), 1);
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_monotone() {
+        let u = UniformMesh::new(1, 10);
+        let map = BlockMap::new(u, rshape(&[4]));
+        let images: Vec<u32> =
+            (0..10).map(|x| map.map_ascending(&[x]).d(1)).collect();
+        // Non-decreasing, covers 0..4.
+        assert!(images.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(images[0], 0);
+        assert_eq!(images[9], 3);
+    }
+
+    #[test]
+    fn load_balance_within_factor_two() {
+        let u = UniformMesh::new(2, 9);
+        let map = BlockMap::new(u, rshape(&[4, 3]));
+        let (min, max) = map.load_stats();
+        assert!(min >= 1);
+        assert!(max <= 2 * min.max(1) + 2, "min={min} max={max}");
+        // Total conservation: 81 U nodes distributed.
+        assert_eq!(u.size(), 81);
+    }
+
+    #[test]
+    fn congestion_grows_with_block_cross_section() {
+        // 1D: blocks of ~u/l nodes; exactly one message crosses each
+        // block boundary, so congestion 1.
+        let u1 = UniformMesh::new(1, 12);
+        let m1 = BlockMap::new(u1, rshape(&[3]));
+        assert_eq!(m1.route_congestion(1), 1);
+
+        // 2D 12x12 on 3x3: each block is 4x4; messages crossing a
+        // vertical boundary = 4 (the cross-section).
+        let u2 = UniformMesh::new(2, 12);
+        let m2 = BlockMap::new(u2, rshape(&[3, 3]));
+        assert_eq!(m2.route_congestion(1), 4);
+        assert_eq!(m2.route_congestion(2), 4);
+    }
+
+    #[test]
+    fn appendix_2d_factorization_beats_full_dimension() {
+        // n = 6, N = 720. The Appendix's d = 2 factorization is
+        // 48 × 15; the nearest 2-D uniform mesh is 27 × 27. Measured
+        // slowdown should be a small constant, far below the
+        // Theorem-8 bound for simulating the full (n-1)-dimensional
+        // uniform mesh on D_6 — the paper's motivation for dropping
+        // to a lower dimension.
+        let n = 6;
+        let ext = factorize(n, 2);
+        assert_eq!(ext, vec![48, 15]);
+        let u = UniformMesh::nearest(720, 2); // 27 x 27
+        let map = BlockMap::new(u, rshape(&ext));
+        let measured = map.worst_route_congestion();
+        assert!(measured >= 1);
+        let bound_full_d =
+            thm8_slowdown(&MeshShape::new(&(2..=n).collect::<Vec<_>>()).unwrap());
+        assert!(
+            (measured as f64) < bound_full_d,
+            "measured {measured} vs full-d Theorem-8 bound {bound_full_d}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn dimension_mismatch_rejected() {
+        let _ = BlockMap::new(UniformMesh::new(2, 4), rshape(&[4]));
+    }
+}

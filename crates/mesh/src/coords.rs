@@ -1,0 +1,224 @@
+//! Mesh coordinate tuples.
+
+use core::fmt;
+
+/// A point of an `m`-dimensional mesh.
+///
+/// The paper writes mesh nodes as `(d_m, d_{m-1}, …, d_1)` — most
+/// significant dimension first. [`MeshPoint::new`] takes exactly that
+/// display order; internally coordinates are stored ascending
+/// (`coords[k] = d_{k+1}`), matching mixed-radix node indices where
+/// dimension 1 varies fastest.
+///
+/// ```
+/// use sg_mesh::MeshPoint;
+/// let p = MeshPoint::new(&[3, 0, 1]).unwrap(); // the paper's (3,0,1)
+/// assert_eq!(p.d(1), 1);
+/// assert_eq!(p.d(3), 3);
+/// assert_eq!(p.to_string(), "(3,0,1)");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MeshPoint {
+    coords: Vec<u32>,
+}
+
+/// Errors constructing mesh points / shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// Empty coordinate / extent list.
+    Empty,
+    /// A coordinate is out of range for its dimension's extent.
+    CoordOutOfRange {
+        /// 1-based dimension index.
+        dim: usize,
+        /// Offending coordinate.
+        coord: u32,
+        /// Extent of that dimension.
+        extent: usize,
+    },
+    /// An extent of zero was supplied.
+    ZeroExtent {
+        /// 1-based dimension index.
+        dim: usize,
+    },
+    /// Dimension count mismatch between a point and a shape.
+    DimMismatch {
+        /// dimensions of the point
+        point: usize,
+        /// dimensions of the shape
+        shape: usize,
+    },
+    /// A node index `>=` the shape's size.
+    IndexOutOfRange {
+        /// Offending index.
+        index: u64,
+        /// Shape size.
+        size: u64,
+    },
+    /// Shape size overflows `u64`.
+    TooLarge,
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::Empty => write!(f, "mesh needs at least one dimension"),
+            MeshError::CoordOutOfRange { dim, coord, extent } => {
+                write!(f, "coordinate d_{dim} = {coord} out of range 0..{extent}")
+            }
+            MeshError::ZeroExtent { dim } => write!(f, "dimension {dim} has extent 0"),
+            MeshError::DimMismatch { point, shape } => {
+                write!(f, "point has {point} dimensions, shape has {shape}")
+            }
+            MeshError::IndexOutOfRange { index, size } => {
+                write!(f, "node index {index} >= mesh size {size}")
+            }
+            MeshError::TooLarge => write!(f, "mesh size overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+impl MeshPoint {
+    /// Builds a point from the paper's display order
+    /// `(d_m, …, d_1)` (most significant first).
+    ///
+    /// # Errors
+    /// [`MeshError::Empty`] on an empty slice.
+    pub fn new(display_order: &[u32]) -> Result<Self, MeshError> {
+        if display_order.is_empty() {
+            return Err(MeshError::Empty);
+        }
+        let mut coords = display_order.to_vec();
+        coords.reverse();
+        Ok(MeshPoint { coords })
+    }
+
+    /// Builds a point from ascending dimension order
+    /// (`coords[k] = d_{k+1}`, dimension 1 first).
+    ///
+    /// # Errors
+    /// [`MeshError::Empty`] on an empty slice.
+    pub fn from_ascending(coords: &[u32]) -> Result<Self, MeshError> {
+        if coords.is_empty() {
+            return Err(MeshError::Empty);
+        }
+        Ok(MeshPoint { coords: coords.to_vec() })
+    }
+
+    /// Number of dimensions `m`.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate along dimension `i` (1-based, the paper's `d_i`).
+    ///
+    /// # Panics
+    /// Panics if `i` is 0 or exceeds the dimension count.
+    #[inline]
+    #[must_use]
+    pub fn d(&self, i: usize) -> u32 {
+        assert!(i >= 1 && i <= self.coords.len(), "dimension {i} out of range");
+        self.coords[i - 1]
+    }
+
+    /// Ascending coordinate slice (`[d_1, d_2, …]`).
+    #[inline]
+    #[must_use]
+    pub fn ascending(&self) -> &[u32] {
+        &self.coords
+    }
+
+    /// Returns a copy with `d_i` replaced by `value`.
+    #[must_use]
+    pub fn with_d(&self, i: usize, value: u32) -> Self {
+        assert!(i >= 1 && i <= self.coords.len(), "dimension {i} out of range");
+        let mut c = self.clone();
+        c.coords[i - 1] = value;
+        c
+    }
+
+    /// L1 (Manhattan) distance to another point of the same
+    /// dimensionality — the mesh hop distance.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn l1_distance(&self, other: &Self) -> u64 {
+        assert_eq!(self.dims(), other.dims(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+            .sum()
+    }
+}
+
+impl fmt::Debug for MeshPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Displays in the paper's style: `(d_m,…,d_1)`.
+impl fmt::Display for MeshPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, c) in self.coords.iter().rev().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_paper_order() {
+        let p = MeshPoint::new(&[2, 1, 0, 1]).unwrap();
+        assert_eq!(p.to_string(), "(2,1,0,1)");
+        assert_eq!(p.d(1), 1);
+        assert_eq!(p.d(2), 0);
+        assert_eq!(p.d(3), 1);
+        assert_eq!(p.d(4), 2);
+    }
+
+    #[test]
+    fn ascending_and_display_agree() {
+        let p = MeshPoint::new(&[3, 0, 1]).unwrap();
+        assert_eq!(p.ascending(), &[1, 0, 3]);
+        let q = MeshPoint::from_ascending(&[1, 0, 3]).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn with_d_replaces_single_coordinate() {
+        let p = MeshPoint::new(&[3, 0, 1]).unwrap();
+        let q = p.with_d(2, 2);
+        assert_eq!(q.to_string(), "(3,2,1)");
+        assert_eq!(p.to_string(), "(3,0,1)"); // original untouched
+    }
+
+    #[test]
+    fn l1_distance() {
+        let a = MeshPoint::new(&[0, 0, 0]).unwrap();
+        let b = MeshPoint::new(&[3, 2, 1]).unwrap();
+        assert_eq!(a.l1_distance(&b), 6);
+        assert_eq!(b.l1_distance(&a), 6);
+        assert_eq!(a.l1_distance(&a), 0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(MeshPoint::new(&[]), Err(MeshError::Empty));
+        assert_eq!(MeshPoint::from_ascending(&[]), Err(MeshError::Empty));
+    }
+}

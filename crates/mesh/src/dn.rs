@@ -1,0 +1,182 @@
+//! The paper's mesh `D_n` of shape `2 × 3 × 4 × ⋯ × n`.
+//!
+//! `D_n` has `n−1` dimensions with `l_i = i + 1` (dimension `i` holds
+//! coordinates `0..=i`), hence `|D_n| = n!` — the same cardinality as
+//! the star graph `S_n`, which is what makes an expansion-1 embedding
+//! possible. Its node indices coincide with *factoradic* values:
+//! `index(d) = Σ d_i · i!`.
+
+use crate::coords::{MeshError, MeshPoint};
+use crate::shape::MeshShape;
+use sg_perm::factorial::factorial;
+use sg_perm::MAX_N;
+
+/// The mesh `D_n` (paper §3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnMesh {
+    n: usize,
+    shape: MeshShape,
+}
+
+impl DnMesh {
+    /// Creates `D_n` for `2 ≤ n ≤ 20`.
+    ///
+    /// # Panics
+    /// Panics outside that range (`n = 2` is the 1-dimensional mesh of
+    /// two nodes; `n!` must fit in `u64`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!((2..=MAX_N).contains(&n), "D_n requires 2 <= n <= {MAX_N}");
+        let extents: Vec<usize> = (2..=n).collect();
+        DnMesh { n, shape: MeshShape::new(&extents).expect("valid extents") }
+    }
+
+    /// The star-graph order `n` this mesh pairs with.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Underlying general mesh shape (`n−1` dimensions).
+    #[inline]
+    #[must_use]
+    pub fn shape(&self) -> &MeshShape {
+        &self.shape
+    }
+
+    /// Number of dimensions: `n − 1`.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Number of nodes: `n!`.
+    #[inline]
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        factorial(self.n)
+    }
+
+    /// Maximum node degree `2n − 3`, attained by `(1, 1, …, 1)`
+    /// (used in the paper's Lemma 1).
+    #[inline]
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        2 * self.n - 3
+    }
+
+    /// Node index of a point — equal to its factoradic value.
+    ///
+    /// # Panics
+    /// Panics if the point is outside `D_n`.
+    #[must_use]
+    pub fn index_of(&self, p: &MeshPoint) -> u64 {
+        self.shape.index_of(p)
+    }
+
+    /// Point with the given index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= n!`.
+    #[must_use]
+    pub fn point_at(&self, idx: u64) -> MeshPoint {
+        self.shape.point_at(idx)
+    }
+
+    /// Converts a point to factoradic digits `[0, d_1, d_2, …, d_{n−1}]`
+    /// (digit `i` is the paper's `d_i`; digit 0 is structurally 0).
+    ///
+    /// # Errors
+    /// Propagates validation failures.
+    pub fn to_digits(&self, p: &MeshPoint) -> Result<Vec<u8>, MeshError> {
+        self.shape.check(p)?;
+        let mut digits = vec![0u8; self.n];
+        for (k, &c) in p.ascending().iter().enumerate() {
+            digits[k + 1] = c as u8;
+        }
+        Ok(digits)
+    }
+
+    /// Builds a point from factoradic digits (inverse of
+    /// [`DnMesh::to_digits`]).
+    ///
+    /// # Panics
+    /// Panics if the digit vector has the wrong length or an out-of-
+    /// range digit.
+    #[must_use]
+    pub fn from_digits(&self, digits: &[u8]) -> MeshPoint {
+        assert_eq!(digits.len(), self.n, "need n digits (digit 0 unused)");
+        assert_eq!(digits[0], 0, "digit 0 has radix 1");
+        let coords: Vec<u32> = digits[1..].iter().map(|&d| u32::from(d)).collect();
+        let p = MeshPoint::from_ascending(&coords).expect("nonempty");
+        self.shape.check(&p).expect("digit out of range");
+        p
+    }
+
+    /// Iterator over all points in index (= factoradic) order.
+    pub fn points(&self) -> impl Iterator<Item = MeshPoint> + '_ {
+        self.shape.points()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_perm::factorial::{from_factoradic, to_factoradic};
+
+    #[test]
+    fn d4_matches_figure3_shape() {
+        let d4 = DnMesh::new(4);
+        assert_eq!(d4.dims(), 3);
+        assert_eq!(d4.node_count(), 24);
+        assert_eq!(d4.shape().extents(), &[2, 3, 4]);
+        assert_eq!(d4.max_degree(), 5);
+    }
+
+    #[test]
+    fn index_equals_factoradic_value() {
+        let d5 = DnMesh::new(5);
+        for idx in 0..d5.node_count() {
+            let p = d5.point_at(idx);
+            let digits = d5.to_digits(&p).unwrap();
+            assert_eq!(from_factoradic(&digits).unwrap(), idx);
+            let digits2 = to_factoradic(idx, 5).unwrap();
+            assert_eq!(digits, digits2);
+            assert_eq!(d5.from_digits(&digits), p);
+        }
+    }
+
+    #[test]
+    fn all_ones_attains_max_degree() {
+        // Lemma 1's witness: node (1,1,…,1) has degree 2n-3.
+        for n in 3..=7usize {
+            let dn = DnMesh::new(n);
+            let ones = MeshPoint::from_ascending(&vec![1; n - 1]).unwrap();
+            assert_eq!(dn.shape().degree(&ones), dn.max_degree(), "n={n}");
+            assert_eq!(dn.shape().max_degree(), dn.max_degree(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lemma1_degree_inequality() {
+        // 2n - 3 > n - 1  ⟺  n > 2: no dilation-1 embedding beyond n=2.
+        assert!(DnMesh::new(2).max_degree() <= 1); // n=2: degree 1 <= star degree 1
+        for n in 3..=10usize {
+            assert!(DnMesh::new(n).max_degree() > n - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn point_count_matches_iterator() {
+        let d4 = DnMesh::new(4);
+        assert_eq!(d4.points().count() as u64, d4.node_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "D_n requires")]
+    fn rejects_n1() {
+        let _ = DnMesh::new(1);
+    }
+}

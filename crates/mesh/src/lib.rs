@@ -1,0 +1,32 @@
+//! # sg-mesh — mesh topologies
+//!
+//! The mesh side of the paper's embedding:
+//!
+//! * [`shape::MeshShape`] — general `m`-dimensional mixed-radix mesh
+//!   shapes (§2 item 3), index ↔ coordinate conversion, neighbors;
+//! * [`coords::MeshPoint`] — coordinate tuples in the paper's
+//!   `(d_m, …, d_1)` display convention;
+//! * [`dn::DnMesh`] — the paper's mesh `D_n` of shape `2 × 3 × ⋯ × n`
+//!   whose node indices coincide with factoradic values;
+//! * [`uniform`] — uniform meshes `U = N^{1/d} × ⋯ × N^{1/d}` and the
+//!   block mapping used to simulate them on rectangular meshes
+//!   (§4, Theorems 7–9);
+//! * [`factorization`] — the Appendix's factorization of
+//!   `2·3⋯n` into `d` balanced extents and the optimal-dimension
+//!   cost model;
+//! * [`atallah`] — empirical route-congestion measurement for the
+//!   U-on-R simulation ([ATAL88]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atallah;
+pub mod coords;
+pub mod dn;
+pub mod factorization;
+pub mod shape;
+pub mod uniform;
+
+pub use coords::MeshPoint;
+pub use dn::DnMesh;
+pub use shape::MeshShape;

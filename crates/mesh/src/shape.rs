@@ -1,0 +1,340 @@
+//! General mixed-radix mesh shapes (§2 item 3).
+
+use crate::coords::{MeshError, MeshPoint};
+
+/// Direction of movement along a mesh dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// `d_i ↦ d_i + 1`.
+    Plus,
+    /// `d_i ↦ d_i − 1`.
+    Minus,
+}
+
+impl Sign {
+    /// Both directions, `Plus` first.
+    pub const BOTH: [Sign; 2] = [Sign::Plus, Sign::Minus];
+
+    /// The opposite direction.
+    #[must_use]
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// An `m`-dimensional mesh `D(l_m, …, l_1)` (paper notation), stored
+/// ascending: `extents[k] = l_{k+1}`. Node indices are mixed-radix
+/// values with dimension 1 varying fastest — identical to the node
+/// numbering of `sg_graph::builders::mesh`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshShape {
+    extents: Vec<usize>,
+    /// strides[k] = Π_{j<k} extents[j]
+    strides: Vec<u64>,
+    size: u64,
+}
+
+impl MeshShape {
+    /// Builds a shape from ascending extents `[l_1, l_2, …, l_m]`.
+    ///
+    /// # Errors
+    /// [`MeshError::Empty`], [`MeshError::ZeroExtent`] or
+    /// [`MeshError::TooLarge`].
+    pub fn new(extents: &[usize]) -> Result<Self, MeshError> {
+        if extents.is_empty() {
+            return Err(MeshError::Empty);
+        }
+        let mut strides = Vec::with_capacity(extents.len());
+        let mut acc: u64 = 1;
+        for (k, &l) in extents.iter().enumerate() {
+            if l == 0 {
+                return Err(MeshError::ZeroExtent { dim: k + 1 });
+            }
+            strides.push(acc);
+            acc = acc.checked_mul(l as u64).ok_or(MeshError::TooLarge)?;
+        }
+        Ok(MeshShape { extents: extents.to_vec(), strides, size: acc })
+    }
+
+    /// The paper's display order constructor: `MeshShape::from_display(&[l_m, …, l_1])`.
+    ///
+    /// # Errors
+    /// Same as [`MeshShape::new`].
+    pub fn from_display(extents_display: &[usize]) -> Result<Self, MeshError> {
+        let mut asc = extents_display.to_vec();
+        asc.reverse();
+        Self::new(&asc)
+    }
+
+    /// Number of dimensions `m`.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Extent `l_i` of dimension `i` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `i` is 0 or out of range.
+    #[inline]
+    #[must_use]
+    pub fn extent(&self, i: usize) -> usize {
+        assert!(i >= 1 && i <= self.extents.len(), "dimension {i} out of range");
+        self.extents[i - 1]
+    }
+
+    /// Ascending extents `[l_1, …, l_m]`.
+    #[inline]
+    #[must_use]
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Total number of nodes `Π l_i`.
+    #[inline]
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Mesh diameter `Σ (l_i − 1)` (corner to opposite corner).
+    #[must_use]
+    pub fn diameter(&self) -> u64 {
+        self.extents.iter().map(|&l| (l - 1) as u64).sum()
+    }
+
+    /// Maximum node degree: `Σ over dims of (1 if boundary-only else 2)`
+    /// achieved by an interior node, i.e. `Σ min(l_i − 1, 2)`.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.extents.iter().map(|&l| (l - 1).min(2)).sum()
+    }
+
+    /// `true` iff `p` is inside the shape.
+    #[must_use]
+    pub fn contains(&self, p: &MeshPoint) -> bool {
+        p.dims() == self.dims()
+            && p.ascending()
+                .iter()
+                .zip(&self.extents)
+                .all(|(&c, &l)| (c as usize) < l)
+    }
+
+    /// Validates `p` against the shape.
+    ///
+    /// # Errors
+    /// [`MeshError::DimMismatch`] or [`MeshError::CoordOutOfRange`].
+    pub fn check(&self, p: &MeshPoint) -> Result<(), MeshError> {
+        if p.dims() != self.dims() {
+            return Err(MeshError::DimMismatch { point: p.dims(), shape: self.dims() });
+        }
+        for (k, (&c, &l)) in p.ascending().iter().zip(&self.extents).enumerate() {
+            if c as usize >= l {
+                return Err(MeshError::CoordOutOfRange { dim: k + 1, coord: c, extent: l });
+            }
+        }
+        Ok(())
+    }
+
+    /// Mixed-radix node index of `p` (dimension 1 fastest).
+    ///
+    /// # Panics
+    /// Panics if `p` is not inside the shape.
+    #[must_use]
+    pub fn index_of(&self, p: &MeshPoint) -> u64 {
+        self.check(p).expect("point outside shape");
+        p.ascending()
+            .iter()
+            .zip(&self.strides)
+            .map(|(&c, &s)| u64::from(c) * s)
+            .sum()
+    }
+
+    /// Point with the given node index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= size()`.
+    #[must_use]
+    pub fn point_at(&self, idx: u64) -> MeshPoint {
+        assert!(idx < self.size, "index {idx} out of range (size {})", self.size);
+        let mut rest = idx;
+        let coords: Vec<u32> = self
+            .extents
+            .iter()
+            .map(|&l| {
+                let c = (rest % l as u64) as u32;
+                rest /= l as u64;
+                c
+            })
+            .collect();
+        MeshPoint::from_ascending(&coords).expect("nonempty")
+    }
+
+    /// Neighbor of `p` one step along dimension `dim` (1-based) in
+    /// direction `sign`, or `None` at the boundary.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside the shape or `dim` out of range.
+    #[must_use]
+    pub fn neighbor(&self, p: &MeshPoint, dim: usize, sign: Sign) -> Option<MeshPoint> {
+        self.check(p).expect("point outside shape");
+        let c = p.d(dim);
+        match sign {
+            Sign::Plus => {
+                ((c as usize) + 1 < self.extent(dim)).then(|| p.with_d(dim, c + 1))
+            }
+            Sign::Minus => (c > 0).then(|| p.with_d(dim, c - 1)),
+        }
+    }
+
+    /// All existing neighbors of `p`, dimension-major, `Plus` first.
+    #[must_use]
+    pub fn neighbors(&self, p: &MeshPoint) -> Vec<MeshPoint> {
+        (1..=self.dims())
+            .flat_map(|dim| {
+                Sign::BOTH.into_iter().filter_map(move |s| self.neighbor(p, dim, s))
+            })
+            .collect()
+    }
+
+    /// Degree of `p`.
+    #[must_use]
+    pub fn degree(&self, p: &MeshPoint) -> usize {
+        self.neighbors(p).len()
+    }
+
+    /// Iterator over all points in index order.
+    pub fn points(&self) -> impl Iterator<Item = MeshPoint> + '_ {
+        (0..self.size).map(|i| self.point_at(i))
+    }
+
+    /// Iterator over all undirected mesh edges as
+    /// `(point, dim, plus-neighbor)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (MeshPoint, usize, MeshPoint)> + '_ {
+        self.points().flat_map(move |p| {
+            (1..=self.dims())
+                .filter_map(move |dim| {
+                    self.neighbor(&p, dim, Sign::Plus).map(|q| (p.clone(), dim, q))
+                })
+                .collect::<Vec<_>>()
+        })
+    }
+
+    /// Materializes the CSR adjacency (node ids = mesh indices; matches
+    /// `sg_graph::builders::mesh` numbering).
+    #[must_use]
+    pub fn to_csr(&self) -> sg_graph::CsrGraph {
+        sg_graph::builders::mesh(&self.extents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape234() -> MeshShape {
+        // Figure 3: the 2*3*4 mesh, i.e. l_3 = 2, l_2 = 3, l_1 = 4.
+        MeshShape::from_display(&[2, 3, 4]).unwrap()
+    }
+
+    #[test]
+    fn display_constructor_reverses() {
+        let s = shape234();
+        assert_eq!(s.extents(), &[4, 3, 2]);
+        assert_eq!(s.extent(1), 4);
+        assert_eq!(s.extent(3), 2);
+        assert_eq!(s.size(), 24);
+        assert_eq!(s.diameter(), 6);
+        assert_eq!(s.max_degree(), 5); // 2 + 2 + 1
+    }
+
+    #[test]
+    fn index_point_roundtrip() {
+        let s = shape234();
+        for i in 0..s.size() {
+            let p = s.point_at(i);
+            assert!(s.contains(&p));
+            assert_eq!(s.index_of(&p), i);
+        }
+    }
+
+    #[test]
+    fn neighbor_semantics_and_boundaries() {
+        let s = shape234();
+        let origin = MeshPoint::new(&[0, 0, 0]).unwrap();
+        assert_eq!(s.neighbor(&origin, 1, Sign::Minus), None);
+        assert_eq!(
+            s.neighbor(&origin, 1, Sign::Plus),
+            Some(MeshPoint::new(&[0, 0, 1]).unwrap())
+        );
+        let corner = MeshPoint::new(&[1, 2, 3]).unwrap();
+        assert_eq!(s.neighbor(&corner, 1, Sign::Plus), None);
+        assert_eq!(s.neighbor(&corner, 2, Sign::Plus), None);
+        assert_eq!(s.neighbor(&corner, 3, Sign::Plus), None);
+        assert_eq!(s.degree(&corner), 3);
+        assert_eq!(s.degree(&origin), 3);
+    }
+
+    #[test]
+    fn neighbors_are_l1_distance_one() {
+        let s = shape234();
+        for p in s.points() {
+            for q in s.neighbors(&p) {
+                assert_eq!(p.l1_distance(&q), 1);
+                assert!(s.contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_matches_shape_adjacency() {
+        let s = shape234();
+        let g = s.to_csr();
+        assert_eq!(g.node_count() as u64, s.size());
+        for p in s.points() {
+            let i = s.index_of(&p) as u32;
+            let mut ours: Vec<u32> =
+                s.neighbors(&p).iter().map(|q| s.index_of(q) as u32).collect();
+            ours.sort_unstable();
+            assert_eq!(ours.as_slice(), g.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_figure3() {
+        let s = shape234();
+        assert_eq!(s.edges().count(), 46);
+    }
+
+    #[test]
+    fn interior_node_has_max_degree() {
+        let s = MeshShape::new(&[3, 3, 3]).unwrap();
+        let center = MeshPoint::new(&[1, 1, 1]).unwrap();
+        assert_eq!(s.degree(&center), s.max_degree());
+        assert_eq!(s.max_degree(), 6);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(MeshShape::new(&[]).is_err());
+        assert!(MeshShape::new(&[3, 0]).is_err());
+        let s = shape234();
+        let bad = MeshPoint::new(&[5, 0, 0]).unwrap();
+        assert!(matches!(
+            s.check(&bad),
+            Err(MeshError::CoordOutOfRange { dim: 3, coord: 5, extent: 2 })
+        ));
+        let wrong_dims = MeshPoint::new(&[0, 0]).unwrap();
+        assert!(matches!(s.check(&wrong_dims), Err(MeshError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn sign_flip() {
+        assert_eq!(Sign::Plus.flip(), Sign::Minus);
+        assert_eq!(Sign::Minus.flip(), Sign::Plus);
+    }
+}

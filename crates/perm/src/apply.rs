@@ -1,0 +1,122 @@
+//! Applying permutations to data buffers.
+//!
+//! The SIMD simulator moves register contents between PEs; a star
+//! generator route is a *global* permutation of the register file, so
+//! efficient in-place/out-of-place slice permutation is on the hot
+//! path of every simulated unit route.
+
+use crate::Perm;
+
+/// Gathers `src` through the permutation: `dst[i] = src[p[i]]`.
+///
+/// # Panics
+/// Panics if slice lengths differ from `p.len()`.
+pub fn gather<T: Copy>(p: &Perm, src: &[T], dst: &mut [T]) {
+    assert_eq!(src.len(), p.len(), "gather: src length mismatch");
+    assert_eq!(dst.len(), p.len(), "gather: dst length mismatch");
+    for (d, &s) in dst.iter_mut().zip(p.as_slice()) {
+        *d = src[s as usize];
+    }
+}
+
+/// Scatters `src` through the permutation: `dst[p[i]] = src[i]`.
+///
+/// # Panics
+/// Panics if slice lengths differ from `p.len()`.
+pub fn scatter<T: Copy>(p: &Perm, src: &[T], dst: &mut [T]) {
+    assert_eq!(src.len(), p.len(), "scatter: src length mismatch");
+    assert_eq!(dst.len(), p.len(), "scatter: dst length mismatch");
+    for (&s, &v) in p.as_slice().iter().zip(src) {
+        dst[s as usize] = v;
+    }
+}
+
+/// Permutes `data` in place so that the element at index `i` moves to
+/// index `p[i]` (in-place scatter), using cycle-following with O(n)
+/// time and O(n) scratch bits.
+///
+/// # Panics
+/// Panics if `data.len() != p.len()`.
+pub fn permute_in_place<T>(p: &Perm, data: &mut [T]) {
+    let n = p.len();
+    assert_eq!(data.len(), n, "permute_in_place: length mismatch");
+    let mut done = [false; crate::MAX_N];
+    for start in 0..n {
+        if done[start] || p.symbol_at(start) as usize == start {
+            done[start] = true;
+            continue;
+        }
+        // Rotate the cycle by repeatedly swapping against the leader
+        // slot: after the walk, data[p[i]] holds the original data[i]
+        // for every i on the cycle.
+        done[start] = true;
+        let mut cur = p.symbol_at(start) as usize;
+        while cur != start {
+            data.swap(start, cur);
+            done[cur] = true;
+            cur = p.symbol_at(cur) as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lehmer::unrank;
+    use crate::factorial::factorial;
+
+    #[test]
+    fn gather_then_inverse_gather_is_identity() {
+        let p = Perm::from_slice(&[2, 0, 3, 1]).unwrap();
+        let src = [10, 20, 30, 40];
+        let mut mid = [0; 4];
+        let mut back = [0; 4];
+        gather(&p, &src, &mut mid);
+        gather(&p.inverse(), &mid, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn scatter_is_inverse_of_gather() {
+        let p = Perm::from_slice(&[2, 0, 3, 1]).unwrap();
+        let src = [10, 20, 30, 40];
+        let mut g = [0; 4];
+        let mut s = [0; 4];
+        gather(&p, &src, &mut g);
+        scatter(&p, &g, &mut s);
+        assert_eq!(s, src);
+    }
+
+    #[test]
+    fn gather_semantics() {
+        let p = Perm::from_slice(&[1, 2, 0]).unwrap();
+        let src = ['a', 'b', 'c'];
+        let mut dst = ['?'; 3];
+        gather(&p, &src, &mut dst);
+        assert_eq!(dst, ['b', 'c', 'a']);
+    }
+
+    #[test]
+    fn scatter_semantics() {
+        let p = Perm::from_slice(&[1, 2, 0]).unwrap();
+        let src = ['a', 'b', 'c'];
+        let mut dst = ['?'; 3];
+        scatter(&p, &src, &mut dst);
+        assert_eq!(dst, ['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn in_place_matches_scatter_exhaustive() {
+        for n in 1..=5usize {
+            for r in 0..factorial(n) {
+                let p = unrank(r, n).unwrap();
+                let src: Vec<u32> = (0..n as u32).map(|x| 100 + x).collect();
+                let mut expected = vec![0u32; n];
+                scatter(&p, &src, &mut expected);
+                let mut data = src.clone();
+                permute_in_place(&p, &mut data);
+                assert_eq!(data, expected, "perm {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The factorial number system (factoradic) and factorial helpers.
+//!
+//! The star graph `S_n` has `n!` nodes and the mesh `D_n` of shape
+//! `2 × 3 × ⋯ × n` has `2·3⋯n = n!` nodes — the paper's expansion-1
+//! embedding is possible exactly because both sides count `n!`.
+//! Mixed-radix mesh coordinates `(d_{n-1}, …, d_1)` with `d_i ∈ 0..=i`
+//! are *precisely* factoradic digits, so this module is the numeric
+//! backbone of both node indexing schemes.
+
+use crate::{PermError, MAX_N};
+
+/// `FACTORIALS[k] = k!` for `k ≤ 20` (the largest factorial fitting in `u64`).
+pub const FACTORIALS: [u64; MAX_N + 1] = {
+    let mut t = [1u64; MAX_N + 1];
+    let mut k = 1;
+    while k <= MAX_N {
+        t[k] = t[k - 1] * k as u64;
+        k += 1;
+    }
+    t
+};
+
+/// `k!` as a `u64`.
+///
+/// # Panics
+/// Panics if `k > 20` (would overflow `u64`).
+#[inline]
+#[must_use]
+pub fn factorial(k: usize) -> u64 {
+    assert!(k <= MAX_N, "{k}! overflows u64");
+    FACTORIALS[k]
+}
+
+/// Checked `k!`: `None` if it would overflow `u64`.
+#[inline]
+#[must_use]
+pub fn checked_factorial(k: usize) -> Option<u64> {
+    (k <= MAX_N).then(|| FACTORIALS[k])
+}
+
+/// Falling factorial `n · (n-1) ⋯ (n-k+1)` (`k` terms), checked.
+#[must_use]
+pub fn falling_factorial(n: u64, k: u64) -> Option<u64> {
+    let mut acc: u64 = 1;
+    let mut i = 0;
+    while i < k {
+        let term = n.checked_sub(i)?;
+        acc = acc.checked_mul(term)?;
+        i += 1;
+    }
+    Some(acc)
+}
+
+/// Converts `value < n!` to factoradic digits `digits[i] ∈ 0..=i`
+/// for `i = 0..n` (digit `i` has radix `i+1`; digit 0 is always 0).
+///
+/// This is exactly the paper's mesh coordinate tuple: mesh node
+/// `(d_{n-1}, …, d_1)` of `D_n` corresponds to digits
+/// `d_i = digits[i]`.
+///
+/// # Errors
+/// [`PermError::RankOutOfRange`] if `value >= n!`;
+/// [`PermError::BadLength`] if `n` is 0 or exceeds [`MAX_N`].
+pub fn to_factoradic(value: u64, n: usize) -> crate::Result<Vec<u8>> {
+    if n == 0 || n > MAX_N {
+        return Err(PermError::BadLength(n));
+    }
+    if value >= FACTORIALS[n] {
+        return Err(PermError::RankOutOfRange { rank: value, n });
+    }
+    let mut digits = vec![0u8; n];
+    let mut rest = value;
+    // Peel digits from the most significant end: digit i has weight i!.
+    for i in (1..n).rev() {
+        let w = FACTORIALS[i];
+        digits[i] = (rest / w) as u8;
+        rest %= w;
+    }
+    debug_assert_eq!(rest, 0);
+    Ok(digits)
+}
+
+/// Inverse of [`to_factoradic`]: `Σ digits[i] · i!`.
+///
+/// # Errors
+/// [`PermError::BadLength`] for unsupported lengths, and
+/// [`PermError::SymbolOutOfRange`] if some `digits[i] > i`.
+pub fn from_factoradic(digits: &[u8]) -> crate::Result<u64> {
+    let n = digits.len();
+    if n == 0 || n > MAX_N {
+        return Err(PermError::BadLength(n));
+    }
+    let mut acc = 0u64;
+    for (i, &d) in digits.iter().enumerate() {
+        if d as usize > i {
+            return Err(PermError::SymbolOutOfRange { symbol: d, n });
+        }
+        acc += u64::from(d) * FACTORIALS[i];
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_iterative_product() {
+        let mut acc = 1u64;
+        for k in 1..=MAX_N {
+            acc *= k as u64;
+            assert_eq!(factorial(k), acc);
+        }
+        assert_eq!(factorial(0), 1);
+    }
+
+    #[test]
+    fn twenty_is_the_last_u64_factorial() {
+        assert_eq!(checked_factorial(20), Some(2_432_902_008_176_640_000));
+        assert_eq!(checked_factorial(21), None);
+        // 21! would overflow: 20! * 21 > u64::MAX.
+        assert!(factorial(20).checked_mul(21).is_none());
+    }
+
+    #[test]
+    fn falling_factorial_basics() {
+        assert_eq!(falling_factorial(5, 0), Some(1));
+        assert_eq!(falling_factorial(5, 2), Some(20));
+        assert_eq!(falling_factorial(5, 5), Some(120));
+        assert_eq!(falling_factorial(5, 6), Some(0)); // hits the 5-5 = 0 term
+        assert_eq!(falling_factorial(5, 7), None); // 5 - 6 underflows
+        assert_eq!(falling_factorial(u64::MAX, 2), None); // overflow
+    }
+
+    #[test]
+    fn factoradic_roundtrip_exhaustive_small() {
+        for n in 1..=6usize {
+            for v in 0..factorial(n) {
+                let d = to_factoradic(v, n).unwrap();
+                assert_eq!(d.len(), n);
+                assert_eq!(d[0], 0, "digit 0 has radix 1");
+                for (i, &di) in d.iter().enumerate() {
+                    assert!(di as usize <= i);
+                }
+                assert_eq!(from_factoradic(&d).unwrap(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn factoradic_rejects_out_of_range() {
+        assert!(matches!(
+            to_factoradic(6, 3),
+            Err(PermError::RankOutOfRange { rank: 6, n: 3 })
+        ));
+        assert!(to_factoradic(0, 0).is_err());
+        assert!(from_factoradic(&[0, 2]).is_err()); // digit 1 must be <= 1
+    }
+
+    #[test]
+    fn factoradic_is_monotone_in_value() {
+        // Lexicographic order of reversed digit strings == numeric order.
+        let n = 5;
+        let mut prev: Option<Vec<u8>> = None;
+        for v in 0..factorial(n) {
+            let mut d = to_factoradic(v, n).unwrap();
+            d.reverse(); // most-significant first
+            if let Some(p) = prev {
+                assert!(p < d);
+            }
+            prev = Some(d);
+        }
+    }
+}

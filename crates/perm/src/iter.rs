@@ -1,0 +1,88 @@
+//! Iteration over all permutations of a given length.
+
+use crate::factorial::factorial;
+use crate::lehmer::next_perm;
+use crate::Perm;
+
+/// Lexicographic iterator over all of `S_n`.
+///
+/// ```
+/// use sg_perm::PermIter;
+/// assert_eq!(PermIter::new(3).count(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PermIter {
+    next: Option<Perm>,
+    remaining: u64,
+}
+
+impl PermIter {
+    /// Iterator over all `n!` permutations of `0..n` in lexicographic
+    /// order, starting from the identity.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or exceeds [`crate::MAX_N`].
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        PermIter { next: Some(Perm::identity(n)), remaining: factorial(n) }
+    }
+}
+
+impl Iterator for PermIter {
+    type Item = Perm;
+
+    fn next(&mut self) -> Option<Perm> {
+        let cur = self.next?;
+        self.remaining -= 1;
+        let mut succ = cur;
+        self.next = next_perm(&mut succ).then_some(succ);
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = usize::try_from(self.remaining).ok();
+        (r.unwrap_or(usize::MAX), r)
+    }
+}
+
+impl ExactSizeIterator for PermIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lehmer::rank;
+    use std::collections::HashSet;
+
+    #[test]
+    fn yields_exactly_n_factorial_distinct_perms() {
+        for n in 1..=6 {
+            let all: Vec<Perm> = PermIter::new(n).collect();
+            assert_eq!(all.len() as u64, factorial(n));
+            let set: HashSet<Perm> = all.iter().copied().collect();
+            assert_eq!(set.len(), all.len());
+        }
+    }
+
+    #[test]
+    fn yields_in_rank_order() {
+        for (i, p) in PermIter::new(5).enumerate() {
+            assert_eq!(rank(&p), i as u64);
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = PermIter::new(4);
+        assert_eq!(it.len(), 24);
+        it.next();
+        assert_eq!(it.len(), 23);
+        assert_eq!(it.by_ref().count(), 23);
+        assert_eq!(it.len(), 0);
+    }
+
+    #[test]
+    fn n_equals_one() {
+        let all: Vec<Perm> = PermIter::new(1).collect();
+        assert_eq!(all, vec![Perm::identity(1)]);
+    }
+}

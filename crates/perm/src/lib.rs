@@ -1,0 +1,45 @@
+//! # sg-perm — permutation engine
+//!
+//! Substrate crate for the star-graph mesh-embedding reproduction of
+//! Ranka, Wang & Yeh, *Embedding Meshes on the Star Graph* (SC'90).
+//!
+//! Nodes of the star graph `S_n` are permutations of the symbols
+//! `0..n`, and the paper's embedding (`CONVERT-D-S` / `CONVERT-S-D`)
+//! is a bijection between mixed-radix mesh coordinates and permutations.
+//! This crate provides the permutation machinery everything else builds
+//! on:
+//!
+//! * [`Perm`] — a fixed-capacity, heap-free permutation value
+//!   (supports `n ≤ 20`, the largest `n` for which `n!` fits in `u64`),
+//! * ranking and unranking via Lehmer codes ([`lehmer`]),
+//! * the factorial number system ([`factorial`]),
+//! * cycle-structure queries used by the star-graph distance formula
+//!   ([`cycles`]),
+//! * lexicographic iteration over all of `S_n` ([`iter`]),
+//! * applying permutations to data slices ([`apply`]).
+//!
+//! ## Conventions
+//!
+//! A [`Perm`] is an array `p` where `p[i]` is the **symbol stored in
+//! slot `i`**. Slots are abstract positions; which slot is the star
+//! graph's "front" is decided by the `sg-star` crate (slot `0`). The
+//! paper writes nodes as `(a_{n-1} … a_1 a_0)` with positions numbered
+//! from the *right*; throughout this workspace, display slot `i`
+//! (left-to-right) therefore corresponds to the paper's position
+//! `n-1-i`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod cycles;
+pub mod factorial;
+pub mod iter;
+pub mod lehmer;
+mod perm;
+
+pub use iter::PermIter;
+pub use perm::{Perm, PermError, MAX_N};
+
+/// Result alias for fallible permutation constructors.
+pub type Result<T> = std::result::Result<T, PermError>;

@@ -1,0 +1,359 @@
+//! The mesh-on-star machine: Theorem 6 in executable form.
+//!
+//! [`EmbeddedMeshMachine`] exposes the exact same [`MeshSimd`]
+//! programming interface as the native mesh machine, but its PEs are
+//! the nodes of a star graph `S_n` arranged by the paper's CONVERT
+//! embedding. Each logical mesh unit route along dimension `k` is
+//! executed as
+//!
+//! * **1** SIMD-B star unit route if `k = n−1` (those mesh edges map
+//!   to star edges), or
+//! * **3** SIMD-B star unit routes otherwise, advancing every
+//!   message one hop per route along its Lemma-2 path.
+//!
+//! The conflict-freedom promised by Lemma 5 is *checked at runtime*:
+//! the underlying [`StarMachine::route_select`] rejects any unit route
+//! in which two messages target one PE, so a successful run is a
+//! machine-checked certificate of the schedule's validity. Transit
+//! uses a scratch register and the final delivery is a local masked
+//! move, so register semantics match the native mesh machine bit for
+//! bit (asserted in tests for every dimension, direction and mask).
+
+use crate::machine::{MeshSimd, RouteStats};
+use crate::star_machine::StarMachine;
+use sg_core::convert::convert_s_d;
+use sg_core::paths::dilation3_path;
+use sg_mesh::dn::DnMesh;
+use sg_mesh::shape::{MeshShape, Sign};
+use sg_mesh::MeshPoint;
+use sg_perm::lehmer::rank;
+
+/// Scratch register used for in-flight messages.
+const TRANSIT: &str = "__transit";
+
+/// An SIMD-B star machine driven through the mesh programming model.
+#[derive(Debug, Clone)]
+pub struct EmbeddedMeshMachine<T> {
+    dn: DnMesh,
+    star: StarMachine<T>,
+    /// star rank -> mesh point (the CONVERT-S-D image), cached.
+    mesh_point_of_rank: Vec<MeshPoint>,
+    /// mesh index -> star rank (the CONVERT-D-S image), cached.
+    rank_of_mesh_index: Vec<u32>,
+    stats: RouteStats,
+}
+
+impl<T: Clone> EmbeddedMeshMachine<T> {
+    /// Creates the embedded machine for `D_n` on `S_n`.
+    ///
+    /// # Panics
+    /// Panics for `n` outside `2..=10`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let dn = DnMesh::new(n);
+        let star: StarMachine<T> = StarMachine::new(n);
+        let mesh_point_of_rank: Vec<MeshPoint> = (0..star.num_pes())
+            .map(|r| convert_s_d(star.node_of(r)))
+            .collect();
+        let shape = dn.shape();
+        let mut rank_of_mesh_index = vec![0u32; star.num_pes()];
+        for (r, p) in mesh_point_of_rank.iter().enumerate() {
+            rank_of_mesh_index[shape.index_of(p) as usize] = r as u32;
+        }
+        EmbeddedMeshMachine {
+            dn,
+            star,
+            mesh_point_of_rank,
+            rank_of_mesh_index,
+            stats: RouteStats::default(),
+        }
+    }
+
+    /// The underlying star machine (read access for audits).
+    #[must_use]
+    pub fn star(&self) -> &StarMachine<T> {
+        &self.star
+    }
+
+    /// The `D_n` descriptor.
+    #[must_use]
+    pub fn dn(&self) -> &DnMesh {
+        &self.dn
+    }
+
+    /// Star rank hosting the given mesh node.
+    #[must_use]
+    pub fn rank_of(&self, mesh_index: u64) -> u32 {
+        self.rank_of_mesh_index[mesh_index as usize]
+    }
+
+    fn sync_physical(&mut self) {
+        self.stats.physical_routes = self.star.stats().physical_routes;
+    }
+}
+
+impl<T: Clone> MeshSimd<T> for EmbeddedMeshMachine<T> {
+    fn shape(&self) -> &MeshShape {
+        self.dn.shape()
+    }
+
+    fn load(&mut self, reg: &str, data: Vec<T>) {
+        assert_ne!(reg, TRANSIT, "register name {TRANSIT} is reserved");
+        assert_eq!(data.len(), self.star.num_pes(), "one value per PE");
+        // Permute mesh-order data into star rank order.
+        let mut by_rank: Vec<Option<T>> = vec![None; data.len()];
+        for (mesh_idx, v) in data.into_iter().enumerate() {
+            by_rank[self.rank_of_mesh_index[mesh_idx] as usize] = Some(v);
+        }
+        self.star.load(
+            reg,
+            by_rank.into_iter().map(|o| o.expect("bijection")).collect(),
+        );
+    }
+
+    fn read(&self, reg: &str) -> Vec<T> {
+        let by_rank = self.star.read(reg);
+        let shape = self.dn.shape();
+        let mut out: Vec<Option<T>> = vec![None; by_rank.len()];
+        for (r, v) in by_rank.into_iter().enumerate() {
+            let idx = shape.index_of(&self.mesh_point_of_rank[r]) as usize;
+            out[idx] = Some(v);
+        }
+        out.into_iter().map(|o| o.expect("bijection")).collect()
+    }
+
+    fn update(&mut self, reg: &str, f: &mut dyn FnMut(&MeshPoint, &mut T)) {
+        let points = std::mem::take(&mut self.mesh_point_of_rank);
+        self.star.update_indexed(reg, &mut |r, _, v| f(&points[r], v));
+        self.mesh_point_of_rank = points;
+    }
+
+    fn combine(&mut self, dst: &str, src: &str, f: &mut dyn FnMut(&MeshPoint, &mut T, &T)) {
+        let points = std::mem::take(&mut self.mesh_point_of_rank);
+        self.star.combine_indexed(dst, src, &mut |r, _, d, s| f(&points[r], d, s));
+        self.mesh_point_of_rank = points;
+    }
+
+    fn route_where(
+        &mut self,
+        reg: &str,
+        dim: usize,
+        sign: Sign,
+        mask: &dyn Fn(&MeshPoint) -> bool,
+    ) {
+        let n = self.dn.n();
+        assert!(dim >= 1 && dim < n, "dimension out of range");
+        let plus = sign == Sign::Plus;
+        let pes = self.star.num_pes();
+
+        // Plan every active message's Lemma-2 path: per round, the
+        // generator each occupied PE transmits along; plus the set of
+        // final destinations for delivery.
+        let rounds_needed = if dim == n - 1 { 1 } else { 3 };
+        let mut gen_of: Vec<Vec<Option<u8>>> = vec![vec![None; pes]; rounds_needed];
+        let mut is_dst = vec![false; pes];
+        for r in 0..pes {
+            let point = &self.mesh_point_of_rank[r];
+            if !mask(point) {
+                continue;
+            }
+            let pi = self.star.node_of(r);
+            let Some(path) = dilation3_path(pi, dim, plus) else {
+                continue; // mesh boundary: no neighbor, no message
+            };
+            debug_assert_eq!(path.len() - 1, rounds_needed, "uniform path length per dim");
+            for (s, w) in path.windows(2).enumerate() {
+                let from = rank(&w[0]) as usize;
+                // The generator is the slot where the two nodes differ
+                // besides slot 0.
+                let j = (1..n)
+                    .find(|&j| w[0].symbol_at(j) != w[1].symbol_at(j))
+                    .expect("front swap changes exactly one other slot");
+                debug_assert!(
+                    gen_of[s][from].is_none(),
+                    "Lemma 5 violated: two messages at one PE"
+                );
+                gen_of[s][from] = Some(j as u8);
+            }
+            is_dst[rank(path.last().expect("nonempty")) as usize] = true;
+        }
+
+        // Stage the register into transit (intraprocessor copy, free).
+        let staged = self.star.read(reg);
+        self.star.load(TRANSIT, staged);
+
+        // Advance all messages one hop per SIMD-B unit route; the star
+        // machine verifies receive-uniqueness (Lemma 5) each round.
+        for round in &gen_of {
+            self.star
+                .route_select(TRANSIT, &|pe, _| {
+                    round[pe as usize].map(|j| j as usize)
+                })
+                .expect("Lemma 5 guarantees a conflict-free schedule");
+        }
+
+        // Deliver: destinations overwrite reg from transit (local
+        // masked move, free); everyone else keeps reg.
+        let arrived = self.star.read(TRANSIT);
+        self.star.update_indexed(reg, &mut |r, _, v| {
+            if is_dst[r] {
+                *v = arrived[r].clone();
+            }
+        });
+
+        self.stats.logical_mesh_routes += 1;
+        self.sync_physical();
+    }
+
+    fn stats(&self) -> &RouteStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::mesh_route_semantics;
+    use crate::mesh_machine::MeshMachine;
+
+    /// Runs the same masked route on both machines and compares.
+    fn compare_route(n: usize, dim: usize, sign: Sign, mask: fn(&MeshPoint) -> bool) {
+        let dn = DnMesh::new(n);
+        let size = dn.node_count() as usize;
+        let data: Vec<u64> = (0..size as u64).map(|x| 1000 + x).collect();
+
+        let mut native: MeshMachine<u64> = MeshMachine::new(dn.shape().clone());
+        native.load("B", data.clone());
+        native.route_where("B", dim, sign, &mask);
+
+        let mut embedded: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+        embedded.load("B", data.clone());
+        embedded.route_where("B", dim, sign, &mask);
+
+        assert_eq!(
+            native.read("B"),
+            embedded.read("B"),
+            "n={n} dim={dim} sign={sign:?}"
+        );
+        // Ground truth from the reference semantics too.
+        let expect = mesh_route_semantics(dn.shape(), &data, dim, sign, &mask);
+        assert_eq!(native.read("B"), expect);
+    }
+
+    #[test]
+    fn all_routes_match_native_mesh() {
+        for n in 2..=5usize {
+            for dim in 1..n {
+                for sign in [Sign::Plus, Sign::Minus] {
+                    compare_route(n, dim, sign, |_| true);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_routes_match_native_mesh() {
+        // Shearsort-style mask: only even rows along dimension 2 send.
+        for n in 3..=5usize {
+            for sign in [Sign::Plus, Sign::Minus] {
+                compare_route(n, 1, sign, |p| p.d(2) % 2 == 0);
+                compare_route(n, 2, sign, |p| p.d(1) % 2 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem6_route_costs() {
+        let n = 5;
+        let mut m: EmbeddedMeshMachine<u32> = EmbeddedMeshMachine::new(n);
+        m.load("B", vec![0; m.star().num_pes()]);
+        // Dimensions 1..n-1 cost 3 star routes; dimension n-1 costs 1.
+        let mut expected_physical = 0u64;
+        for dim in 1..n {
+            m.route("B", dim, Sign::Plus);
+            expected_physical += if dim == n - 1 { 1 } else { 3 };
+            assert_eq!(m.stats().physical_routes, expected_physical, "dim={dim}");
+        }
+        assert_eq!(m.stats().logical_mesh_routes, (n - 1) as u64);
+        // Worst-case slowdown is exactly 3, average below.
+        assert!(m.stats().slowdown().unwrap() <= 3.0);
+    }
+
+    #[test]
+    fn update_and_combine_agree_with_native() {
+        let n = 4;
+        let dn = DnMesh::new(n);
+        let size = dn.node_count() as usize;
+        let a: Vec<i64> = (0..size as i64).collect();
+        let b: Vec<i64> = (0..size as i64).map(|x| 10 * x).collect();
+
+        let mut native: MeshMachine<i64> = MeshMachine::new(dn.shape().clone());
+        native.load("A", a.clone());
+        native.load("B", b.clone());
+        native.update("A", &mut |p, v| {
+            if p.d(1) == 0 {
+                *v = -*v;
+            }
+        });
+        native.combine("A", "B", &mut |p, d, s| {
+            if p.d(2) == 1 {
+                *d += *s;
+            }
+        });
+
+        let mut emb: EmbeddedMeshMachine<i64> = EmbeddedMeshMachine::new(n);
+        emb.load("A", a);
+        emb.load("B", b);
+        emb.update("A", &mut |p, v| {
+            if p.d(1) == 0 {
+                *v = -*v;
+            }
+        });
+        emb.combine("A", "B", &mut |p, d, s| {
+            if p.d(2) == 1 {
+                *d += *s;
+            }
+        });
+
+        assert_eq!(native.read("A"), emb.read("A"));
+        assert_eq!(native.read("B"), emb.read("B"));
+        // Pure local work costs zero unit routes on both machines.
+        assert_eq!(native.stats().physical_routes, 0);
+        assert_eq!(emb.stats().physical_routes, 0);
+    }
+
+    #[test]
+    fn long_random_program_equivalence() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let n = 4;
+        let dn = DnMesh::new(n);
+        let size = dn.node_count() as usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let data: Vec<u64> = (0..size).map(|_| rng.gen_range(0..1000)).collect();
+
+        let mut native: MeshMachine<u64> = MeshMachine::new(dn.shape().clone());
+        let mut emb: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+        native.load("B", data.clone());
+        emb.load("B", data);
+
+        for _ in 0..60 {
+            let dim = rng.gen_range(1..n);
+            let sign = if rng.gen_bool(0.5) { Sign::Plus } else { Sign::Minus };
+            native.route("B", dim, sign);
+            emb.route("B", dim, sign);
+        }
+        assert_eq!(native.read("B"), emb.read("B"));
+        assert_eq!(native.stats().logical_mesh_routes, 60);
+        assert_eq!(emb.stats().logical_mesh_routes, 60);
+        assert!(emb.stats().physical_routes <= 3 * 60);
+        assert!(emb.stats().physical_routes >= 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn transit_register_name_reserved() {
+        let mut m: EmbeddedMeshMachine<u8> = EmbeddedMeshMachine::new(3);
+        m.load(TRANSIT, vec![0; 6]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sg-simd — route-level SIMD multicomputer simulator
+//!
+//! The machine model of the paper's §2 (Figure 1): `N` PEs joined by
+//! an interconnection network, driven by a central control unit that
+//! broadcasts instructions and *masks*. All complexity accounting is
+//! in **unit routes** (§2 item 6) — this simulator counts exactly
+//! those, and additionally *validates* the communication contract of
+//! each model on every route:
+//!
+//! * **SIMD-A** — every PE transmits along the same dimension
+//!   (mesh: `±e_k`; star: one generator `g_j`);
+//! * **SIMD-B** — every PE transmits to any one neighbor, provided no
+//!   PE receives more than one message.
+//!
+//! Three machines are provided:
+//!
+//! * [`mesh_machine::MeshMachine`] — an SIMD-A mesh of any shape;
+//! * [`star_machine::StarMachine`] — an SIMD-A/B star graph `S_n`;
+//! * [`embedded::EmbeddedMeshMachine`] — the paper's punchline: a
+//!   machine with the *mesh* programming interface whose every unit
+//!   route is executed as 3 (or 1) SIMD-B unit routes on an underlying
+//!   star machine, along the Lemma-2/Lemma-5 paths. Any algorithm
+//!   written against [`machine::MeshSimd`] runs unchanged on both,
+//!   which is Theorem 6 in executable form.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod embedded;
+pub mod machine;
+pub mod mesh_machine;
+pub mod regfile;
+pub mod star_machine;
+
+pub use embedded::EmbeddedMeshMachine;
+pub use machine::{MeshSimd, RouteStats};
+pub use mesh_machine::MeshMachine;
+pub use star_machine::StarMachine;

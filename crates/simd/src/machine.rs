@@ -1,0 +1,141 @@
+//! The mesh-programming interface ([`MeshSimd`]) and route accounting.
+//!
+//! Algorithms in `sg-algo` are written once against [`MeshSimd`] and
+//! run on both the native [`crate::MeshMachine`] and the star-backed
+//! [`crate::EmbeddedMeshMachine`]. The only observable difference is
+//! the physical unit-route counter — which is the paper's entire
+//! complexity story (Theorem 6: a factor of at most 3).
+
+use sg_mesh::shape::{MeshShape, Sign};
+use sg_mesh::MeshPoint;
+
+/// Unit-route accounting, kept per machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Physical unit routes executed on the underlying network.
+    pub physical_routes: u64,
+    /// Logical mesh unit routes requested through the [`MeshSimd`]
+    /// interface (for a native mesh these coincide with physical).
+    pub logical_mesh_routes: u64,
+}
+
+impl RouteStats {
+    /// Physical-per-logical slowdown; `None` before any logical route.
+    #[must_use]
+    pub fn slowdown(&self) -> Option<f64> {
+        (self.logical_mesh_routes > 0)
+            .then(|| self.physical_routes as f64 / self.logical_mesh_routes as f64)
+    }
+}
+
+/// An SIMD machine presenting the mesh programming model of §2:
+/// per-PE registers, broadcast elementwise instructions with masks,
+/// and SIMD-A unit routes along mesh dimensions.
+///
+/// PEs are addressed by mesh node index (see `MeshShape::index_of`).
+pub trait MeshSimd<T: Clone> {
+    /// The mesh shape this machine simulates.
+    fn shape(&self) -> &MeshShape;
+
+    /// Loads a register, one value per PE, in mesh index order.
+    fn load(&mut self, reg: &str, data: Vec<T>);
+
+    /// Reads a register back in mesh index order.
+    fn read(&self, reg: &str) -> Vec<T>;
+
+    /// Broadcast elementwise instruction: `f(point, value)` runs on
+    /// every PE (use the point to encode a mask, per §2's
+    /// `A(i) := …, (f(i) = y)` notation).
+    fn update(&mut self, reg: &str, f: &mut dyn FnMut(&MeshPoint, &mut T));
+
+    /// Broadcast two-register instruction: `f(point, dst, src)` with
+    /// `src` read-only.
+    fn combine(&mut self, dst: &str, src: &str, f: &mut dyn FnMut(&MeshPoint, &mut T, &T));
+
+    /// One SIMD-A mesh unit route on `reg` along `dim` in direction
+    /// `sign`, restricted to sending PEs satisfying `mask`
+    /// (`B(i^{(dim±)}) ← B(i)`): every receiving PE's register is
+    /// overwritten with its neighbor's value; PEs with no sender keep
+    /// their value.
+    fn route_where(
+        &mut self,
+        reg: &str,
+        dim: usize,
+        sign: Sign,
+        mask: &dyn Fn(&MeshPoint) -> bool,
+    );
+
+    /// Unmasked unit route.
+    fn route(&mut self, reg: &str, dim: usize, sign: Sign) {
+        self.route_where(reg, dim, sign, &|_| true);
+    }
+
+    /// Route accounting so far.
+    fn stats(&self) -> &RouteStats;
+}
+
+/// Reference semantics of one masked SIMD-A mesh unit route, shared by
+/// both machines (and by tests as ground truth): returns the new
+/// contents of the register.
+#[must_use]
+pub fn mesh_route_semantics<T: Clone>(
+    shape: &MeshShape,
+    data: &[T],
+    dim: usize,
+    sign: Sign,
+    mask: &dyn Fn(&MeshPoint) -> bool,
+) -> Vec<T> {
+    let mut out: Vec<T> = data.to_vec();
+    for idx in 0..shape.size() {
+        let p = shape.point_at(idx);
+        if !mask(&p) {
+            continue;
+        }
+        if let Some(q) = shape.neighbor(&p, dim, sign) {
+            out[shape.index_of(&q) as usize] = data[idx as usize].clone();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_semantics_shift_with_boundary_hold() {
+        let shape = MeshShape::new(&[4]).unwrap();
+        let data = vec![10, 20, 30, 40];
+        let plus = mesh_route_semantics(&shape, &data, 1, Sign::Plus, &|_| true);
+        // Values move +1; PE 0 has no sender and keeps its value.
+        assert_eq!(plus, vec![10, 10, 20, 30]);
+        let minus = mesh_route_semantics(&shape, &data, 1, Sign::Minus, &|_| true);
+        assert_eq!(minus, vec![20, 30, 40, 40]);
+    }
+
+    #[test]
+    fn masked_route_only_moves_selected() {
+        let shape = MeshShape::new(&[4]).unwrap();
+        let data = vec![1, 2, 3, 4];
+        // Only even-indexed PEs send.
+        let out = mesh_route_semantics(&shape, &data, 1, Sign::Plus, &|p| p.d(1) % 2 == 0);
+        assert_eq!(out, vec![1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn route_semantics_2d() {
+        let shape = MeshShape::new(&[2, 2]).unwrap();
+        let data = vec![1, 2, 3, 4]; // (0,0) (0,1) (1,0) (1,1) by d1 fastest
+        let out = mesh_route_semantics(&shape, &data, 2, Sign::Plus, &|_| true);
+        assert_eq!(out, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn slowdown_accounting() {
+        let mut s = RouteStats::default();
+        assert_eq!(s.slowdown(), None);
+        s.logical_mesh_routes = 2;
+        s.physical_routes = 6;
+        assert_eq!(s.slowdown(), Some(3.0));
+    }
+}

@@ -1,0 +1,164 @@
+//! The native SIMD-A mesh machine.
+
+use crate::machine::{mesh_route_semantics, MeshSimd, RouteStats};
+use crate::regfile::RegFile;
+use sg_mesh::shape::{MeshShape, Sign};
+use sg_mesh::MeshPoint;
+
+/// An SIMD-A mesh multicomputer of arbitrary shape (§2's mesh model).
+/// PEs are addressed by mesh node index; every unit route costs 1.
+#[derive(Debug, Clone)]
+pub struct MeshMachine<T> {
+    shape: MeshShape,
+    points: Vec<MeshPoint>,
+    regs: RegFile<T>,
+    stats: RouteStats,
+}
+
+impl<T: Clone> MeshMachine<T> {
+    /// Creates a machine with the given shape.
+    ///
+    /// # Panics
+    /// Panics if the shape exceeds `u32::MAX` PEs (nothing that large
+    /// should ever be materialized).
+    #[must_use]
+    pub fn new(shape: MeshShape) -> Self {
+        let size = usize::try_from(shape.size()).expect("mesh too large to simulate");
+        let points: Vec<MeshPoint> = (0..shape.size()).map(|i| shape.point_at(i)).collect();
+        MeshMachine { shape, points, regs: RegFile::new(size), stats: RouteStats::default() }
+    }
+
+    /// Number of PEs.
+    #[must_use]
+    pub fn num_pes(&self) -> usize {
+        self.regs.pes()
+    }
+
+    /// The mesh point of PE `idx` (cached).
+    #[must_use]
+    pub fn point_of(&self, idx: usize) -> &MeshPoint {
+        &self.points[idx]
+    }
+}
+
+impl<T: Clone> MeshSimd<T> for MeshMachine<T> {
+    fn shape(&self) -> &MeshShape {
+        &self.shape
+    }
+
+    fn load(&mut self, reg: &str, data: Vec<T>) {
+        self.regs.load(reg, data);
+    }
+
+    fn read(&self, reg: &str) -> Vec<T> {
+        self.regs.get(reg).to_vec()
+    }
+
+    fn update(&mut self, reg: &str, f: &mut dyn FnMut(&MeshPoint, &mut T)) {
+        let points = &self.points;
+        for (idx, v) in self.regs.get_mut(reg).iter_mut().enumerate() {
+            f(&points[idx], v);
+        }
+    }
+
+    fn combine(&mut self, dst: &str, src: &str, f: &mut dyn FnMut(&MeshPoint, &mut T, &T)) {
+        assert_ne!(dst, src, "combine needs distinct registers");
+        let srcv = self.regs.take(src);
+        {
+            let points = &self.points;
+            for (idx, d) in self.regs.get_mut(dst).iter_mut().enumerate() {
+                f(&points[idx], d, &srcv[idx]);
+            }
+        }
+        self.regs.load(src, srcv);
+    }
+
+    fn route_where(
+        &mut self,
+        reg: &str,
+        dim: usize,
+        sign: Sign,
+        mask: &dyn Fn(&MeshPoint) -> bool,
+    ) {
+        let data = self.regs.take(reg);
+        let out = mesh_route_semantics(&self.shape, &data, dim, sign, mask);
+        self.regs.load(reg, out);
+        self.stats.physical_routes += 1;
+        self.stats.logical_mesh_routes += 1;
+    }
+
+    fn stats(&self) -> &RouteStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_1d(n: usize) -> MeshMachine<i64> {
+        MeshMachine::new(MeshShape::new(&[n]).unwrap())
+    }
+
+    #[test]
+    fn load_read_roundtrip() {
+        let mut m = machine_1d(4);
+        m.load("A", vec![1, 2, 3, 4]);
+        assert_eq!(m.read("A"), vec![1, 2, 3, 4]);
+        assert_eq!(m.num_pes(), 4);
+    }
+
+    #[test]
+    fn update_with_mask_notation() {
+        // §2's example: A(i) := A(i) + 1, (f(i) = y).
+        let mut m = machine_1d(5);
+        m.load("A", vec![0; 5]);
+        m.update("A", &mut |p, v| {
+            if p.d(1) % 2 == 0 {
+                *v += 1;
+            }
+        });
+        assert_eq!(m.read("A"), vec![1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn combine_two_registers() {
+        let mut m = machine_1d(3);
+        m.load("A", vec![1, 2, 3]);
+        m.load("B", vec![10, 20, 30]);
+        m.combine("A", "B", &mut |_, a, b| *a += *b);
+        assert_eq!(m.read("A"), vec![11, 22, 33]);
+        assert_eq!(m.read("B"), vec![10, 20, 30]); // src preserved
+    }
+
+    #[test]
+    fn routes_count() {
+        let mut m = machine_1d(4);
+        m.load("A", vec![1, 2, 3, 4]);
+        m.route("A", 1, Sign::Plus);
+        m.route("A", 1, Sign::Minus);
+        assert_eq!(m.stats().physical_routes, 2);
+        assert_eq!(m.stats().logical_mesh_routes, 2);
+        assert_eq!(m.stats().slowdown(), Some(1.0));
+    }
+
+    #[test]
+    fn route_2d_moves_rows() {
+        let shape = MeshShape::new(&[3, 2]).unwrap();
+        let mut m: MeshMachine<i64> = MeshMachine::new(shape);
+        // index = d1 + 3*d2
+        m.load("A", vec![0, 1, 2, 10, 11, 12]);
+        m.route("A", 2, Sign::Plus);
+        assert_eq!(m.read("A"), vec![0, 1, 2, 0, 1, 2]);
+        m.route("A", 1, Sign::Minus);
+        assert_eq!(m.read("A"), vec![1, 2, 2, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct registers")]
+    fn combine_same_register_rejected() {
+        let mut m = machine_1d(2);
+        m.load("A", vec![1, 2]);
+        m.combine("A", "A", &mut |_, _, _| {});
+    }
+}

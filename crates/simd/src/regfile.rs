@@ -1,0 +1,129 @@
+//! Named register files for the SIMD machines.
+//!
+//! §2 item 1: "the local memory of each PE holds data only". A
+//! register is one value per PE; the file maps register names (the
+//! paper's `A`, `B`, …) to dense per-PE vectors.
+
+use std::collections::HashMap;
+
+/// A register file over `pes` processing elements.
+#[derive(Debug, Clone)]
+pub struct RegFile<T> {
+    pes: usize,
+    regs: HashMap<String, Vec<T>>,
+}
+
+impl<T: Clone> RegFile<T> {
+    /// Creates an empty file for `pes` PEs.
+    #[must_use]
+    pub fn new(pes: usize) -> Self {
+        RegFile { pes, regs: HashMap::new() }
+    }
+
+    /// Number of PEs.
+    #[must_use]
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// Loads a full register (replacing any previous contents).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != pes`.
+    pub fn load(&mut self, name: &str, data: Vec<T>) {
+        assert_eq!(
+            data.len(),
+            self.pes,
+            "register {name}: {} values for {} PEs",
+            data.len(),
+            self.pes
+        );
+        self.regs.insert(name.to_string(), data);
+    }
+
+    /// Immutable view of a register.
+    ///
+    /// # Panics
+    /// Panics if the register was never loaded.
+    #[must_use]
+    pub fn get(&self, name: &str) -> &[T] {
+        self.regs
+            .get(name)
+            .unwrap_or_else(|| panic!("register {name} not loaded"))
+    }
+
+    /// Mutable view of a register.
+    ///
+    /// # Panics
+    /// Panics if the register was never loaded.
+    #[must_use]
+    pub fn get_mut(&mut self, name: &str) -> &mut [T] {
+        self.regs
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("register {name} not loaded"))
+    }
+
+    /// Takes a register out of the file (for routing), leaving it
+    /// absent until re-inserted.
+    ///
+    /// # Panics
+    /// Panics if the register was never loaded.
+    #[must_use]
+    pub fn take(&mut self, name: &str) -> Vec<T> {
+        self.regs
+            .remove(name)
+            .unwrap_or_else(|| panic!("register {name} not loaded"))
+    }
+
+    /// `true` iff the register exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.regs.contains_key(name)
+    }
+
+    /// Names of all loaded registers (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.regs.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_get_roundtrip() {
+        let mut rf: RegFile<i32> = RegFile::new(3);
+        rf.load("A", vec![1, 2, 3]);
+        assert_eq!(rf.get("A"), &[1, 2, 3]);
+        rf.get_mut("A")[1] = 9;
+        assert_eq!(rf.get("A"), &[1, 9, 3]);
+        assert!(rf.contains("A"));
+        assert!(!rf.contains("B"));
+    }
+
+    #[test]
+    fn take_and_reload() {
+        let mut rf: RegFile<i32> = RegFile::new(2);
+        rf.load("A", vec![5, 6]);
+        let v = rf.take("A");
+        assert_eq!(v, vec![5, 6]);
+        assert!(!rf.contains("A"));
+        rf.load("A", v);
+        assert!(rf.contains("A"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not loaded")]
+    fn missing_register_panics() {
+        let rf: RegFile<i32> = RegFile::new(2);
+        let _ = rf.get("Z");
+    }
+
+    #[test]
+    #[should_panic(expected = "3 values for 2 PEs")]
+    fn wrong_length_panics() {
+        let mut rf: RegFile<i32> = RegFile::new(2);
+        rf.load("A", vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,283 @@
+//! The star-graph SIMD machine (SIMD-A and SIMD-B routes).
+
+use crate::machine::RouteStats;
+use crate::regfile::RegFile;
+use sg_perm::Perm;
+use sg_star::StarGraph;
+
+/// An SIMD multicomputer whose interconnect is the star graph `S_n`.
+/// PEs are addressed by Lehmer rank.
+///
+/// Two route models (§2 item 5):
+/// * SIMD-A ([`StarMachine::route_generator`]): all PEs exchange along
+///   one generator `g_j` — a perfect matching, executed as a global
+///   pairwise swap;
+/// * SIMD-B ([`StarMachine::route_select`]): each PE picks any one
+///   neighbor (or stays silent); the machine *verifies* that no PE
+///   receives twice.
+#[derive(Debug, Clone)]
+pub struct StarMachine<T> {
+    star: StarGraph,
+    nodes: Vec<Perm>,
+    /// neighbor_ranks[pe][j-1] = rank of pe's g_j neighbor
+    neighbors: Vec<Vec<u32>>,
+    regs: RegFile<T>,
+    stats: RouteStats,
+}
+
+/// SIMD-B contract violation: some PE was targeted twice in one route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteConflict {
+    /// The doubly-targeted PE rank.
+    pub receiver: u64,
+}
+
+impl std::fmt::Display for RouteConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE {} would receive two messages in one unit route", self.receiver)
+    }
+}
+
+impl std::error::Error for RouteConflict {}
+
+impl<T: Clone> StarMachine<T> {
+    /// Creates an `S_n` machine (`n ≤ 10`: the node table is
+    /// materialized).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!((1..=10).contains(&n), "S_n machine materializes n! PEs");
+        let star = StarGraph::new(n);
+        let size = star.node_count() as usize;
+        let nodes: Vec<Perm> = (0..star.node_count()).map(|r| star.node_at(r)).collect();
+        let neighbors: Vec<Vec<u32>> = nodes
+            .iter()
+            .map(|p| {
+                star.generators()
+                    .map(|j| star.rank_of(&p.with_slots_swapped(0, j)) as u32)
+                    .collect()
+            })
+            .collect();
+        StarMachine { star, nodes, neighbors, regs: RegFile::new(size), stats: RouteStats::default() }
+    }
+
+    /// The underlying topology handle.
+    #[must_use]
+    pub fn star(&self) -> &StarGraph {
+        &self.star
+    }
+
+    /// Number of PEs (`n!`).
+    #[must_use]
+    pub fn num_pes(&self) -> usize {
+        self.regs.pes()
+    }
+
+    /// Permutation label of PE `rank`.
+    #[must_use]
+    pub fn node_of(&self, rank: usize) -> &Perm {
+        &self.nodes[rank]
+    }
+
+    /// Rank of the `g_j` neighbor of PE `rank`.
+    #[must_use]
+    pub fn neighbor_rank(&self, rank: usize, j: usize) -> u32 {
+        self.neighbors[rank][j - 1]
+    }
+
+    /// Loads a register in rank order.
+    pub fn load(&mut self, reg: &str, data: Vec<T>) {
+        self.regs.load(reg, data);
+    }
+
+    /// Reads a register in rank order.
+    #[must_use]
+    pub fn read(&self, reg: &str) -> Vec<T> {
+        self.regs.get(reg).to_vec()
+    }
+
+    /// Broadcast elementwise instruction with the node label available
+    /// as mask input.
+    pub fn update(&mut self, reg: &str, f: &mut dyn FnMut(&Perm, &mut T)) {
+        let nodes = &self.nodes;
+        for (idx, v) in self.regs.get_mut(reg).iter_mut().enumerate() {
+            f(&nodes[idx], v);
+        }
+    }
+
+    /// Like [`StarMachine::update`] but also passes the PE rank
+    /// (needed by wrappers that key per-PE metadata by rank).
+    pub fn update_indexed(&mut self, reg: &str, f: &mut dyn FnMut(usize, &Perm, &mut T)) {
+        let nodes = &self.nodes;
+        for (idx, v) in self.regs.get_mut(reg).iter_mut().enumerate() {
+            f(idx, &nodes[idx], v);
+        }
+    }
+
+    /// Broadcast two-register instruction (`src` read-only), with rank.
+    ///
+    /// # Panics
+    /// Panics if `dst == src`.
+    pub fn combine_indexed(
+        &mut self,
+        dst: &str,
+        src: &str,
+        f: &mut dyn FnMut(usize, &Perm, &mut T, &T),
+    ) {
+        assert_ne!(dst, src, "combine needs distinct registers");
+        let srcv = self.regs.take(src);
+        {
+            let nodes = &self.nodes;
+            for (idx, d) in self.regs.get_mut(dst).iter_mut().enumerate() {
+                f(idx, &nodes[idx], d, &srcv[idx]);
+            }
+        }
+        self.regs.load(src, srcv);
+    }
+
+    /// SIMD-A unit route: `B(π^{(j)}) ← B(π)` for **all** PEs
+    /// simultaneously. Since `g_j` is an involution the global effect
+    /// is a pairwise swap of the register across the matching.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ j ≤ n−1`.
+    pub fn route_generator(&mut self, reg: &str, j: usize) {
+        assert!(j >= 1 && j < self.star.n(), "generator g_{j} undefined");
+        let mut data = self.regs.take(reg);
+        for pe in 0..data.len() {
+            let other = self.neighbors[pe][j - 1] as usize;
+            if pe < other {
+                data.swap(pe, other);
+            }
+        }
+        self.regs.load(reg, data);
+        self.stats.physical_routes += 1;
+    }
+
+    /// SIMD-B unit route: `selector(pe)` returns the generator index
+    /// the PE transmits along (`None` = silent). Receivers' registers
+    /// are overwritten with the sender's value; everyone else keeps.
+    ///
+    /// # Errors
+    /// [`RouteConflict`] if two senders target one receiver (the route
+    /// is *not* executed and not counted in that case).
+    pub fn route_select(
+        &mut self,
+        reg: &str,
+        selector: &dyn Fn(u64, &Perm) -> Option<usize>,
+    ) -> Result<(), RouteConflict> {
+        let data = self.regs.take(reg);
+        let mut out = data.clone();
+        let mut hit = vec![false; data.len()];
+        // index-driven on purpose: `pe` simultaneously keys `nodes`,
+        // `neighbors`, `data` and `out`.
+        #[allow(clippy::needless_range_loop)]
+        for pe in 0..data.len() {
+            if let Some(j) = selector(pe as u64, &self.nodes[pe]) {
+                assert!(j >= 1 && j < self.star.n(), "generator g_{j} undefined");
+                let dst = self.neighbors[pe][j - 1] as usize;
+                if hit[dst] {
+                    // Roll back: restore the untouched register.
+                    self.regs.load(reg, data);
+                    return Err(RouteConflict { receiver: dst as u64 });
+                }
+                hit[dst] = true;
+                out[dst] = data[pe].clone();
+            }
+        }
+        self.regs.load(reg, out);
+        self.stats.physical_routes += 1;
+        Ok(())
+    }
+
+    /// Route accounting.
+    #[must_use]
+    pub fn stats(&self) -> &RouteStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_route_is_global_swap() {
+        let mut m: StarMachine<u64> = StarMachine::new(3);
+        let ident: Vec<u64> = (0..6).collect();
+        m.load("A", ident.clone());
+        m.route_generator("A", 1);
+        let once = m.read("A");
+        assert_ne!(once, ident);
+        m.route_generator("A", 1); // involution
+        assert_eq!(m.read("A"), ident);
+        assert_eq!(m.stats().physical_routes, 2);
+    }
+
+    #[test]
+    fn generator_route_matches_adjacency() {
+        let mut m: StarMachine<u64> = StarMachine::new(4);
+        let ident: Vec<u64> = (0..24).collect();
+        m.load("A", ident);
+        m.route_generator("A", 2);
+        let out = m.read("A");
+        for (pe, &got) in out.iter().enumerate() {
+            let nb = m.neighbor_rank(pe, 2) as usize;
+            assert_eq!(got, nb as u64, "PE {pe} should hold its g_2 neighbor's id");
+        }
+    }
+
+    #[test]
+    fn select_route_moves_chosen_messages() {
+        let mut m: StarMachine<i32> = StarMachine::new(3);
+        m.load("A", vec![100, 0, 0, 0, 0, 0]);
+        // Only PE 0 transmits, along g_1.
+        m.route_select("A", &|pe, _| (pe == 0).then_some(1)).unwrap();
+        let out = m.read("A");
+        let dst = m.neighbor_rank(0, 1) as usize;
+        assert_eq!(out[dst], 100);
+        assert_eq!(out[0], 100); // sender keeps its copy
+        assert_eq!(out.iter().filter(|&&v| v == 100).count(), 2);
+    }
+
+    #[test]
+    fn select_route_detects_conflicts() {
+        let m0: StarMachine<i32> = StarMachine::new(3);
+        // Find two distinct PEs with a common neighbor: any node's two
+        // neighbors both reach it back.
+        let target = 0usize;
+        let a = m0.neighbor_rank(target, 1) as usize;
+        let b = m0.neighbor_rank(target, 2) as usize;
+        let mut m: StarMachine<i32> = StarMachine::new(3);
+        m.load("A", vec![7; 6]);
+        let before = m.read("A");
+        let err = m
+            .route_select("A", &|pe, _| {
+                if pe as usize == a {
+                    Some(1)
+                } else if pe as usize == b {
+                    Some(2)
+                } else {
+                    None
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.receiver, target as u64);
+        // Register untouched, route not counted.
+        assert_eq!(m.read("A"), before);
+        assert_eq!(m.stats().physical_routes, 0);
+    }
+
+    #[test]
+    fn update_sees_node_labels() {
+        let mut m: StarMachine<u8> = StarMachine::new(3);
+        m.load("A", vec![0; 6]);
+        // Mask on the front symbol, §2-style.
+        m.update("A", &mut |pi, v| {
+            if pi.symbol_at(0) == 2 {
+                *v = 1;
+            }
+        });
+        let marked: u8 = m.read("A").iter().sum();
+        assert_eq!(marked, 2); // two perms of 3 symbols start with 2
+    }
+}

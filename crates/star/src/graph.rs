@@ -1,0 +1,238 @@
+//! The [`StarGraph`] handle: generators, neighbors, rank addressing.
+
+use sg_perm::factorial::factorial;
+use sg_perm::lehmer::{rank, unrank};
+use sg_perm::{Perm, MAX_N};
+
+/// The star graph `S_n`, paper §2 item 3.
+///
+/// Nodes are permutations (`sg_perm::Perm`) of `0..n` displayed as
+/// `(a_{n-1} … a_0)`; our slot `0` is the leftmost printed symbol
+/// `a_{n-1}` — the symbol every generator swaps. Generator `g_j`
+/// (`1 ≤ j ≤ n−1`) exchanges slots `0` and `j`; it corresponds to the
+/// paper's `π^{(i)}` with `i = n−1−j`.
+///
+/// ```
+/// use sg_star::StarGraph;
+/// use sg_perm::Perm;
+/// let s4 = StarGraph::new(4);
+/// let pi = Perm::from_slice(&[3, 2, 1, 0]).unwrap();
+/// let nbrs: Vec<String> = s4.neighbors(&pi).map(|q| q.to_string()).collect();
+/// assert_eq!(nbrs, ["(2 3 1 0)", "(1 2 3 0)", "(0 2 1 3)"]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StarGraph {
+    n: usize,
+}
+
+impl StarGraph {
+    /// Creates `S_n`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ n ≤ 20` (`n!` must fit in `u64`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!((1..=MAX_N).contains(&n), "S_n requires 1 <= n <= {MAX_N}");
+        StarGraph { n }
+    }
+
+    /// Symbol count `n` (the paper's star graph *degree* is `n−1`).
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `n!`, the number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        factorial(self.n)
+    }
+
+    /// Degree of every node: `n − 1`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Diameter `k_n = ⌊3(n−1)/2⌋` (§2 property 2; exact for `n ≠ 1`).
+    #[inline]
+    #[must_use]
+    pub fn diameter(&self) -> u32 {
+        (3 * (self.n as u32 - 1)) / 2
+    }
+
+    /// The slot-order identity node (slot `i` holds symbol `i`,
+    /// displayed `(0 1 … n−1)`). This is the base point of the
+    /// distance/routing formulas. Note it is *not* the image of the
+    /// mesh origin under the embedding — that is
+    /// `sg_core::convert::home_node`, the paper's `(n−1 n−2 ⋯ 1 0)`.
+    #[inline]
+    #[must_use]
+    pub fn identity(&self) -> Perm {
+        Perm::identity(self.n)
+    }
+
+    /// Generator indices `1..n` (generator `g_j` swaps slots 0 and `j`).
+    #[inline]
+    pub fn generators(&self) -> impl Iterator<Item = usize> {
+        1..self.n
+    }
+
+    /// Applies generator `g_j`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ j < n` or if `p` has the wrong length.
+    #[inline]
+    #[must_use]
+    pub fn apply_generator(&self, p: &Perm, j: usize) -> Perm {
+        assert_eq!(p.len(), self.n, "node belongs to a different S_n");
+        assert!(j >= 1 && j < self.n, "generator g_{j} undefined for S_{}", self.n);
+        p.with_slots_swapped(0, j)
+    }
+
+    /// All `n−1` neighbors of `p`, in generator order.
+    pub fn neighbors<'a>(&'a self, p: &'a Perm) -> impl Iterator<Item = Perm> + 'a {
+        assert_eq!(p.len(), self.n, "node belongs to a different S_n");
+        self.generators().map(move |j| p.with_slots_swapped(0, j))
+    }
+
+    /// `true` iff `a` and `b` are adjacent (differ exactly in slot 0
+    /// and one other slot).
+    #[must_use]
+    pub fn are_adjacent(&self, a: &Perm, b: &Perm) -> bool {
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        if a == b || a.symbol_at(0) == b.symbol_at(0) {
+            return false;
+        }
+        let mut diff = 0usize;
+        for i in 1..self.n {
+            if a.symbol_at(i) != b.symbol_at(i) {
+                diff += 1;
+            }
+        }
+        diff == 1 && {
+            // the two differing slots must swap the same pair
+            let j = (1..self.n)
+                .find(|&i| a.symbol_at(i) != b.symbol_at(i))
+                .expect("diff == 1");
+            a.symbol_at(0) == b.symbol_at(j) && b.symbol_at(0) == a.symbol_at(j)
+        }
+    }
+
+    /// Lehmer rank of a node (dense id in `0..n!`).
+    #[inline]
+    #[must_use]
+    pub fn rank_of(&self, p: &Perm) -> u64 {
+        assert_eq!(p.len(), self.n);
+        rank(p)
+    }
+
+    /// Node with the given Lehmer rank.
+    ///
+    /// # Panics
+    /// Panics if `r >= n!`.
+    #[inline]
+    #[must_use]
+    pub fn node_at(&self, r: u64) -> Perm {
+        unrank(r, self.n).expect("rank out of range")
+    }
+
+    /// Neighbor ranks of the node with rank `r`, in generator order.
+    #[must_use]
+    pub fn neighbor_ranks(&self, r: u64) -> Vec<u64> {
+        let p = self.node_at(r);
+        self.generators().map(|j| rank(&p.with_slots_swapped(0, j))).collect()
+    }
+
+    /// Materializes the CSR adjacency structure (only feasible for
+    /// small `n`; see `sg_graph::builders::star_graph`).
+    #[must_use]
+    pub fn to_csr(&self) -> sg_graph::CsrGraph {
+        sg_graph::builders::star_graph(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers() {
+        let s = StarGraph::new(4);
+        assert_eq!(s.node_count(), 24);
+        assert_eq!(s.degree(), 3);
+        assert_eq!(s.diameter(), 4);
+        assert_eq!(StarGraph::new(10).diameter(), 13); // floor(27/2)
+    }
+
+    #[test]
+    fn generators_are_involutions() {
+        let s = StarGraph::new(5);
+        let p = Perm::from_slice(&[3, 1, 4, 2, 0]).unwrap();
+        for j in s.generators() {
+            let q = s.apply_generator(&p, j);
+            assert_ne!(q, p);
+            assert_eq!(s.apply_generator(&q, j), p);
+            assert!(s.are_adjacent(&p, &q));
+            assert!(s.are_adjacent(&q, &p));
+        }
+    }
+
+    #[test]
+    fn paper_adjacency_example() {
+        // §2 item 3: π = (a_{n-1} … a_0) is adjacent to the nodes
+        // obtained by swapping a_{n-1} with each a_i. For (3 2 1 0):
+        let s = StarGraph::new(4);
+        let p = Perm::from_slice(&[3, 2, 1, 0]).unwrap();
+        let nbrs: Vec<Perm> = s.neighbors(&p).collect();
+        assert_eq!(nbrs.len(), 3);
+        assert_eq!(nbrs[0].as_slice(), &[2, 3, 1, 0]);
+        assert_eq!(nbrs[1].as_slice(), &[1, 2, 3, 0]);
+        assert_eq!(nbrs[2].as_slice(), &[0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn non_adjacent_cases() {
+        let s = StarGraph::new(4);
+        let p = Perm::from_slice(&[3, 2, 1, 0]).unwrap();
+        assert!(!s.are_adjacent(&p, &p));
+        // Swap of two non-front slots: not adjacent.
+        let q = p.with_slots_swapped(1, 2);
+        assert!(!s.are_adjacent(&p, &q));
+        // Distance-2 node: not adjacent.
+        let r = p.with_slots_swapped(0, 1).with_slots_swapped(0, 2);
+        assert!(!s.are_adjacent(&p, &r));
+    }
+
+    #[test]
+    fn rank_addressing_roundtrip() {
+        let s = StarGraph::new(5);
+        for r in [0u64, 1, 17, 119] {
+            assert_eq!(s.rank_of(&s.node_at(r)), r);
+        }
+    }
+
+    #[test]
+    fn neighbor_ranks_match_csr() {
+        let s = StarGraph::new(4);
+        let g = s.to_csr();
+        for r in 0..24u64 {
+            let mut ours = s.neighbor_ranks(r);
+            ours.sort_unstable();
+            let theirs: Vec<u64> =
+                g.neighbors(r as u32).iter().map(|&x| u64::from(x)).collect();
+            assert_eq!(ours, theirs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "generator g_0 undefined")]
+    fn generator_zero_rejected() {
+        let s = StarGraph::new(3);
+        let _ = s.apply_generator(&s.identity(), 0);
+    }
+}

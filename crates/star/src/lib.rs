@@ -1,0 +1,39 @@
+//! # sg-star — the star graph `S_n`
+//!
+//! The interconnection network of Akers, Harel & Krishnamurthy
+//! ([AKER87]) that the paper embeds meshes into. `S_n` has `n!` nodes,
+//! one per permutation of the symbols `0..n`; node `π` is adjacent to
+//! the `n−1` permutations obtained by swapping π's **front** symbol
+//! (display slot 0, the paper's position `n−1`) with any other slot.
+//!
+//! This crate supplies everything §2 of the paper asserts about the
+//! topology:
+//!
+//! * [`graph::StarGraph`] — generators, neighbor enumeration, rank
+//!   addressing, CSR materialization;
+//! * [`distance`] — the *exact* node-to-node distance via the
+//!   Akers–Krishnamurthy cycle-structure formula (`m + c` or
+//!   `m + c − 2`), validated against BFS in tests;
+//! * [`routing`] — constructive shortest paths (greedy front-symbol
+//!   sorting), matching the formula step-for-step;
+//! * [`substar`] — the hierarchical decomposition of `S_n` into `n`
+//!   copies of `S_{n−1}` (the engine behind broadcast and many star
+//!   algorithms);
+//! * [`broadcast`] — one-to-all broadcast schedules in the SIMD-B
+//!   model, checked against the paper's `3(n lg n − …)` budget
+//!   (§2 property 3);
+//! * [`properties`] — diameter formula `⌊3(n−1)/2⌋`, vertex symmetry
+//!   via explicit Cayley automorphisms, maximal fault tolerance
+//!   (§2 properties 1, 2 and 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod distance;
+pub mod graph;
+pub mod properties;
+pub mod routing;
+pub mod substar;
+
+pub use graph::StarGraph;

@@ -1,0 +1,143 @@
+//! Machine checks of the §2 star-graph property list.
+//!
+//! 1. *"Each node is symmetrical to every other node"* — `S_n` is a
+//!    Cayley graph, so every left translation `π ↦ σ∘π` is an
+//!    automorphism carrying the identity to `σ`;
+//!    [`left_translation_map`] builds it and tests verify it against
+//!    the generic `sg-graph` automorphism checker.
+//! 2. *Diameter* `k_n = ⌊3(n−1)/2⌋` — [`diameter_formula`], verified
+//!    against BFS.
+//! 3. *Broadcast* — see [`crate::broadcast`].
+//! 4. *Maximal fault tolerance* — connectivity `κ(S_n) = n−1`;
+//!    checked exactly via `sg-graph::connectivity` for small `n` and
+//!    by randomized fault injection beyond.
+
+use crate::StarGraph;
+use sg_graph::csr::NodeId;
+use sg_perm::Perm;
+
+/// Diameter formula `⌊3(n−1)/2⌋` (§2 property 2).
+#[must_use]
+pub fn diameter_formula(n: usize) -> u32 {
+    (3 * (n as u32 - 1)) / 2
+}
+
+/// The left-translation automorphism `π ↦ σ∘π` as an explicit vertex
+/// map on Lehmer ranks. Carries the identity node to `σ`; since `σ`
+/// is arbitrary this witnesses vertex transitivity.
+///
+/// # Panics
+/// Panics if `sigma.len() != star.n()` or `S_n` is too large to
+/// materialize the map (`n > 10`).
+#[must_use]
+pub fn left_translation_map(star: &StarGraph, sigma: &Perm) -> Vec<NodeId> {
+    assert_eq!(sigma.len(), star.n(), "sigma belongs to a different S_n");
+    assert!(star.n() <= 10, "map materializes n! entries");
+    (0..star.node_count())
+        .map(|r| {
+            let p = star.node_at(r);
+            star.rank_of(&sigma.compose(&p)) as NodeId
+        })
+        .collect()
+}
+
+/// Degree (= fault tolerance bound) of `S_n`: `n − 1`. "Maximally
+/// fault tolerant" means vertex connectivity equals this degree.
+#[must_use]
+pub fn max_fault_tolerance(n: usize) -> u32 {
+    (n as u32).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graph::connectivity::{survives_faults, vertex_connectivity};
+    use sg_graph::transitivity::is_automorphism;
+    use sg_perm::lehmer::unrank;
+    use sg_perm::factorial::factorial;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn diameter_formula_matches_bfs() {
+        for n in 2..=7usize {
+            let g = sg_graph::builders::star_graph(n);
+            assert_eq!(
+                sg_graph::metrics::diameter(&g),
+                Some(diameter_formula(n)),
+                "S_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn left_translations_are_automorphisms() {
+        for n in 3..=5usize {
+            let star = StarGraph::new(n);
+            let g = star.to_csr();
+            for seed in [1u64, 5, 11] {
+                let sigma = unrank(seed % factorial(n), n).unwrap();
+                let map = left_translation_map(&star, &sigma);
+                assert!(is_automorphism(&g, &map), "n={n} sigma={sigma}");
+                // The identity node (rank 0) maps to sigma.
+                assert_eq!(u64::from(map[0]), star.rank_of(&sigma));
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_reachable_by_translation() {
+        // Vertex transitivity, constructively: for EVERY target node σ
+        // there is an automorphism 0 ↦ σ.
+        let n = 4;
+        let star = StarGraph::new(n);
+        let g = star.to_csr();
+        for r in 0..star.node_count() {
+            let sigma = star.node_at(r);
+            let map = left_translation_map(&star, &sigma);
+            assert!(is_automorphism(&g, &map));
+            assert_eq!(u64::from(map[0]), r);
+        }
+    }
+
+    #[test]
+    fn connectivity_is_maximal_small() {
+        for n in 2..=5usize {
+            let g = sg_graph::builders::star_graph(n);
+            assert_eq!(vertex_connectivity(&g), max_fault_tolerance(n), "S_{n}");
+        }
+    }
+
+    #[test]
+    fn random_fault_injection_s6() {
+        // S_6: κ = 5, so any 4 faults leave it connected. Exact flow on
+        // 720 nodes is feasible but slow; randomized injection gives
+        // broad coverage fast.
+        let g = sg_graph::builders::star_graph(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+        let sets: Vec<Vec<NodeId>> = (0..200)
+            .map(|_| {
+                let mut s = Vec::new();
+                while s.len() < 4 {
+                    let v = rng.gen_range(0..720u32);
+                    if !s.contains(&v) {
+                        s.push(v);
+                    }
+                }
+                s
+            })
+            .collect();
+        assert!(survives_faults(&g, &sets));
+    }
+
+    #[test]
+    fn adversarial_fault_set_disconnects_at_degree() {
+        // Removing ALL n-1 neighbors of a node isolates it: κ <= n-1,
+        // so "maximal" is tight.
+        let star = StarGraph::new(4);
+        let g = star.to_csr();
+        let victim: NodeId = 7;
+        let faults: Vec<NodeId> = g.neighbors(victim).to_vec();
+        assert!(!survives_faults(&g, &[faults]));
+    }
+}

@@ -1,0 +1,146 @@
+//! Hierarchical decomposition of `S_n` into sub-stars.
+//!
+//! Fixing the symbol in the *last* slot (display slot `n−1`, the
+//! paper's position 0) partitions `S_n` into `n` node-disjoint copies
+//! of `S_{n−1}`: no generator touches the last slot except `g_{n−1}`,
+//! so the subgraph induced on each part is an `S_{n−1}` over the
+//! remaining symbols. This is the structural fact behind the star
+//! graph's recursive algorithms (broadcast, sorting) and its fault
+//! tolerance.
+
+use crate::StarGraph;
+use sg_perm::Perm;
+
+/// Label of the sub-star containing `p` when decomposing by slot
+/// `slot` (usually `n−1`): the symbol held in that slot.
+#[must_use]
+pub fn substar_label(p: &Perm, slot: usize) -> u8 {
+    p.symbol_at(slot)
+}
+
+/// Partitions all nodes of `S_n` into the `n` sub-stars obtained by
+/// fixing the last slot. Returns `groups[s]` = nodes whose last slot
+/// holds symbol `s`, each sorted by Lehmer rank.
+///
+/// Materializes all `n!` nodes — small `n` only.
+#[must_use]
+pub fn substar_partition(star: &StarGraph) -> Vec<Vec<Perm>> {
+    let n = star.n();
+    let mut groups: Vec<Vec<Perm>> = vec![Vec::new(); n];
+    for r in 0..star.node_count() {
+        let p = star.node_at(r);
+        groups[p.symbol_at(n - 1) as usize].push(p);
+    }
+    groups
+}
+
+/// The *canonical relabelling* of a node within its last-slot
+/// sub-star: deleting the last slot and compressing the remaining
+/// symbols to `0..n-1` order-preservingly yields a node of `S_{n−1}`.
+///
+/// # Panics
+/// Panics on `n = 1`.
+#[must_use]
+pub fn project_to_substar(p: &Perm) -> Perm {
+    let n = p.len();
+    assert!(n >= 2, "S_1 has no sub-stars");
+    let fixed = p.symbol_at(n - 1);
+    let mut out = Vec::with_capacity(n - 1);
+    for i in 0..n - 1 {
+        let s = p.symbol_at(i);
+        out.push(if s > fixed { s - 1 } else { s });
+    }
+    Perm::from_slice(&out).expect("projection is a valid permutation")
+}
+
+/// Inverse of [`project_to_substar`]: embeds a node `q` of `S_{n−1}`
+/// into the sub-star of `S_n` whose last slot holds `fixed`.
+///
+/// # Panics
+/// Panics if `fixed > q.len()` (must be a symbol of `0..n`).
+#[must_use]
+pub fn lift_from_substar(q: &Perm, fixed: u8) -> Perm {
+    let m = q.len();
+    assert!(
+        (fixed as usize) <= m,
+        "fixed symbol {fixed} out of range for S_{}",
+        m + 1
+    );
+    let mut out = Vec::with_capacity(m + 1);
+    for i in 0..m {
+        let s = q.symbol_at(i);
+        out.push(if s >= fixed { s + 1 } else { s });
+    }
+    out.push(fixed);
+    Perm::from_slice(&out).expect("lift is a valid permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_perm::factorial::factorial;
+
+    #[test]
+    fn partition_sizes() {
+        let star = StarGraph::new(5);
+        let groups = substar_partition(&star);
+        assert_eq!(groups.len(), 5);
+        for g in &groups {
+            assert_eq!(g.len() as u64, factorial(4));
+        }
+    }
+
+    #[test]
+    fn substars_are_closed_under_small_generators() {
+        // Generators g_1..g_{n-2} never leave a sub-star; g_{n-1} always does.
+        let star = StarGraph::new(5);
+        for r in 0..star.node_count() {
+            let p = star.node_at(r);
+            let label = substar_label(&p, 4);
+            for j in 1..4 {
+                assert_eq!(substar_label(&star.apply_generator(&p, j), 4), label);
+            }
+            assert_ne!(substar_label(&star.apply_generator(&p, 4), 4), label);
+        }
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let star = StarGraph::new(6);
+        for r in (0..star.node_count()).step_by(7) {
+            let p = star.node_at(r);
+            let fixed = p.symbol_at(5);
+            let q = project_to_substar(&p);
+            assert_eq!(q.len(), 5);
+            assert_eq!(lift_from_substar(&q, fixed), p);
+        }
+    }
+
+    #[test]
+    fn projection_preserves_adjacency() {
+        // Within a sub-star, adjacency in S_n matches adjacency of the
+        // projections in S_{n-1}.
+        let s5 = StarGraph::new(5);
+        let s4 = StarGraph::new(4);
+        let groups = substar_partition(&s5);
+        for group in &groups {
+            for p in group.iter().take(12) {
+                for j in 1..4 {
+                    let q = s5.apply_generator(p, j);
+                    assert!(s4.are_adjacent(&project_to_substar(p), &project_to_substar(&q)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lift_respects_label() {
+        let q = Perm::from_slice(&[2, 0, 1]).unwrap();
+        for fixed in 0..=3u8 {
+            let p = lift_from_substar(&q, fixed);
+            assert_eq!(p.len(), 4);
+            assert_eq!(p.symbol_at(3), fixed);
+            assert_eq!(project_to_substar(&p), q);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Structural tests of the sub-star hierarchy at sizes beyond the
+//! unit tests, plus routing/distance interplay.
+
+use sg_perm::factorial::factorial;
+use sg_perm::lehmer::unrank;
+use sg_star::distance::{distance, length_to_identity};
+use sg_star::routing::{route_generators, shortest_path};
+use sg_star::substar::{lift_from_substar, project_to_substar, substar_label, substar_partition};
+use sg_star::StarGraph;
+
+#[test]
+fn s6_decomposes_into_six_s5() {
+    let star = StarGraph::new(6);
+    let groups = substar_partition(&star);
+    assert_eq!(groups.len(), 6);
+    for (label, group) in groups.iter().enumerate() {
+        assert_eq!(group.len() as u64, factorial(5));
+        for p in group.iter().step_by(13) {
+            assert_eq!(substar_label(p, 5) as usize, label);
+            // Projection lands in S_5 and lifts back.
+            let q = project_to_substar(p);
+            assert_eq!(q.len(), 5);
+            assert_eq!(lift_from_substar(&q, label as u8), *p);
+        }
+    }
+}
+
+#[test]
+fn recursive_decomposition_depth() {
+    // Project twice: S_7 -> S_6 -> S_5, checking adjacency survives.
+    let s7 = StarGraph::new(7);
+    let s6 = StarGraph::new(6);
+    let s5 = StarGraph::new(5);
+    for seed in [3u64, 1000, 4999] {
+        let p = s7.node_at(seed % s7.node_count());
+        for j in 1..5 {
+            let q = s7.apply_generator(&p, j);
+            // Same S_6 sub-star (slot 6 untouched) and same S_5 sub-sub-star.
+            let (p1, q1) = (project_to_substar(&p), project_to_substar(&q));
+            assert!(s6.are_adjacent(&p1, &q1));
+            let (p2, q2) = (project_to_substar(&p1), project_to_substar(&q1));
+            assert!(s5.are_adjacent(&p2, &q2));
+        }
+    }
+}
+
+#[test]
+fn distance_within_substar_never_shortcut_outside() {
+    // For nodes in the same sub-star, the S_n distance equals the
+    // S_{n-1} distance of their projections: leaving the sub-star
+    // never helps (a known property; verified here for n = 6).
+    let n = 6;
+    for seeds in [(1u64, 2u64), (55, 700), (13, 77), (100, 101)] {
+        let a = unrank(seeds.0 % factorial(n - 1), n - 1).unwrap();
+        let b = unrank(seeds.1 % factorial(n - 1), n - 1).unwrap();
+        for label in 0..n as u8 {
+            let la = lift_from_substar(&a, label);
+            let lb = lift_from_substar(&b, label);
+            assert_eq!(distance(&la, &lb), distance(&a, &b), "label {label}");
+        }
+    }
+}
+
+#[test]
+fn routes_respect_diameter_at_large_n() {
+    // Random pairs in S_12 (479M nodes — formula and router are O(n),
+    // no materialization needed).
+    let n = 12;
+    for seed in 0..200u64 {
+        let a = unrank((seed * 2_654_435_761) % factorial(n), n).unwrap();
+        let b = unrank((seed * 40_503 + 7) % factorial(n), n).unwrap();
+        let gens = route_generators(&a, &b);
+        assert!(gens.len() as u32 <= (3 * (n as u32 - 1)) / 2);
+        assert_eq!(gens.len() as u32, distance(&a, &b));
+        let mut cur = a;
+        for j in gens {
+            cur.swap_slots(0, j);
+        }
+        assert_eq!(cur, b);
+    }
+}
+
+#[test]
+fn path_nodes_are_distinct() {
+    // Shortest paths are simple.
+    let n = 9;
+    for seed in 0..50u64 {
+        let a = unrank((seed * 7 + 1) % factorial(n), n).unwrap();
+        let b = unrank((seed * 7919 + 3) % factorial(n), n).unwrap();
+        let path = shortest_path(&a, &b);
+        let set: std::collections::HashSet<_> = path.iter().collect();
+        assert_eq!(set.len(), path.len(), "path revisits a node");
+    }
+}
+
+#[test]
+fn distance_distribution_matches_bfs_histogram() {
+    // Aggregate check at n = 7: count nodes at each distance from the
+    // identity via the formula, compare against BFS.
+    let n = 7;
+    let g = sg_graph::builders::star_graph(n);
+    let id_rank = sg_perm::lehmer::rank(&sg_perm::Perm::identity(n)) as u32;
+    let tree = sg_graph::bfs::bfs(&g, id_rank);
+    let mut bfs_hist = vec![0u64; 16];
+    for &d in &tree.dist {
+        bfs_hist[d as usize] += 1;
+    }
+    let mut formula_hist = vec![0u64; 16];
+    for r in 0..factorial(n) {
+        let p = unrank(r, n).unwrap();
+        formula_hist[length_to_identity(&p) as usize] += 1;
+    }
+    assert_eq!(bfs_hist, formula_hist);
+    // Diameter bucket is the last nonempty one: floor(3*6/2) = 9.
+    assert!(formula_hist[9] > 0);
+    assert!(formula_hist[10..].iter().all(|&c| c == 0));
+}

@@ -1,0 +1,91 @@
+//! Broadcast strategies and fault tolerance on `S_n` (§2 properties).
+//!
+//! ```sh
+//! cargo run --release --example broadcast_faults
+//! ```
+//!
+//! 1. Compares two broadcasts: the mesh dimension-sweep executed
+//!    through the embedding vs native star-graph flooding, against the
+//!    paper's `3 n lg n` budget and the `⌈log₂ n!⌉` lower bound.
+//! 2. Demonstrates "maximally fault tolerant": `S_n` survives any
+//!    `n−2` node faults; removing all `n−1` neighbors of a node
+//!    disconnects it.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use star_mesh_embedding::algo::broadcast::broadcast;
+use star_mesh_embedding::graph::connectivity::{survives_faults, vertex_connectivity};
+use star_mesh_embedding::prelude::*;
+use star_mesh_embedding::star::broadcast::{flood_schedule, lower_bound, paper_bound, verify_schedule};
+
+fn main() {
+    println!("=== Broadcast: embedded mesh sweep vs native star flooding ===\n");
+    println!(
+        "{:>3} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "n", "N=n!", "mesh->star", "star flood", "lower bnd", "3n lg n"
+    );
+    for n in 3..=7usize {
+        // (a) Mesh dimension sweep through the embedding.
+        let dn = DnMesh::new(n);
+        let mut m: EmbeddedMeshMachine<Option<u64>> = EmbeddedMeshMachine::new(n);
+        let mut init: Vec<Option<u64>> = vec![None; dn.node_count() as usize];
+        init[0] = Some(7);
+        m.load("B", init);
+        broadcast(&mut m, "B", &dn.point_at(0));
+        assert!(m.read("B").iter().all(|v| v.is_some()));
+        let embedded_routes = m.stats().physical_routes;
+
+        // (b) Native star flooding.
+        let star = StarGraph::new(n);
+        let sched = flood_schedule(&star, 0);
+        let flood_routes = verify_schedule(&star, &sched).expect("valid schedule");
+
+        println!(
+            "{:>3} {:>8} {:>12} {:>12} {:>10} {:>12.1}",
+            n,
+            star.node_count(),
+            embedded_routes,
+            flood_routes,
+            lower_bound(n),
+            paper_bound(n)
+        );
+        assert!((flood_routes as f64) <= paper_bound(n));
+    }
+
+    println!("\n=== Maximal fault tolerance (kappa(S_n) = n-1) ===\n");
+    for n in 3..=5usize {
+        let g = star_mesh_embedding::graph::builders::star_graph(n);
+        let kappa = vertex_connectivity(&g);
+        println!("S_{n}: vertex connectivity = {kappa} (degree {})", n - 1);
+        assert_eq!(kappa, (n - 1) as u32);
+    }
+
+    // Random (n-2)-fault injection on S_6 (kappa = 5 ⇒ any 4 faults OK).
+    let g6 = star_mesh_embedding::graph::builders::star_graph(6);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let sets: Vec<Vec<u32>> = (0..500)
+        .map(|_| {
+            let mut s = Vec::new();
+            while s.len() < 4 {
+                let v = rng.gen_range(0..720u32);
+                if !s.contains(&v) {
+                    s.push(v);
+                }
+            }
+            s
+        })
+        .collect();
+    println!(
+        "\nS_6 under 500 random 4-fault injections: all survive = {}",
+        survives_faults(&g6, &sets)
+    );
+
+    // Tightness: kill one node's entire neighborhood.
+    let victim = 100u32;
+    let faults: Vec<u32> = g6.neighbors(victim).to_vec();
+    println!(
+        "S_6 with all {} neighbors of node {victim} removed: survives = {}",
+        faults.len(),
+        survives_faults(&g6, &[faults])
+    );
+}

@@ -1,0 +1,57 @@
+//! Image smoothing on the star graph — the §1 motivation, measured.
+//!
+//! ```sh
+//! cargo run --example image_smoothing
+//! ```
+//!
+//! The paper motivates mesh embeddings with image-processing
+//! workloads: stencils need mesh-proximate data. We run a Jacobi
+//! smoothing kernel over `D_n` twice — natively and on `S_n` through
+//! the embedding — and compare results (bitwise equal) and unit-route
+//! costs (star pays at most 3×).
+
+use star_mesh_embedding::algo::stencil::{smooth, Fixed};
+use star_mesh_embedding::prelude::*;
+
+fn checkerboard(size: usize) -> Vec<Fixed> {
+    (0..size).map(|i| if i % 2 == 0 { 1000 } else { 0 }).collect()
+}
+
+fn main() {
+    println!("=== Jacobi smoothing: native mesh vs star graph ===\n");
+    println!(
+        "{:>3} {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "n", "PEs", "mesh routes", "star routes", "slowdown", "equal?"
+    );
+    for n in 3..=7usize {
+        let dn = DnMesh::new(n);
+        let size = dn.node_count() as usize;
+        let image = checkerboard(size);
+        let iters = 3;
+
+        let mut native: MeshMachine<Fixed> = MeshMachine::new(dn.shape().clone());
+        native.load("I", image.clone());
+        smooth(&mut native, "I", iters);
+
+        let mut star: EmbeddedMeshMachine<Fixed> = EmbeddedMeshMachine::new(n);
+        star.load("I", image);
+        smooth(&mut star, "I", iters);
+
+        let equal = native.read("I") == star.read("I");
+        println!(
+            "{:>3} {:>8} {:>12} {:>12} {:>12.3} {:>9}",
+            n,
+            size,
+            native.stats().physical_routes,
+            star.stats().physical_routes,
+            star.stats().physical_routes as f64 / native.stats().physical_routes as f64,
+            equal
+        );
+        assert!(equal, "the embedded machine must be bit-exact");
+    }
+    println!(
+        "\nEvery iteration costs 2 routes per dimension; dimension n-1's \
+         routes cost 1 star route (its mesh edges are star edges), the \
+         rest cost 3 — hence the sub-3 slowdowns."
+    );
+}

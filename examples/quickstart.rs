@@ -1,0 +1,68 @@
+//! Quickstart: the paper's embedding in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Maps the mesh `D_4 = 2×3×4` onto the star graph `S_4` (Figure 7),
+//! walks the §3.2 worked examples, and audits dilation/expansion with
+//! the generic embedding analyzer.
+
+use star_mesh_embedding::core::convert::{convert_d_s, convert_s_d, mapping_table};
+use star_mesh_embedding::core::dilation::audit_dilation;
+use star_mesh_embedding::core::embedding::star_mesh_embedding;
+use star_mesh_embedding::prelude::*;
+
+fn main() {
+    let n = 4;
+    println!("=== Embedding D_{n} = 2x3x4 into S_{n} (n! = 24 nodes) ===\n");
+
+    // --- The paper's §3.2 worked example -------------------------------
+    let d = MeshPoint::new(&[3, 0, 1]).expect("valid point");
+    let pi = convert_d_s(&d);
+    println!("CONVERT-D-S {d}  ->  {pi}     (paper: (0 3 1 2))");
+    let back = convert_s_d(&pi);
+    println!("CONVERT-S-D {pi}  ->  {back}\n");
+    assert_eq!(back, d);
+
+    // --- Figure 7: the full mapping table ------------------------------
+    println!("Figure 7 — V(D_4) <-> V(S_4):");
+    let table = mapping_table(n);
+    for row in table.chunks(2) {
+        let line: Vec<String> =
+            row.iter().map(|(m, s)| format!("{m} {s}")).collect();
+        println!("  {}", line.join("    "));
+    }
+
+    // --- Theorem 4: dilation audit --------------------------------------
+    let report = audit_dilation(n);
+    println!(
+        "\nTheorem 4 audit: {} mesh edges, distance histogram {:?} -> dilation {}",
+        report.edges,
+        report.histogram,
+        report.dilation()
+    );
+    assert_eq!(report.dilation(), 3);
+
+    // --- §3.1 metrics through the generic analyzer ----------------------
+    let metrics = star_mesh_embedding(n).analyze().expect("valid embedding");
+    println!(
+        "Embedding metrics: expansion {}, dilation {}, congestion {}",
+        metrics.expansion, metrics.dilation, metrics.congestion
+    );
+
+    // --- Theorem 6: one mesh unit route = 3 star unit routes ------------
+    let mut machine: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+    machine.load("B", (0..24u64).collect());
+    for dim in 1..n {
+        machine.route("B", dim, Sign::Plus);
+    }
+    let stats = machine.stats();
+    println!(
+        "\nTheorem 6: {} logical mesh routes executed in {} star unit routes \
+         (slowdown {:.2}, bound 3.0)",
+        stats.logical_mesh_routes,
+        stats.physical_routes,
+        stats.slowdown().expect("routes executed")
+    );
+}

@@ -1,0 +1,65 @@
+//! Sorting n! keys on the star graph (§5 + Appendix, end to end).
+//!
+//! ```sh
+//! cargo run --release --example star_shearsort
+//! ```
+//!
+//! The conclusion of the paper discusses sorting on the star graph via
+//! mesh simulation. This example runs the full stack:
+//!
+//!   shearsort  →  2-D grouped (Appendix snake) view  →  D_n mesh
+//!   routes  →  dilation-3 paths  →  SIMD-B star unit routes,
+//!
+//! and prints the route bill at every layer.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use star_mesh_embedding::algo::grouped::{GroupedGeometry, GroupedMachine};
+use star_mesh_embedding::algo::shearsort::shearsort;
+use star_mesh_embedding::algo::util::{is_sorted_snake, snake_order_2d};
+use star_mesh_embedding::prelude::*;
+
+fn main() {
+    println!("=== Shearsort N = n! keys on S_n via the 2-D Appendix view ===\n");
+    println!(
+        "{:>3} {:>7} {:>10} {:>14} {:>14} {:>12}",
+        "n", "N=n!", "2-D shape", "virtual routes", "star routes", "sorted?"
+    );
+    for n in 4..=6usize {
+        let geom = GroupedGeometry::appendix(n, 2);
+        let vshape = geom.virtual_shape().clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let keys: Vec<u64> =
+            (0..vshape.size()).map(|_| rng.gen_range(0..1_000_000)).collect();
+
+        let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+        let mut grouped = GroupedMachine::new(&mut star, geom);
+        grouped.load("K", keys.clone());
+        let virtual_routes = shearsort(&mut grouped, "K");
+        let out = grouped.read("K");
+        let sorted = is_sorted_snake(&vshape, &out);
+        let star_routes = grouped.stats().physical_routes;
+        println!(
+            "{:>3} {:>7} {:>10} {:>14} {:>14} {:>12}",
+            n,
+            vshape.size(),
+            format!("{}x{}", vshape.extent(1), vshape.extent(2)),
+            virtual_routes,
+            star_routes,
+            sorted
+        );
+        assert!(sorted);
+
+        // Spot-check the snake output against a plain sort.
+        let mut expect = keys;
+        expect.sort_unstable();
+        let got: Vec<u64> =
+            snake_order_2d(&vshape).iter().map(|&i| out[i as usize]).collect();
+        assert_eq!(got, expect, "n={n}");
+    }
+    println!(
+        "\nEach virtual unit route expands into a few masked D_n routes \
+         (the Appendix's O(1) constant), and each of those into at most \
+         3 star unit routes (Theorem 6)."
+    );
+}

@@ -1,0 +1,69 @@
+//! The §4 story: why *uniform* meshes simulate poorly, and what the
+//! Appendix does about it.
+//!
+//! ```sh
+//! cargo run --release --example uniform_mesh_cost
+//! ```
+//!
+//! Prints (1) the Theorem-8 per-step slowdown of simulating the
+//! uniform `(n−1)`-dimensional mesh on `D_n`, (2) a *measured*
+//! congestion for small cases via the Atallah block mapping, and
+//! (3) the Appendix's optimal-dimension sweep.
+
+use star_mesh_embedding::mesh::atallah::BlockMap;
+use star_mesh_embedding::mesh::factorization::{
+    factorize, optimal_dimension_sweep, paper_predicted_optimal_dimension,
+    predicted_optimal_dimension,
+};
+use star_mesh_embedding::mesh::uniform::{thm8_slowdown, thm9_slowdown_log2, UniformMesh};
+use star_mesh_embedding::prelude::*;
+
+fn main() {
+    println!("=== Theorem 8/9: per-step slowdown, uniform mesh on D_n ===\n");
+    println!("{:>3} {:>10} {:>16} {:>16}", "n", "N=n!", "thm8 slowdown", "log2(thm9)");
+    for n in 4..=12usize {
+        let full = MeshShape::new(&(2..=n).collect::<Vec<_>>()).unwrap();
+        println!(
+            "{:>3} {:>10} {:>16.1} {:>16.2}",
+            n,
+            full.size(),
+            thm8_slowdown(&full),
+            thm9_slowdown_log2(n)
+        );
+    }
+
+    println!("\n=== Measured congestion: uniform U on rectangular R (Atallah map) ===\n");
+    println!(
+        "{:>3} {:>3} {:>12} {:>12} {:>10} {:>12}",
+        "n", "d", "R shape", "U side", "max load", "congestion"
+    );
+    for (n, d) in [(5usize, 2usize), (6, 2), (6, 3), (7, 2)] {
+        let ext = factorize(n, d);
+        let r = MeshShape::new(&ext.iter().map(|&x| x as usize).collect::<Vec<_>>()).unwrap();
+        let u = UniformMesh::nearest(r.size(), d);
+        let map = BlockMap::new(u, r.clone());
+        let (_, max_load) = map.load_stats();
+        println!(
+            "{:>3} {:>3} {:>12} {:>12} {:>10} {:>12}",
+            n,
+            d,
+            format!("{ext:?}"),
+            u.side,
+            max_load,
+            map.worst_route_congestion()
+        );
+    }
+
+    println!("\n=== Appendix: optimal simulation dimension sweep ===\n");
+    for n in [8usize, 10, 12] {
+        let (sweep, best) = optimal_dimension_sweep(n);
+        let curve: Vec<String> =
+            sweep.iter().map(|(d, c)| format!("d{d}:{c:.1}")).collect();
+        println!("n={n}: log2-cost {}", curve.join(" "));
+        println!(
+            "      best d = {best}; sqrt(2 log2 N) = {:.2}; paper's half-sqrt = {:.2}\n",
+            predicted_optimal_dimension(n),
+            paper_predicted_optimal_dimension(n)
+        );
+    }
+}

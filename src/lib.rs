@@ -1,0 +1,52 @@
+//! # star-mesh-embedding
+//!
+//! Umbrella crate re-exporting the full workspace API for the
+//! reproduction of Ranka, Wang & Yeh, *Embedding Meshes on the Star
+//! Graph* (SC'90): an expansion-1, dilation-3 embedding of the
+//! `2 × 3 × ⋯ × n` mesh `D_n` into the star graph `S_n`, plus the
+//! route-level SIMD machinery showing that one mesh unit route costs
+//! exactly three star unit routes (Theorem 6).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use star_mesh_embedding::prelude::*;
+//!
+//! // Map mesh node (3,0,1) of D_4 onto S_4 — the paper's §3.2 example.
+//! let d = MeshPoint::new(&[3, 0, 1]).unwrap();
+//! let pi = convert_d_s(&d);
+//! assert_eq!(pi.to_string(), "(0 3 1 2)");
+//! assert_eq!(convert_s_d(&pi), d);
+//! ```
+//!
+//! See the crate-level docs of each member crate for the details:
+//! [`sg_perm`], [`sg_graph`], [`sg_star`], [`sg_mesh`], [`sg_core`],
+//! [`sg_simd`], [`sg_algo`].
+
+#![forbid(unsafe_code)]
+
+pub use sg_algo as algo;
+pub use sg_core as core;
+pub use sg_graph as graph;
+pub use sg_mesh as mesh;
+pub use sg_perm as perm;
+pub use sg_simd as simd;
+pub use sg_star as star;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use sg_core::convert::{convert_d_s, convert_s_d};
+    pub use sg_core::embedding::{Embedding, EmbeddingMetrics};
+    pub use sg_core::lemma3::{mesh_neighbor_minus, mesh_neighbor_plus};
+    pub use sg_core::paths::dilation3_path;
+    pub use sg_mesh::shape::MeshShape;
+    pub use sg_mesh::coords::MeshPoint;
+    pub use sg_mesh::dn::DnMesh;
+    pub use sg_perm::{Perm, PermIter};
+    pub use sg_mesh::shape::Sign;
+    pub use sg_simd::embedded::EmbeddedMeshMachine;
+    pub use sg_simd::machine::{MeshSimd, RouteStats};
+    pub use sg_simd::mesh_machine::MeshMachine;
+    pub use sg_simd::star_machine::StarMachine;
+    pub use sg_star::graph::StarGraph;
+}

@@ -1,0 +1,155 @@
+//! The Appendix machinery stacked to full depth: virtual d-dimensional
+//! meshes over D_n over the star graph, exercised with every algorithm
+//! in the suite.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use star_mesh_embedding::algo::grouped::{GroupedGeometry, GroupedMachine};
+use star_mesh_embedding::algo::oddeven::odd_even_sort;
+use star_mesh_embedding::algo::reduce::all_reduce;
+use star_mesh_embedding::algo::scan::scan;
+use star_mesh_embedding::algo::util::lines_sorted;
+use star_mesh_embedding::prelude::*;
+
+fn keys(count: u64, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(0..100_000)).collect()
+}
+
+#[test]
+fn three_dimensional_grouped_view_routes_correctly() {
+    // d = 3 view of D_6: extents [18, 10, 4].
+    let geom = GroupedGeometry::appendix(6, 3);
+    let vshape = geom.virtual_shape().clone();
+    assert_eq!(vshape.extents(), &[18, 10, 4]);
+    let data = keys(vshape.size(), 1);
+
+    // Reference on a genuine 3-D machine.
+    let mut flat: MeshMachine<u64> = MeshMachine::new(vshape.clone());
+    flat.load("A", data.clone());
+    let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+    let mut grouped = GroupedMachine::new(&mut inner, geom);
+    grouped.load("A", data);
+
+    for (dim, sign) in [(1, Sign::Plus), (2, Sign::Minus), (3, Sign::Plus), (2, Sign::Plus)] {
+        flat.route("A", dim, sign);
+        grouped.route("A", dim, sign);
+        assert_eq!(flat.read("A"), grouped.read("A"), "dim={dim} {sign:?}");
+    }
+}
+
+#[test]
+fn scan_on_grouped_star_stack() {
+    // Prefix sums along the long virtual dimension of D_5 (15 x 8),
+    // executed on S_5 at the bottom of the stack.
+    let geom = GroupedGeometry::appendix(5, 2);
+    let vshape = geom.virtual_shape().clone();
+    let data = keys(vshape.size(), 2);
+
+    let mut flat: MeshMachine<u64> = MeshMachine::new(vshape.clone());
+    flat.load("A", data.clone());
+    scan(&mut flat, "A", 1, |a, b| a + b);
+
+    let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(5);
+    let mut grouped = GroupedMachine::new(&mut star, geom);
+    grouped.load("A", data);
+    scan(&mut grouped, "A", 1, |a, b| a + b);
+
+    assert_eq!(flat.read("A"), grouped.read("A"));
+}
+
+#[test]
+fn all_reduce_on_grouped_star_stack() {
+    let geom = GroupedGeometry::appendix(4, 2);
+    let vshape = geom.virtual_shape().clone();
+    let data = keys(vshape.size(), 3);
+    let expect: u64 = data.iter().sum();
+
+    let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(4);
+    let mut grouped = GroupedMachine::new(&mut star, geom);
+    grouped.load("A", data);
+    all_reduce(&mut grouped, "A", |a, b| a + b);
+    assert!(grouped.read("A").iter().all(|&v| v == expect));
+}
+
+#[test]
+fn odd_even_on_virtual_rows_of_the_star() {
+    let geom = GroupedGeometry::appendix(5, 2);
+    let vshape = geom.virtual_shape().clone();
+    let data = keys(vshape.size(), 4);
+
+    let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(5);
+    let mut grouped = GroupedMachine::new(&mut star, geom);
+    grouped.load("K", data);
+    odd_even_sort(&mut grouped, "K", 1, &|_| true);
+    assert!(lines_sorted(&vshape, &grouped.read("K"), 1, &|_| true));
+}
+
+#[test]
+fn route_cost_layering_is_multiplicative() {
+    // virtual route -> (classes) inner routes -> (<=3x) star routes.
+    let geom = GroupedGeometry::appendix(5, 2);
+    let group1_size = 2; // dims {4, 2} for n=5, d=2, group 1
+
+    let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+    let mut g1 = GroupedMachine::new(&mut inner, geom.clone());
+    g1.load("A", keys(g1.shape().size(), 5));
+    g1.route("A", 1, Sign::Plus);
+    let inner_routes = g1.stats().physical_routes;
+    assert!(inner_routes >= 1 && inner_routes <= 2 * group1_size as u64);
+
+    let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(5);
+    let mut g2 = GroupedMachine::new(&mut star, geom);
+    g2.load("A", keys(g2.shape().size(), 5));
+    g2.route("A", 1, Sign::Plus);
+    let star_routes = g2.stats().physical_routes;
+    assert!(star_routes <= 3 * inner_routes);
+    assert!(star_routes >= inner_routes);
+}
+
+#[test]
+fn degenerate_groupings() {
+    // d = n-1: every group is a single dimension; the grouped view must
+    // behave exactly like the raw D_n machine.
+    let n = 4;
+    let geom = GroupedGeometry::appendix(n, n - 1);
+    let data = keys(24, 6);
+    let vshape = geom.virtual_shape().clone();
+
+    let mut plain: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+    plain.load("A", data.clone());
+    // Load the grouped machine with the SAME physical placement: its
+    // load() takes virtual order, so permute inner-ordered data first.
+    let vdata: Vec<u64> = (0..vshape.size())
+        .map(|vidx| {
+            let ip = geom.inner_point(&vshape.point_at(vidx));
+            data[geom.inner_shape().index_of(&ip) as usize]
+        })
+        .collect();
+    let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
+    let mut grouped = GroupedMachine::new(&mut inner, geom.clone());
+    grouped.load("A", vdata);
+
+    // Virtual dim k is inner dim n-k (groups are singletons here), so
+    // corresponding routes must move the same physical data.
+    for (vdim, idim) in (1..n).map(|k| (k, n - k)) {
+        plain.route("A", idim, Sign::Plus);
+        grouped.route("A", vdim, Sign::Plus);
+        let v = grouped.read("A");
+        let inner_after = plain.read("A");
+        for vidx in 0..vshape.size() {
+            let ip = geom.inner_point(&vshape.point_at(vidx));
+            let iidx = geom.inner_shape().index_of(&ip);
+            assert_eq!(
+                v[vidx as usize], inner_after[iidx as usize],
+                "vdim={vdim} idim={idim}"
+            );
+        }
+    }
+
+    // A single-dimension snake is the identity linearization.
+    for k in 1..n {
+        let group_len = geom.virtual_shape().extent(k);
+        assert!(group_len >= 2);
+    }
+}

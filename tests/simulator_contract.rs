@@ -1,0 +1,122 @@
+//! The SIMD machine contracts of §2, exercised adversarially: the
+//! simulator must *reject* physically impossible communication, not
+//! silently absorb it — that discipline is what makes the Lemma-5
+//! runs meaningful certificates.
+
+use star_mesh_embedding::prelude::*;
+use star_mesh_embedding::simd::star_machine::StarMachine;
+
+#[test]
+fn simd_b_rejects_double_delivery() {
+    // Two PEs targeting one receiver must fail, leave the register
+    // untouched, and not count a unit route.
+    let probe: StarMachine<i32> = StarMachine::new(4);
+    let target = 5usize;
+    let a = probe.neighbor_rank(target, 1) as u64;
+    let b = probe.neighbor_rank(target, 3) as u64;
+
+    let mut m: StarMachine<i32> = StarMachine::new(4);
+    m.load("A", (0..24).collect());
+    let before = m.read("A");
+    let err = m
+        .route_select("A", &|pe, _| {
+            if pe == a {
+                Some(1)
+            } else if pe == b {
+                Some(3)
+            } else {
+                None
+            }
+        })
+        .unwrap_err();
+    assert_eq!(err.receiver, target as u64);
+    assert_eq!(m.read("A"), before);
+    assert_eq!(m.stats().physical_routes, 0);
+}
+
+#[test]
+fn simd_a_star_route_is_involution_for_all_generators() {
+    let mut m: StarMachine<u64> = StarMachine::new(5);
+    let data: Vec<u64> = (0..120).map(|x| x * x).collect();
+    m.load("A", data.clone());
+    for j in 1..5 {
+        m.route_generator("A", j);
+        assert_ne!(m.read("A"), data, "g_{j} moved data");
+        m.route_generator("A", j);
+        assert_eq!(m.read("A"), data, "g_{j} is an involution");
+    }
+    assert_eq!(m.stats().physical_routes, 8);
+}
+
+#[test]
+fn mesh_machine_boundary_semantics_every_dim() {
+    // §2: "provided they exist" — boundary PEs must keep their value.
+    let dn = DnMesh::new(4);
+    let mut m: MeshMachine<u64> = MeshMachine::new(dn.shape().clone());
+    let data: Vec<u64> = (100..124).collect();
+    m.load("B", data.clone());
+    for dim in 1..4 {
+        let shape = dn.shape().clone();
+        let before = m.read("B");
+        m.route("B", dim, Sign::Plus);
+        let after = m.read("B");
+        for idx in 0..shape.size() {
+            let p = shape.point_at(idx);
+            if p.d(dim) == 0 {
+                assert_eq!(
+                    after[idx as usize], before[idx as usize],
+                    "low-boundary PE {p} must keep its value"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn embedded_machine_scratch_register_is_isolated() {
+    // A route must not disturb OTHER registers on the star machine.
+    let n = 4;
+    let mut m: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+    m.load("A", (0..24).collect());
+    m.load("B", (100..124).collect());
+    let a_before = m.read("A");
+    m.route("B", 1, Sign::Plus);
+    assert_eq!(m.read("A"), a_before, "routing B must not touch A");
+}
+
+#[test]
+fn update_masks_match_paper_notation() {
+    // A(i) := A(i) + 1, (f(i) = y): masked increment on both machines.
+    let n = 4;
+    let dn = DnMesh::new(n);
+    let mut native: MeshMachine<i64> = MeshMachine::new(dn.shape().clone());
+    let mut star: EmbeddedMeshMachine<i64> = EmbeddedMeshMachine::new(n);
+    native.load("A", vec![0; 24]);
+    star.load("A", vec![0; 24]);
+    let mask = |p: &MeshPoint| p.d(3) == 2; // f(i) = y
+    native.update("A", &mut |p, v| {
+        if mask(p) {
+            *v += 1;
+        }
+    });
+    star.update("A", &mut |p, v| {
+        if mask(p) {
+            *v += 1;
+        }
+    });
+    assert_eq!(native.read("A"), star.read("A"));
+    let marked: i64 = star.read("A").iter().sum();
+    assert_eq!(marked, 6); // 24/4 nodes have d_3 = 2
+}
+
+#[test]
+fn route_stats_are_additive_across_programs() {
+    let n = 4;
+    let mut m: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
+    m.load("B", (0..24).collect());
+    m.route("B", 1, Sign::Plus); // 3
+    m.route("B", 3, Sign::Minus); // 1
+    m.route("B", 2, Sign::Plus); // 3
+    assert_eq!(m.stats().logical_mesh_routes, 3);
+    assert_eq!(m.stats().physical_routes, 7);
+}
