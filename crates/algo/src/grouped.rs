@@ -47,7 +47,11 @@ pub fn snake_walk(extents: &[usize]) -> Vec<Vec<u32>> {
                 coords[t] > 0
             };
             if can {
-                coords[t] = if dirs[t] { coords[t] + 1 } else { coords[t] - 1 };
+                coords[t] = if dirs[t] {
+                    coords[t] + 1
+                } else {
+                    coords[t] - 1
+                };
                 break;
             }
             dirs[t] = !dirs[t];
@@ -107,8 +111,14 @@ impl SnakeGroup {
         };
         let a = &self.order[v as usize];
         let b = &self.order[next as usize];
-        let slot = (0..a.len()).find(|&s| a[s] != b[s]).expect("snake step moves");
-        let isign = if b[slot] > a[slot] { Sign::Plus } else { Sign::Minus };
+        let slot = (0..a.len())
+            .find(|&s| a[s] != b[s])
+            .expect("snake step moves");
+        let isign = if b[slot] > a[slot] {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         Some((self.dims[slot], isign))
     }
 }
@@ -144,13 +154,17 @@ impl GroupedGeometry {
             seen[1..].iter().all(|&b| b),
             "partition must cover every inner dimension"
         );
-        let groups: Vec<SnakeGroup> =
-            partition.iter().map(|dims| SnakeGroup::new(inner, dims.clone())).collect();
-        let vshape = MeshShape::new(
-            &groups.iter().map(SnakeGroup::len).collect::<Vec<_>>(),
-        )
-        .expect("nonempty partition");
-        GroupedGeometry { inner: inner.clone(), groups, vshape }
+        let groups: Vec<SnakeGroup> = partition
+            .iter()
+            .map(|dims| SnakeGroup::new(inner, dims.clone()))
+            .collect();
+        let vshape = MeshShape::new(&groups.iter().map(SnakeGroup::len).collect::<Vec<_>>())
+            .expect("nonempty partition");
+        GroupedGeometry {
+            inner: inner.clone(),
+            groups,
+            vshape,
+        }
     }
 
     /// The Appendix partition of `D_n` into `d` groups: group `k`
@@ -176,7 +190,11 @@ impl GroupedGeometry {
         // Cross-check against the factorization module: virtual dim k
         // has extent l_k, and factorize returns [l_1, …, l_d].
         debug_assert_eq!(
-            geom.vshape.extents().iter().map(|&x| x as u64).collect::<Vec<_>>(),
+            geom.vshape
+                .extents()
+                .iter()
+                .map(|&x| x as u64)
+                .collect::<Vec<_>>(),
             factorize(n, d)
         );
         geom
@@ -248,8 +266,17 @@ impl<'a, T: Clone, M: MeshSimd<T>> GroupedMachine<'a, T, M> {
     /// Panics if the geometry's inner shape differs from the
     /// machine's.
     pub fn new(inner: &'a mut M, geom: GroupedGeometry) -> Self {
-        assert_eq!(inner.shape(), &geom.inner, "geometry built for another shape");
-        GroupedMachine { inner, geom, stats: RouteStats::default(), _marker: std::marker::PhantomData }
+        assert_eq!(
+            inner.shape(),
+            &geom.inner,
+            "geometry built for another shape"
+        );
+        GroupedMachine {
+            inner,
+            geom,
+            stats: RouteStats::default(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// The geometry (for mapping indices in reports).
@@ -284,8 +311,13 @@ impl<'a, T: Clone, M: MeshSimd<T>> MeshSimd<T> for GroupedMachine<'a, T, M> {
             let ip = self.geom.inner_point(&vp);
             by_inner[inner_shape.index_of(&ip) as usize] = Some(v);
         }
-        self.inner
-            .load(reg, by_inner.into_iter().map(|o| o.expect("bijection")).collect());
+        self.inner.load(
+            reg,
+            by_inner
+                .into_iter()
+                .map(|o| o.expect("bijection"))
+                .collect(),
+        );
     }
 
     fn read(&self, reg: &str) -> Vec<T> {
@@ -302,7 +334,8 @@ impl<'a, T: Clone, M: MeshSimd<T>> MeshSimd<T> for GroupedMachine<'a, T, M> {
 
     fn update(&mut self, reg: &str, f: &mut dyn FnMut(&MeshPoint, &mut T)) {
         let geom = self.geom.clone();
-        self.inner.update(reg, &mut |ip, v| f(&geom.virtual_point(ip), v));
+        self.inner
+            .update(reg, &mut |ip, v| f(&geom.virtual_point(ip), v));
     }
 
     fn combine(&mut self, dst: &str, src: &str, f: &mut dyn FnMut(&MeshPoint, &mut T, &T)) {
@@ -318,7 +351,10 @@ impl<'a, T: Clone, M: MeshSimd<T>> MeshSimd<T> for GroupedMachine<'a, T, M> {
         sign: Sign,
         mask: &dyn Fn(&MeshPoint) -> bool,
     ) {
-        assert!(vdim >= 1 && vdim <= self.geom.vshape.dims(), "virtual dim out of range");
+        assert!(
+            vdim >= 1 && vdim <= self.geom.vshape.dims(),
+            "virtual dim out of range"
+        );
         let geom = self.geom.clone();
         let snapshot = self.inner.read(reg);
         for (idim, isign) in geom.classes(vdim) {
@@ -329,8 +365,7 @@ impl<'a, T: Clone, M: MeshSimd<T>> MeshSimd<T> for GroupedMachine<'a, T, M> {
             };
             // Skip empty classes without spending a unit route.
             let inner_shape = geom.inner_shape();
-            let any = (0..inner_shape.size())
-                .any(|i| sender(&inner_shape.point_at(i)));
+            let any = (0..inner_shape.size()).any(|i| sender(&inner_shape.point_at(i)));
             if !any {
                 continue;
             }
@@ -357,9 +392,7 @@ impl<'a, T: Clone, M: MeshSimd<T>> MeshSimd<T> for GroupedMachine<'a, T, M> {
                 };
                 let pred_v = vp.with_d(vdim, pred_vc);
                 let pred_i = geom.inner_point(&pred_v);
-                if geom.move_class(&pred_i, vdim, sign) == Some((idim, isign))
-                    && mask(&pred_v)
-                {
+                if geom.move_class(&pred_i, vdim, sign) == Some((idim, isign)) && mask(&pred_v) {
                     *d = s.clone();
                 }
             });
@@ -388,8 +421,7 @@ mod tests {
             let set: std::collections::HashSet<_> = walk.iter().cloned().collect();
             assert_eq!(set.len(), total, "all tuples distinct");
             for w in walk.windows(2) {
-                let diff: Vec<usize> =
-                    (0..extents.len()).filter(|&s| w[0][s] != w[1][s]).collect();
+                let diff: Vec<usize> = (0..extents.len()).filter(|&s| w[0][s] != w[1][s]).collect();
                 assert_eq!(diff.len(), 1, "single-step moves");
                 assert_eq!(w[0][diff[0]].abs_diff(w[1][diff[0]]), 1);
             }
@@ -442,7 +474,11 @@ mod tests {
         let mut grouped = GroupedMachine::new(&mut inner, geom);
         grouped.load("A", data.clone());
         grouped.route("A", vdim, sign);
-        assert_eq!(grouped.read("A"), expect, "n={n} d={d} vdim={vdim} {sign:?}");
+        assert_eq!(
+            grouped.read("A"),
+            expect,
+            "n={n} d={d} vdim={vdim} {sign:?}"
+        );
     }
 
     #[test]
@@ -502,7 +538,9 @@ mod tests {
         let geom = GroupedGeometry::appendix(5, 2);
         let vshape = geom.virtual_shape().clone();
         let mut rng = ChaCha8Rng::seed_from_u64(99);
-        let data: Vec<u64> = (0..vshape.size()).map(|_| rng.gen_range(0..10_000)).collect();
+        let data: Vec<u64> = (0..vshape.size())
+            .map(|_| rng.gen_range(0..10_000))
+            .collect();
 
         let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
         let mut grouped = GroupedMachine::new(&mut inner, geom);

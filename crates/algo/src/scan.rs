@@ -45,13 +45,7 @@ where
 /// Exclusive scan helper: like [`scan`] but each PE ends with the
 /// combine of *strictly lower* coordinates; PEs at coordinate 0 get
 /// `identity`.
-pub fn exclusive_scan<T, M, F>(
-    m: &mut M,
-    reg: &str,
-    dim: usize,
-    identity: T,
-    op: F,
-) -> u64
+pub fn exclusive_scan<T, M, F>(m: &mut M, reg: &str, dim: usize, identity: T, op: F) -> u64
 where
     T: Clone,
     M: MeshSimd<T>,
@@ -129,12 +123,22 @@ mod tests {
         let mut m: MeshMachine<String> = MeshMachine::new(MeshShape::new(&[4]).unwrap());
         m.load(
             "A",
-            vec!["a".to_string(), "b".to_string(), "c".to_string(), "d".to_string()],
+            vec![
+                "a".to_string(),
+                "b".to_string(),
+                "c".to_string(),
+                "d".to_string(),
+            ],
         );
         scan(&mut m, "A", 1, |lo, hi| format!("{lo}{hi}"));
         assert_eq!(
             m.read("A"),
-            vec!["a".to_string(), "ab".to_string(), "abc".to_string(), "abcd".to_string()]
+            vec![
+                "a".to_string(),
+                "ab".to_string(),
+                "abc".to_string(),
+                "abcd".to_string()
+            ]
         );
     }
 }

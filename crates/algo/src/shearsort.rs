@@ -100,8 +100,8 @@ mod tests {
     fn adversarial_patterns() {
         let shape = MeshShape::new(&[6, 6]).unwrap();
         for data in [
-            (0..36u64).rev().collect::<Vec<_>>(),       // reverse sorted
-            vec![1; 36],                                 // all equal
+            (0..36u64).rev().collect::<Vec<_>>(),          // reverse sorted
+            vec![1; 36],                                   // all equal
             (0..36u64).map(|x| x % 2).collect::<Vec<_>>(), // binary
         ] {
             let mut m: MeshMachine<u64> = MeshMachine::new(shape.clone());

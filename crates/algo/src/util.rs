@@ -40,7 +40,9 @@ pub fn snake_order_2d(shape: &MeshShape) -> Vec<u64> {
 #[must_use]
 pub fn is_sorted_snake<T: Ord>(shape: &MeshShape, data: &[T]) -> bool {
     let order = snake_order_2d(shape);
-    order.windows(2).all(|w| data[w[0] as usize] <= data[w[1] as usize])
+    order
+        .windows(2)
+        .all(|w| data[w[0] as usize] <= data[w[1] as usize])
 }
 
 /// `true` iff every 1-D line along `dim` is sorted in the direction

@@ -30,7 +30,10 @@ fn bench_formula_vs_bfs(c: &mut Criterion) {
     let b_rank = factorial(n) / 5;
     let a = unrank(a_rank, n).unwrap();
     let b = unrank(b_rank, n).unwrap();
-    assert_eq!(distance(&a, &b), bfs_distance(&g, a_rank as u32, b_rank as u32));
+    assert_eq!(
+        distance(&a, &b),
+        bfs_distance(&g, a_rank as u32, b_rank as u32)
+    );
 
     let mut group = c.benchmark_group("distance_s6");
     group.bench_function("formula", |bn| {

@@ -22,7 +22,9 @@ fn bench_neighbor(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("convert_roundtrip", n), &pi, |b, pi| {
             b.iter(|| {
                 let d = convert_s_d(black_box(pi));
-                dn.shape().neighbor(&d, k, Sign::Plus).map(|q| convert_d_s(&q))
+                dn.shape()
+                    .neighbor(&d, k, Sign::Plus)
+                    .map(|q| convert_d_s(&q))
             });
         });
     }

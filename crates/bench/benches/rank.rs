@@ -62,5 +62,10 @@ fn bench_cycle_structure(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rank_unrank, bench_next_perm_sweep, bench_cycle_structure);
+criterion_group!(
+    benches,
+    bench_rank_unrank,
+    bench_next_perm_sweep,
+    bench_cycle_structure
+);
 criterion_main!(benches);

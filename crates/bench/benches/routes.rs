@@ -54,5 +54,10 @@ fn bench_dilation_audit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_unit_route, bench_lemma5_audit, bench_dilation_audit);
+criterion_group!(
+    benches,
+    bench_unit_route,
+    bench_lemma5_audit,
+    bench_dilation_audit
+);
 criterion_main!(benches);

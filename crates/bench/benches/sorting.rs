@@ -33,8 +33,7 @@ fn bench_shearsort_stack(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("grouped_dn", n), &n, |b, _| {
             b.iter(|| {
-                let mut inner: MeshMachine<u64> =
-                    MeshMachine::new(geom.inner_shape().clone());
+                let mut inner: MeshMachine<u64> = MeshMachine::new(geom.inner_shape().clone());
                 let mut g = GroupedMachine::new(&mut inner, geom.clone());
                 g.load("K", data.clone());
                 shearsort(&mut g, "K")

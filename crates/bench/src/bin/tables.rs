@@ -17,6 +17,7 @@ use sg_core::fig4::figure4_embedding;
 use sg_core::lemma3::mesh_neighbor_plus;
 use sg_graph::builders;
 use sg_mesh::atallah::BlockMap;
+use sg_mesh::dn::DnMesh;
 use sg_mesh::factorization::{
     balance_bound, factorize, imbalance, optimal_dimension_sweep,
     paper_predicted_optimal_dimension, predicted_optimal_dimension,
@@ -25,7 +26,6 @@ use sg_mesh::shape::{MeshShape, Sign};
 use sg_mesh::uniform::{
     thm7_slowdown, thm8_slowdown, thm9_approx_log2, thm9_slowdown_log2, UniformMesh,
 };
-use sg_mesh::dn::DnMesh;
 use sg_perm::factorial::factorial;
 use sg_simd::machine::MeshSimd;
 use sg_simd::{EmbeddedMeshMachine, MeshMachine};
@@ -96,8 +96,10 @@ fn table1(n: usize) {
     banner(&format!("Table 1 — exchange sequences (n = {n})"));
     let mut t = Table::new(&["i", "sequence of exchanges"]);
     for i in 1..n {
-        let seq: Vec<String> =
-            table1_row(i).iter().map(|(a, b)| format!("({a} {b})")).collect();
+        let seq: Vec<String> = table1_row(i)
+            .iter()
+            .map(|(a, b)| format!("({a} {b})"))
+            .collect();
         t.row(&[i.to_string(), seq.join(" ")]);
     }
     print!("{}", t.render());
@@ -170,7 +172,12 @@ fn lemma1() {
     ]);
     for n in 2..=12usize {
         let (md, sd) = lemma1_degrees(n);
-        t.row(&[n.to_string(), md.to_string(), sd.to_string(), (md <= sd).to_string()]);
+        t.row(&[
+            n.to_string(),
+            md.to_string(),
+            sd.to_string(),
+            (md <= sd).to_string(),
+        ]);
     }
     print!("{}", t.render());
 }
@@ -204,7 +211,13 @@ fn lemma3(max_n: usize) {
 fn dilation(max_n: usize) {
     banner("Theorem 4 — dilation audit over every mesh edge");
     let mut t = Table::new(&[
-        "n", "nodes", "mesh edges", "dist=1", "dist=3", "dilation", "expected edges",
+        "n",
+        "nodes",
+        "mesh edges",
+        "dist=1",
+        "dist=3",
+        "dilation",
+        "expected edges",
     ]);
     for n in 2..=max_n {
         let r = audit_dilation(n);
@@ -227,8 +240,14 @@ fn dilation(max_n: usize) {
 /// E9 — Lemma 5 / Theorem 6: conflict-free unit-route simulation.
 fn thm6(max_n: usize) {
     banner("Lemma 5 / Theorem 6 — mesh unit route on the star graph");
-    let mut t =
-        Table::new(&["n", "dim k", "dir", "messages", "star unit routes", "conflict-free"]);
+    let mut t = Table::new(&[
+        "n",
+        "dim k",
+        "dir",
+        "messages",
+        "star unit routes",
+        "conflict-free",
+    ]);
     for n in 2..=max_n {
         for r in verify_lemma5_all(n).expect("no conflicts") {
             t.row(&[
@@ -283,8 +302,15 @@ fn congestion(max_n: usize) {
 fn starprops() {
     banner("S_n properties (paper §2)");
     let mut t = Table::new(&[
-        "n", "nodes", "degree", "diam formula", "diam BFS", "kappa", "broadcast routes",
-        "lower bnd", "3 n lg n",
+        "n",
+        "nodes",
+        "degree",
+        "diam formula",
+        "diam BFS",
+        "kappa",
+        "broadcast routes",
+        "lower bnd",
+        "3 n lg n",
     ]);
     for n in 2..=7usize {
         let star = StarGraph::new(n);
@@ -318,7 +344,12 @@ fn starprops() {
 fn thm9() {
     banner("Theorems 7-9 — simulating uniform meshes");
     let mut t = Table::new(&[
-        "n", "N=n!", "thm7 slowdown", "thm8 slowdown", "log2 thm9", "log2 O(2^n)",
+        "n",
+        "N=n!",
+        "thm7 slowdown",
+        "thm8 slowdown",
+        "log2 thm9",
+        "log2 O(2^n)",
     ]);
     for n in 4..=14usize {
         let full = MeshShape::new(&(2..=n).collect::<Vec<_>>()).unwrap();
@@ -335,10 +366,17 @@ fn thm9() {
 
     println!("\nMeasured (Atallah block map, U = nearest uniform mesh):");
     let mut t2 = Table::new(&["n", "d", "R extents", "U", "max load", "routes per U step"]);
-    for (n, d) in [(5usize, 2usize), (5, 4), (6, 2), (6, 3), (6, 5), (7, 2), (7, 3)] {
+    for (n, d) in [
+        (5usize, 2usize),
+        (5, 4),
+        (6, 2),
+        (6, 3),
+        (6, 5),
+        (7, 2),
+        (7, 3),
+    ] {
         let ext = factorize(n, d);
-        let r =
-            MeshShape::new(&ext.iter().map(|&x| x as usize).collect::<Vec<_>>()).unwrap();
+        let r = MeshShape::new(&ext.iter().map(|&x| x as usize).collect::<Vec<_>>()).unwrap();
         let u = UniformMesh::nearest(r.size(), d);
         let map = BlockMap::new(u, r);
         let (_, maxload) = map.load_stats();
@@ -404,15 +442,22 @@ fn sorting() {
     use sg_algo::util::is_sorted_snake;
 
     let mut t = Table::new(&[
-        "n", "N=n!", "2-D shape", "model routes", "native 2-D routes",
-        "grouped D_n routes", "star routes", "sorted",
+        "n",
+        "N=n!",
+        "2-D shape",
+        "model routes",
+        "native 2-D routes",
+        "grouped D_n routes",
+        "star routes",
+        "sorted",
     ]);
     for n in 4..=6usize {
         let geom = GroupedGeometry::appendix(n, 2);
         let vshape = geom.virtual_shape().clone();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let keys: Vec<u64> =
-            (0..vshape.size()).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let keys: Vec<u64> = (0..vshape.size())
+            .map(|_| rng.gen_range(0..1_000_000))
+            .collect();
 
         // (a) native 2-D rectangular mesh of the same shape
         let mut flat: MeshMachine<u64> = MeshMachine::new(vshape.clone());
@@ -457,7 +502,11 @@ fn sorting() {
 fn star_vs_hypercube() {
     banner("Star graph vs hypercube (intro / [AKER87])");
     let mut t = Table::new(&[
-        "degree", "star nodes (n+1)!", "cube nodes 2^n", "star diam", "cube diam",
+        "degree",
+        "star nodes (n+1)!",
+        "cube nodes 2^n",
+        "star diam",
+        "cube diam",
     ]);
     for deg in 2..=9usize {
         let star = StarGraph::new(deg + 1);
@@ -470,7 +519,5 @@ fn star_vs_hypercube() {
         ]);
     }
     print!("{}", t.render());
-    println!(
-        "(star connects far more nodes per degree with asymptotically smaller diameter)"
-    );
+    println!("(star connects far more nodes per degree with asymptotically smaller diameter)");
 }

@@ -11,7 +11,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (cells are stringified by the caller).

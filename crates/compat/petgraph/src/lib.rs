@@ -1,0 +1,189 @@
+//! Offline stand-in for the `petgraph` surface this workspace uses.
+//!
+//! Deliberately implemented *differently* from `sg-graph` (adjacency
+//! lists + binary-heap Dijkstra + union-find components, vs CSR + BFS)
+//! so the cross-check tests still compare two independent code paths.
+//! See `crates/compat/README.md`.
+
+#![forbid(unsafe_code)]
+
+/// Graph types.
+pub mod graph {
+    use core::marker::PhantomData;
+
+    /// Dense node handle.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct NodeIndex(usize);
+
+    impl NodeIndex {
+        /// Wraps a dense index.
+        #[must_use]
+        pub fn new(i: usize) -> Self {
+            NodeIndex(i)
+        }
+
+        /// The dense index back.
+        #[must_use]
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Undirected graph with node weights `N` and edge weights `E`.
+    pub struct UnGraph<N, E> {
+        pub(crate) weights: Vec<N>,
+        pub(crate) adj: Vec<Vec<(usize, usize)>>, // (neighbor, edge id)
+        pub(crate) edges: Vec<(usize, usize)>,
+        pub(crate) _e: PhantomData<E>,
+    }
+
+    impl<N, E> UnGraph<N, E> {
+        /// Empty undirected graph.
+        #[must_use]
+        pub fn new_undirected() -> Self {
+            UnGraph {
+                weights: Vec::new(),
+                adj: Vec::new(),
+                edges: Vec::new(),
+                _e: PhantomData,
+            }
+        }
+
+        /// Adds a node, returning its handle.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.weights.push(weight);
+            self.adj.push(Vec::new());
+            NodeIndex(self.weights.len() - 1)
+        }
+
+        /// Adds an undirected edge `a — b`.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, _weight: E) {
+            let id = self.edges.len();
+            self.edges.push((a.0, b.0));
+            self.adj[a.0].push((b.0, id));
+            if a.0 != b.0 {
+                self.adj[b.0].push((a.0, id));
+            }
+        }
+
+        /// Number of nodes.
+        #[must_use]
+        pub fn node_count(&self) -> usize {
+            self.weights.len()
+        }
+
+        /// Number of edges.
+        #[must_use]
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+    }
+}
+
+/// Graph algorithms.
+pub mod algo {
+    use crate::graph::{NodeIndex, UnGraph};
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+
+    /// Single-source shortest paths with non-negative edge costs.
+    /// Returns the cost map over *reachable* nodes, like petgraph's.
+    pub fn dijkstra<N, E, K, F>(
+        graph: &UnGraph<N, E>,
+        start: NodeIndex,
+        goal: Option<NodeIndex>,
+        mut edge_cost: F,
+    ) -> HashMap<NodeIndex, K>
+    where
+        K: Copy + Ord + Default + core::ops::Add<Output = K>,
+        F: FnMut(()) -> K,
+    {
+        let mut dist: HashMap<NodeIndex, K> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
+        dist.insert(start, K::default());
+        heap.push(Reverse((K::default(), start.index())));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let u_idx = NodeIndex::new(u);
+            if dist.get(&u_idx).is_some_and(|&best| d > best) {
+                continue;
+            }
+            if goal == Some(u_idx) {
+                break;
+            }
+            for &(v, _eid) in &graph.adj[u] {
+                let nd = d + edge_cost(());
+                let v_idx = NodeIndex::new(v);
+                if dist.get(&v_idx).is_none_or(|&cur| nd < cur) {
+                    dist.insert(v_idx, nd);
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Number of connected components (union-find).
+    pub fn connected_components<N, E>(graph: &UnGraph<N, E>) -> usize {
+        let n = graph.node_count();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut components = n;
+        for &(a, b) in &graph.edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+                components -= 1;
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::algo::{connected_components, dijkstra};
+    use super::graph::{NodeIndex, UnGraph};
+
+    fn path_graph(n: usize) -> UnGraph<(), ()> {
+        let mut g = UnGraph::new_undirected();
+        let nodes: Vec<NodeIndex> = (0..n).map(|_| g.add_node(())).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    #[test]
+    fn dijkstra_on_a_path() {
+        let g = path_graph(5);
+        let d = dijkstra(&g, NodeIndex::new(0), None, |_| 1u32);
+        for v in 0..5 {
+            assert_eq!(d[&NodeIndex::new(v)], v as u32);
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_are_absent() {
+        let mut g = path_graph(3);
+        g.add_node(()); // isolated
+        let d = dijkstra(&g, NodeIndex::new(0), None, |_| 1u32);
+        assert_eq!(d.len(), 3);
+        assert!(!d.contains_key(&NodeIndex::new(3)));
+    }
+
+    #[test]
+    fn component_counting() {
+        let mut g = UnGraph::<(), ()>::new_undirected();
+        let v: Vec<NodeIndex> = (0..6).map(|_| g.add_node(())).collect();
+        g.add_edge(v[0], v[1], ());
+        g.add_edge(v[1], v[2], ());
+        g.add_edge(v[3], v[4], ());
+        assert_eq!(connected_components(&g), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` surface this workspace uses.
+//!
+//! The [`proptest!`] macro expands each property into a plain `#[test]`
+//! that runs [`CASES`] deterministic cases: inputs are drawn from a
+//! SplitMix64 stream seeded from the test's name, so failures reproduce
+//! exactly across runs (like a pinned `proptest` seed). There is **no
+//! shrinking** — a failing case panics with its inputs via the regular
+//! assert message. See `crates/compat/README.md`.
+
+#![forbid(unsafe_code)]
+
+use core::marker::PhantomData;
+
+/// Cases run per property (proptest's default).
+pub const CASES: u32 = 256;
+
+/// Deterministic input stream for one property run.
+pub struct TestRunner {
+    x: u64,
+}
+
+impl TestRunner {
+    /// Seeds the stream from the property name — stable across runs.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 from there.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { x: h }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of values for one property parameter.
+pub trait Strategy {
+    /// Type of value produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((runner.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // Wrapping arithmetic so signed ranges crossing zero
+                // (lo < 0 <= hi) don't underflow the u128 span.
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                lo.wrapping_add((runner.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary {
+    /// Draws one value from the full domain.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the whole domain of `T`; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// `any::<T>()` — the whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Property-test entry macro. Accepts the standard
+/// `proptest! { #[test] fn name(x in strategy, ...) { body } }` form.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::TestRunner::from_name(stringify!($name));
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut runner);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assertion inside a property; panics with the failing inputs'
+/// context (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy, TestRunner,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 1usize..=12, x in 0u8..10, s in any::<u64>()) {
+            prop_assert!((1..=12).contains(&n));
+            prop_assert!(x < 10);
+            let _ = s; // whole domain — nothing to bound
+        }
+
+        #[test]
+        fn multiple_properties_in_one_block(a in 0i64..100, b in 0i64..100) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a - 1, a);
+        }
+
+        #[test]
+        fn signed_inclusive_range_crossing_zero(x in -5i32..=5, y in -128i8..=127) {
+            prop_assert!((-5..=5).contains(&x));
+            let _ = y; // full i8 domain — sampling must not underflow
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut r1 = TestRunner::from_name("same");
+        let mut r2 = TestRunner::from_name("same");
+        assert_eq!(
+            (0..32).map(|_| r1.next_u64()).collect::<Vec<_>>(),
+            (0..32).map(|_| r2.next_u64()).collect::<Vec<_>>()
+        );
+        let mut r3 = TestRunner::from_name("different");
+        assert_ne!(r2.next_u64(), r3.next_u64());
+    }
+}

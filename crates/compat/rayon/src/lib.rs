@@ -1,0 +1,178 @@
+//! Offline stand-in for the `rayon` adapters this workspace uses:
+//! `(a..b).into_par_iter().map(f).collect::<C>()` and the same with
+//! `filter_map`. Work really is fanned out across OS threads
+//! (`std::thread::scope`, one chunk per available core), and results
+//! are recombined **in input order**, matching rayon's indexed-collect
+//! semantics. See `crates/compat/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Entry point: types convertible into a (shim) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item produced.
+    type Item: Send;
+    /// Converts into the shim parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_iter_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized work-list awaiting a mapping adapter.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel order-preserving map.
+    pub fn map<U, F>(self, f: F) -> ParMapped<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMapped {
+            results: run_parallel(self.items, |x| Some(f(x))),
+        }
+    }
+
+    /// Parallel order-preserving filter-map.
+    pub fn filter_map<U, F>(self, f: F) -> ParMapped<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        ParMapped {
+            results: run_parallel(self.items, f),
+        }
+    }
+}
+
+/// Results of a parallel map, ready to collect (already computed; the
+/// shim is eager where rayon is lazy, which is observationally
+/// equivalent for the in-tree pipelines).
+pub struct ParMapped<U> {
+    results: Vec<U>,
+}
+
+impl<U> ParMapped<U> {
+    /// Collects into any `FromIterator` target, preserving input order —
+    /// including short-circuiting targets like `Option<Vec<_>>`.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        self.results.into_iter().collect()
+    }
+
+    /// Sum of the results.
+    pub fn sum<S: core::iter::Sum<U>>(self) -> S {
+        self.results.into_iter().sum()
+    }
+
+    /// Maximum of the results.
+    pub fn max(self) -> Option<U>
+    where
+        U: Ord,
+    {
+        self.results.into_iter().max()
+    }
+}
+
+/// Splits `items` into per-core chunks, maps each chunk on its own
+/// scoped thread, and flattens chunk results back in order.
+fn run_parallel<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Option<U> + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.into_iter().filter_map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split from the back so each drain is O(chunk).
+    while items.len() > chunk {
+        chunks.push(items.split_off(items.len() - chunk));
+    }
+    chunks.push(items);
+    chunks.reverse(); // restore input order
+
+    let f = &f;
+    let outputs: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().filter_map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_option_short_circuits_on_none() {
+        let ok: Option<Vec<u32>> = (0u32..100).into_par_iter().map(Some).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let bad: Option<Vec<u32>> = (0u32..100)
+            .into_par_iter()
+            .map(|x| if x == 57 { None } else { Some(x) })
+            .collect();
+        assert!(bad.is_none());
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let v: Vec<usize> = (0usize..1000)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(v, (0usize..1000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_and_empty_inputs() {
+        let v: Vec<u32> = (0u32..0).into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        let v: Vec<u32> = (0u32..1).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v, vec![1]);
+    }
+}

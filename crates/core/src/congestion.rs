@@ -52,7 +52,10 @@ pub struct Lemma5Report {
 /// # Panics
 /// Panics for `n` outside `2..=9` (sweep size).
 pub fn verify_lemma5(n: usize, k: usize, plus: bool) -> Result<Lemma5Report, String> {
-    assert!((2..=9).contains(&n), "exhaustive sweep supported for 2 <= n <= 9");
+    assert!(
+        (2..=9).contains(&n),
+        "exhaustive sweep supported for 2 <= n <= 9"
+    );
     assert!(k >= 1 && k < n, "dimension out of range");
     let dn = DnMesh::new(n);
     let shape = dn.shape().clone();
@@ -88,7 +91,13 @@ pub fn verify_lemma5(n: usize, k: usize, plus: bool) -> Result<Lemma5Report, Str
             }
         }
     }
-    Ok(Lemma5Report { n, k, plus, messages, unit_routes })
+    Ok(Lemma5Report {
+        n,
+        k,
+        plus,
+        messages,
+        unit_routes,
+    })
 }
 
 /// Verifies Lemma 5 for **all** dimensions and directions of `D_n`,

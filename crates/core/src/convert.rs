@@ -44,7 +44,11 @@ pub fn convert_d_s(d: &MeshPoint) -> Perm {
     let mut q: Vec<u8> = (0..n as u8).collect();
     for i in 1..n {
         let di = d.d(i) as usize;
-        assert!(di <= i, "coordinate d_{i} = {di} exceeds dimension size {}", i + 1);
+        assert!(
+            di <= i,
+            "coordinate d_{i} = {di} exceeds dimension size {}",
+            i + 1
+        );
         for j in 1..=di {
             q.swap(i - j, i - j + 1);
         }
@@ -93,7 +97,9 @@ pub fn home_node(n: usize) -> Perm {
 #[must_use]
 pub fn exchanges_for(i: usize, count: usize) -> Vec<(u8, u8)> {
     assert!(count <= i, "dimension {i} admits at most {i} exchanges");
-    (0..count).map(|j| ((i - 1 - j) as u8, (i - j) as u8)).collect()
+    (0..count)
+        .map(|j| ((i - 1 - j) as u8, (i - j) as u8))
+        .collect()
 }
 
 /// Full row `i` of Table 1 (all `i` exchanges).
@@ -153,8 +159,7 @@ pub fn convert_s_d_via_removal(pi: &Perm) -> MeshPoint {
     // Its inverse is the paper's p array — the displayed node itself:
     // position of value i = p[i] = symbol_at(n-1-i). Decode by
     // removing values n-1 … 1 and recording displacements.
-    let mut positions: Vec<u8> =
-        (0..n).map(|i| pi.symbol_at(n - 1 - i)).collect();
+    let mut positions: Vec<u8> = (0..n).map(|i| pi.symbol_at(n - 1 - i)).collect();
     let mut coords = vec![0u32; n];
     for i in (1..n).rev() {
         let pos = positions[i];
@@ -193,8 +198,8 @@ pub fn mapping_table(n: usize) -> Vec<(String, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sg_perm::lehmer::rank;
     use proptest::prelude::*;
+    use sg_perm::lehmer::rank;
 
     #[test]
     fn origin_maps_to_home_node() {
@@ -290,7 +295,11 @@ mod tests {
         for n in 2..=7usize {
             let dn = DnMesh::new(n);
             for d in dn.points() {
-                assert_eq!(convert_d_s(&d), convert_d_s_via_exchanges(&d), "n={n} d={d}");
+                assert_eq!(
+                    convert_d_s(&d),
+                    convert_d_s_via_exchanges(&d),
+                    "n={n} d={d}"
+                );
             }
         }
     }
@@ -310,10 +319,7 @@ mod tests {
     fn table1_rows() {
         assert_eq!(table1_row(1), vec![(0, 1)]);
         assert_eq!(table1_row(2), vec![(1, 2), (0, 1)]);
-        assert_eq!(
-            table1_row(4),
-            vec![(3, 4), (2, 3), (1, 2), (0, 1)]
-        );
+        assert_eq!(table1_row(4), vec![(3, 4), (2, 3), (1, 2), (0, 1)]);
         assert_eq!(exchanges_for(3, 0), vec![]);
         assert_eq!(exchanges_for(3, 2), vec![(2, 3), (1, 2)]);
     }

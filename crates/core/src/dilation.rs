@@ -73,7 +73,10 @@ impl DilationReport {
 /// Panics if `n < 2` or the mesh is too large to sweep (`n > 11`).
 #[must_use]
 pub fn audit_dilation(n: usize) -> DilationReport {
-    assert!((2..=11).contains(&n), "exhaustive audit supported for 2 <= n <= 11");
+    assert!(
+        (2..=11).contains(&n),
+        "exhaustive audit supported for 2 <= n <= 11"
+    );
     let dn = DnMesh::new(n);
     let shape = dn.shape().clone();
     let per_node: Vec<Vec<u64>> = (0..dn.node_count())
@@ -107,7 +110,11 @@ pub fn audit_dilation(n: usize) -> DilationReport {
         histogram.pop();
     }
     let edges = histogram.iter().sum();
-    DilationReport { n, edges, histogram }
+    DilationReport {
+        n,
+        edges,
+        histogram,
+    }
 }
 
 /// Expected number of undirected edges of `D_n`:

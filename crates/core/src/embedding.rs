@@ -157,15 +157,17 @@ impl Embedding {
 /// Panics for `n` outside `2..=7` (graph materialization).
 #[must_use]
 pub fn star_mesh_embedding(n: usize) -> Embedding {
-    assert!((2..=7).contains(&n), "materialization supported for 2 <= n <= 7");
+    assert!(
+        (2..=7).contains(&n),
+        "materialization supported for 2 <= n <= 7"
+    );
     let dn = sg_mesh::dn::DnMesh::new(n);
     let shape = dn.shape().clone();
     let guest = shape.to_csr();
     let host = sg_graph::builders::star_graph(n);
     let vertex_map: Vec<NodeId> = (0..dn.node_count())
         .map(|idx| {
-            sg_perm::lehmer::rank(&crate::convert::convert_d_s(&shape.point_at(idx)))
-                as NodeId
+            sg_perm::lehmer::rank(&crate::convert::convert_d_s(&shape.point_at(idx))) as NodeId
         })
         .collect();
     let mut edge_paths = Vec::new();
@@ -181,10 +183,17 @@ pub fn star_mesh_embedding(n: usize) -> Embedding {
         let path = crate::paths::dilation3_path(&pi, k, plus)
             .expect("neighbor exists for a real mesh edge");
         edge_paths.push(
-            path.iter().map(|p| sg_perm::lehmer::rank(p) as NodeId).collect(),
+            path.iter()
+                .map(|p| sg_perm::lehmer::rank(p) as NodeId)
+                .collect(),
         );
     }
-    Embedding { guest, host, vertex_map, edge_paths }
+    Embedding {
+        guest,
+        host,
+        vertex_map,
+        edge_paths,
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +245,12 @@ mod tests {
     fn host_too_small_detected() {
         let guest = sg_graph::builders::complete_graph(3);
         let host = sg_graph::builders::path_graph(2);
-        let e = Embedding { guest, host, vertex_map: vec![0, 1, 2], edge_paths: vec![] };
+        let e = Embedding {
+            guest,
+            host,
+            vertex_map: vec![0, 1, 2],
+            edge_paths: vec![],
+        };
         assert_eq!(e.analyze(), Err(EmbeddingError::HostTooSmall));
     }
 }

@@ -20,19 +20,20 @@ pub fn figure4_embedding() -> Embedding {
     let guest = CsrGraph::from_edges(4, &[(0, 1), (1, 3), (3, 2), (2, 0)]);
     // Host: center a(0) adjacent to b(1), c(2), d(3).
     let host = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
-    let vertex_map = vec![0, 1, 2, 3]; // 1→a, 2→b, 3→c, 4→d
+    // Vertex map: 1→a, 2→b, 3→c, 4→d.
+    let vertex_map = vec![0, 1, 2, 3];
     // guest.edges() yields (0,1), (0,2), (1,3), (2,3) in canonical order:
     //  (0,1) = (1,2) → a b
     //  (0,2) = (1,3) → a c          (printed as "ca" in the paper)
     //  (1,3) = (2,4) → b a d
     //  (2,3) = (3,4) → c a d        (printed as "dac")
-    let edge_paths = vec![
-        vec![0, 1],
-        vec![0, 2],
-        vec![1, 0, 3],
-        vec![2, 0, 3],
-    ];
-    Embedding { guest, host, vertex_map, edge_paths }
+    let edge_paths = vec![vec![0, 1], vec![0, 2], vec![1, 0, 3], vec![2, 0, 3]];
+    Embedding {
+        guest,
+        host,
+        vertex_map,
+        edge_paths,
+    }
 }
 
 #[cfg(test)]

@@ -96,10 +96,10 @@ pub fn all_mesh_neighbors(pi: &Perm) -> Vec<(usize, bool, Perm)> {
 mod tests {
     use super::*;
     use crate::convert::{convert_d_s, convert_s_d};
+    use proptest::prelude::*;
     use sg_mesh::dn::DnMesh;
     use sg_mesh::shape::Sign;
     use sg_mesh::MeshPoint;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_example_pi_3_plus_minus() {
@@ -157,8 +157,7 @@ mod tests {
             assert!(mesh_neighbor_plus(&origin, k).is_some());
         }
         // Far corner (d_i = i): the reverse.
-        let corner =
-            convert_d_s(&MeshPoint::from_ascending(&[1, 2, 3, 4]).unwrap());
+        let corner = convert_d_s(&MeshPoint::from_ascending(&[1, 2, 3, 4]).unwrap());
         for k in 1..n {
             assert!(mesh_neighbor_plus(&corner, k).is_none());
             assert!(mesh_neighbor_minus(&corner, k).is_some());

@@ -77,12 +77,12 @@ mod tests {
     use super::*;
     use crate::convert::convert_d_s;
     use crate::lemma3::{mesh_neighbor_minus, mesh_neighbor_plus};
-    use sg_mesh::dn::DnMesh;
-    use sg_star::distance::distance;
-    use sg_star::StarGraph;
     use proptest::prelude::*;
+    use sg_mesh::dn::DnMesh;
     use sg_perm::factorial::factorial;
     use sg_perm::lehmer::unrank;
+    use sg_star::distance::distance;
+    use sg_star::StarGraph;
 
     #[test]
     fn paper_edge_to_path_examples() {
@@ -153,10 +153,7 @@ mod tests {
                             assert_eq!(hops, 3, "d={d} k={k}");
                         }
                         // Path length equals the true star distance.
-                        assert_eq!(
-                            hops as u32,
-                            distance(p.first().unwrap(), p.last().unwrap())
-                        );
+                        assert_eq!(hops as u32, distance(p.first().unwrap(), p.last().unwrap()));
                     }
                 }
             }

@@ -70,7 +70,11 @@ pub fn bfs(g: &CsrGraph, source: NodeId) -> BfsTree {
             }
         }
     }
-    BfsTree { dist, parent, source }
+    BfsTree {
+        dist,
+        parent,
+        source,
+    }
 }
 
 /// Hop distance between two nodes (early-exit BFS);

@@ -31,7 +31,9 @@ const INF: u32 = u32::MAX / 2;
 impl FlowNet {
     fn new(g: &CsrGraph, s: NodeId, t: NodeId) -> Self {
         let n = g.node_count();
-        let mut net = FlowNet { adj: vec![Vec::new(); 2 * n] };
+        let mut net = FlowNet {
+            adj: vec![Vec::new(); 2 * n],
+        };
         for v in 0..n as u32 {
             let cap = if v == s || v == t { INF } else { 1 };
             net.add_arc(2 * v, 2 * v + 1, cap);
@@ -46,8 +48,16 @@ impl FlowNet {
     fn add_arc(&mut self, from: u32, to: u32, cap: u32) {
         let rev_from = self.adj[to as usize].len() as u32;
         let rev_to = self.adj[from as usize].len() as u32;
-        self.adj[from as usize].push(Arc { to, cap, rev: rev_from });
-        self.adj[to as usize].push(Arc { to: from, cap: 0, rev: rev_to });
+        self.adj[from as usize].push(Arc {
+            to,
+            cap,
+            rev: rev_from,
+        });
+        self.adj[to as usize].push(Arc {
+            to: from,
+            cap: 0,
+            rev: rev_to,
+        });
     }
 
     /// One BFS augmentation of value 1 (unit capacities on the
@@ -125,7 +135,9 @@ pub fn vertex_connectivity(g: &CsrGraph) -> u32 {
     if complete {
         return (n - 1) as u32;
     }
-    let v = (0..n as NodeId).min_by_key(|&v| g.degree(v)).expect("nonempty");
+    let v = (0..n as NodeId)
+        .min_by_key(|&v| g.degree(v))
+        .expect("nonempty");
     let mut best = g.degree(v) as u32;
     for t in 0..n as NodeId {
         if t != v && !g.has_edge(v, t) {
@@ -224,11 +236,12 @@ mod tests {
     #[test]
     fn fault_injection_on_star4() {
         let g = builders::star_graph(4); // κ = 3
-        // All single and double faults survive.
+                                         // All single and double faults survive.
         let singles: Vec<Vec<NodeId>> = (0..24).map(|v| vec![v]).collect();
         assert!(survives_faults(&g, &singles));
-        let doubles: Vec<Vec<NodeId>> =
-            (0..24).flat_map(|a| (a + 1..24).map(move |b| vec![a, b])).collect();
+        let doubles: Vec<Vec<NodeId>> = (0..24)
+            .flat_map(|a| (a + 1..24).map(move |b| vec![a, b]))
+            .collect();
         assert!(survives_faults(&g, &doubles));
     }
 

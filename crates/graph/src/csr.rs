@@ -29,7 +29,10 @@ impl CsrGraph {
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
         let mut deg = vec![0usize; n];
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             assert_ne!(a, b, "self-loop ({a},{a}) not allowed");
             deg[a as usize] += 1;
             deg[b as usize] += 1;
@@ -123,7 +126,11 @@ impl CsrGraph {
     /// Iterator over all undirected edges `(a, b)` with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.node_count() as NodeId).flat_map(move |a| {
-            self.neighbors(a).iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
+            self.neighbors(a)
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
         })
     }
 
@@ -174,15 +181,21 @@ impl CsrGraph {
     #[must_use]
     pub fn remove_nodes(&self, faulty: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
         let dead: std::collections::HashSet<NodeId> = faulty.iter().copied().collect();
-        let keep: Vec<NodeId> =
-            (0..self.node_count() as NodeId).filter(|v| !dead.contains(v)).collect();
+        let keep: Vec<NodeId> = (0..self.node_count() as NodeId)
+            .filter(|v| !dead.contains(v))
+            .collect();
         self.induced_subgraph(&keep)
     }
 }
 
 impl fmt::Debug for CsrGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CsrGraph(n={}, m={})", self.node_count(), self.edge_count())
+        write!(
+            f,
+            "CsrGraph(n={}, m={})",
+            self.node_count(),
+            self.edge_count()
+        )
     }
 }
 

@@ -150,7 +150,8 @@ pub fn is_automorphism(g: &CsrGraph, map: &[NodeId]) -> bool {
         }
         seen[w as usize] = true;
     }
-    g.edges().all(|(a, b)| g.has_edge(map[a as usize], map[b as usize]))
+    g.edges()
+        .all(|(a, b)| g.has_edge(map[a as usize], map[b as usize]))
 }
 
 #[cfg(test)]

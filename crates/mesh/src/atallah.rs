@@ -50,9 +50,7 @@ impl BlockMap {
         let coords: Vec<u32> = x
             .iter()
             .enumerate()
-            .map(|(k, &xi)| {
-                ((xi as u64 * self.r.extent(k + 1) as u64) / self.u.side as u64) as u32
-            })
+            .map(|(k, &xi)| ((xi as u64 * self.r.extent(k + 1) as u64) / self.u.side as u64) as u32)
             .collect();
         MeshPoint::from_ascending(&coords).expect("nonempty")
     }
@@ -119,7 +117,10 @@ impl BlockMap {
     /// Worst-case measured slowdown over all dimensions.
     #[must_use]
     pub fn worst_route_congestion(&self) -> u64 {
-        (1..=self.u.d).map(|dim| self.route_congestion(dim)).max().unwrap_or(0)
+        (1..=self.u.d)
+            .map(|dim| self.route_congestion(dim))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -148,8 +149,7 @@ mod tests {
     fn blocks_are_contiguous_and_monotone() {
         let u = UniformMesh::new(1, 10);
         let map = BlockMap::new(u, rshape(&[4]));
-        let images: Vec<u32> =
-            (0..10).map(|x| map.map_ascending(&[x]).d(1)).collect();
+        let images: Vec<u32> = (0..10).map(|x| map.map_ascending(&[x]).d(1)).collect();
         // Non-decreasing, covers 0..4.
         assert!(images.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(images[0], 0);
@@ -198,8 +198,7 @@ mod tests {
         let map = BlockMap::new(u, rshape(&ext));
         let measured = map.worst_route_congestion();
         assert!(measured >= 1);
-        let bound_full_d =
-            thm8_slowdown(&MeshShape::new(&(2..=n).collect::<Vec<_>>()).unwrap());
+        let bound_full_d = thm8_slowdown(&MeshShape::new(&(2..=n).collect::<Vec<_>>()).unwrap());
         assert!(
             (measured as f64) < bound_full_d,
             "measured {measured} vs full-d Theorem-8 bound {bound_full_d}"

@@ -104,7 +104,9 @@ impl MeshPoint {
         if coords.is_empty() {
             return Err(MeshError::Empty);
         }
-        Ok(MeshPoint { coords: coords.to_vec() })
+        Ok(MeshPoint {
+            coords: coords.to_vec(),
+        })
     }
 
     /// Number of dimensions `m`.
@@ -121,7 +123,10 @@ impl MeshPoint {
     #[inline]
     #[must_use]
     pub fn d(&self, i: usize) -> u32 {
-        assert!(i >= 1 && i <= self.coords.len(), "dimension {i} out of range");
+        assert!(
+            i >= 1 && i <= self.coords.len(),
+            "dimension {i} out of range"
+        );
         self.coords[i - 1]
     }
 
@@ -135,7 +140,10 @@ impl MeshPoint {
     /// Returns a copy with `d_i` replaced by `value`.
     #[must_use]
     pub fn with_d(&self, i: usize, value: u32) -> Self {
-        assert!(i >= 1 && i <= self.coords.len(), "dimension {i} out of range");
+        assert!(
+            i >= 1 && i <= self.coords.len(),
+            "dimension {i} out of range"
+        );
         let mut c = self.clone();
         c.coords[i - 1] = value;
         c

@@ -28,7 +28,10 @@ impl DnMesh {
     pub fn new(n: usize) -> Self {
         assert!((2..=MAX_N).contains(&n), "D_n requires 2 <= n <= {MAX_N}");
         let extents: Vec<usize> = (2..=n).collect();
-        DnMesh { n, shape: MeshShape::new(&extents).expect("valid extents") }
+        DnMesh {
+            n,
+            shape: MeshShape::new(&extents).expect("valid extents"),
+        }
     }
 
     /// The star-graph order `n` this mesh pairs with.

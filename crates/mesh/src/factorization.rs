@@ -67,8 +67,7 @@ pub fn simulation_cost_log2(n: usize, d: usize) -> f64 {
 /// near `½·√(log₂ N)`.
 #[must_use]
 pub fn optimal_dimension_sweep(n: usize) -> (Vec<(usize, f64)>, usize) {
-    let sweep: Vec<(usize, f64)> =
-        (1..n).map(|d| (d, simulation_cost_log2(n, d))).collect();
+    let sweep: Vec<(usize, f64)> = (1..n).map(|d| (d, simulation_cost_log2(n, d))).collect();
     let best = sweep
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))

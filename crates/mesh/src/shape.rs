@@ -56,7 +56,11 @@ impl MeshShape {
             strides.push(acc);
             acc = acc.checked_mul(l as u64).ok_or(MeshError::TooLarge)?;
         }
-        Ok(MeshShape { extents: extents.to_vec(), strides, size: acc })
+        Ok(MeshShape {
+            extents: extents.to_vec(),
+            strides,
+            size: acc,
+        })
     }
 
     /// The paper's display order constructor: `MeshShape::from_display(&[l_m, …, l_1])`.
@@ -83,7 +87,10 @@ impl MeshShape {
     #[inline]
     #[must_use]
     pub fn extent(&self, i: usize) -> usize {
-        assert!(i >= 1 && i <= self.extents.len(), "dimension {i} out of range");
+        assert!(
+            i >= 1 && i <= self.extents.len(),
+            "dimension {i} out of range"
+        );
         self.extents[i - 1]
     }
 
@@ -130,11 +137,18 @@ impl MeshShape {
     /// [`MeshError::DimMismatch`] or [`MeshError::CoordOutOfRange`].
     pub fn check(&self, p: &MeshPoint) -> Result<(), MeshError> {
         if p.dims() != self.dims() {
-            return Err(MeshError::DimMismatch { point: p.dims(), shape: self.dims() });
+            return Err(MeshError::DimMismatch {
+                point: p.dims(),
+                shape: self.dims(),
+            });
         }
         for (k, (&c, &l)) in p.ascending().iter().zip(&self.extents).enumerate() {
             if c as usize >= l {
-                return Err(MeshError::CoordOutOfRange { dim: k + 1, coord: c, extent: l });
+                return Err(MeshError::CoordOutOfRange {
+                    dim: k + 1,
+                    coord: c,
+                    extent: l,
+                });
             }
         }
         Ok(())
@@ -160,7 +174,11 @@ impl MeshShape {
     /// Panics if `idx >= size()`.
     #[must_use]
     pub fn point_at(&self, idx: u64) -> MeshPoint {
-        assert!(idx < self.size, "index {idx} out of range (size {})", self.size);
+        assert!(
+            idx < self.size,
+            "index {idx} out of range (size {})",
+            self.size
+        );
         let mut rest = idx;
         let coords: Vec<u32> = self
             .extents
@@ -184,9 +202,7 @@ impl MeshShape {
         self.check(p).expect("point outside shape");
         let c = p.d(dim);
         match sign {
-            Sign::Plus => {
-                ((c as usize) + 1 < self.extent(dim)).then(|| p.with_d(dim, c + 1))
-            }
+            Sign::Plus => ((c as usize) + 1 < self.extent(dim)).then(|| p.with_d(dim, c + 1)),
             Sign::Minus => (c > 0).then(|| p.with_d(dim, c - 1)),
         }
     }
@@ -196,7 +212,9 @@ impl MeshShape {
     pub fn neighbors(&self, p: &MeshPoint) -> Vec<MeshPoint> {
         (1..=self.dims())
             .flat_map(|dim| {
-                Sign::BOTH.into_iter().filter_map(move |s| self.neighbor(p, dim, s))
+                Sign::BOTH
+                    .into_iter()
+                    .filter_map(move |s| self.neighbor(p, dim, s))
             })
             .collect()
     }
@@ -218,7 +236,8 @@ impl MeshShape {
         self.points().flat_map(move |p| {
             (1..=self.dims())
                 .filter_map(move |dim| {
-                    self.neighbor(&p, dim, Sign::Plus).map(|q| (p.clone(), dim, q))
+                    self.neighbor(&p, dim, Sign::Plus)
+                        .map(|q| (p.clone(), dim, q))
                 })
                 .collect::<Vec<_>>()
         })
@@ -297,8 +316,11 @@ mod tests {
         assert_eq!(g.node_count() as u64, s.size());
         for p in s.points() {
             let i = s.index_of(&p) as u32;
-            let mut ours: Vec<u32> =
-                s.neighbors(&p).iter().map(|q| s.index_of(q) as u32).collect();
+            let mut ours: Vec<u32> = s
+                .neighbors(&p)
+                .iter()
+                .map(|q| s.index_of(q) as u32)
+                .collect();
             ours.sort_unstable();
             assert_eq!(ours.as_slice(), g.neighbors(i));
         }
@@ -326,10 +348,17 @@ mod tests {
         let bad = MeshPoint::new(&[5, 0, 0]).unwrap();
         assert!(matches!(
             s.check(&bad),
-            Err(MeshError::CoordOutOfRange { dim: 3, coord: 5, extent: 2 })
+            Err(MeshError::CoordOutOfRange {
+                dim: 3,
+                coord: 5,
+                extent: 2
+            })
         ));
         let wrong_dims = MeshPoint::new(&[0, 0]).unwrap();
-        assert!(matches!(s.check(&wrong_dims), Err(MeshError::DimMismatch { .. })));
+        assert!(matches!(
+            s.check(&wrong_dims),
+            Err(MeshError::DimMismatch { .. })
+        ));
     }
 
     #[test]

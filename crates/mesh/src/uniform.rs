@@ -141,7 +141,10 @@ mod tests {
         for n in 6..=10usize {
             let d_small = 2;
             let r_small = MeshShape::new(
-                &factorize(n, d_small).iter().map(|&x| x as usize).collect::<Vec<_>>(),
+                &factorize(n, d_small)
+                    .iter()
+                    .map(|&x| x as usize)
+                    .collect::<Vec<_>>(),
             )
             .unwrap();
             let r_full = MeshShape::new(&(2..=n).collect::<Vec<_>>()).unwrap();
@@ -174,7 +177,10 @@ mod tests {
         for n in 5..=14usize {
             let explicit = thm9_slowdown_log2(n);
             let envelope = thm9_approx_log2(n);
-            assert!((explicit - envelope).abs() < 4.0, "n={n}: {explicit} vs {envelope}");
+            assert!(
+                (explicit - envelope).abs() < 4.0,
+                "n={n}: {explicit} vs {envelope}"
+            );
         }
     }
 }

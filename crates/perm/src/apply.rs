@@ -62,8 +62,8 @@ pub fn permute_in_place<T>(p: &Perm, data: &mut [T]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lehmer::unrank;
     use crate::factorial::factorial;
+    use crate::lehmer::unrank;
 
     #[test]
     fn gather_then_inverse_gather_is_identity() {

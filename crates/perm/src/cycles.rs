@@ -70,7 +70,10 @@ pub fn cycle_structure(p: &Perm) -> CycleStructure {
         }
         cycles.push(cyc);
     }
-    CycleStructure { cycles, fixed_points }
+    CycleStructure {
+        cycles,
+        fixed_points,
+    }
 }
 
 /// Parity of the permutation: `true` iff `p` is even (an even number
@@ -107,8 +110,8 @@ pub fn cayley_distance(p: &Perm) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lehmer::unrank;
     use crate::factorial::factorial;
+    use crate::lehmer::unrank;
 
     #[test]
     fn identity_has_no_nontrivial_cycles() {

@@ -24,7 +24,10 @@ impl PermIter {
     /// Panics if `n` is 0 or exceeds [`crate::MAX_N`].
     #[must_use]
     pub fn new(n: usize) -> Self {
-        PermIter { next: Some(Perm::identity(n)), remaining: factorial(n) }
+        PermIter {
+            next: Some(Perm::identity(n)),
+            remaining: factorial(n),
+        }
     }
 }
 

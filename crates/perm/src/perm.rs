@@ -93,7 +93,10 @@ impl Perm {
         for (i, s) in slots.iter_mut().enumerate().take(n) {
             *s = i as u8;
         }
-        Ok(Perm { len: n as u8, slots })
+        Ok(Perm {
+            len: n as u8,
+            slots,
+        })
     }
 
     /// Builds a permutation from an explicit slot assignment,
@@ -115,7 +118,10 @@ impl Perm {
             seen[s as usize] = true;
             slots[i] = s;
         }
-        Ok(Perm { len: n as u8, slots })
+        Ok(Perm {
+            len: n as u8,
+            slots,
+        })
     }
 
     /// Length `n` of the permutation.
@@ -213,7 +219,10 @@ impl Perm {
     /// `true` iff every slot holds its own index.
     #[must_use]
     pub fn is_identity(&self) -> bool {
-        self.as_slice().iter().enumerate().all(|(i, &s)| i == s as usize)
+        self.as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| i == s as usize)
     }
 
     /// The inverse permutation: `inv[p[i]] = i`.
@@ -223,7 +232,10 @@ impl Perm {
         for (i, &s) in self.as_slice().iter().enumerate() {
             slots[s as usize] = i as u8;
         }
-        Perm { len: self.len, slots }
+        Perm {
+            len: self.len,
+            slots,
+        }
     }
 
     /// Composition `self ∘ other`: the permutation mapping
@@ -233,12 +245,18 @@ impl Perm {
     /// Panics if lengths differ.
     #[must_use]
     pub fn compose(&self, other: &Self) -> Self {
-        assert_eq!(self.len, other.len, "composing permutations of unequal length");
+        assert_eq!(
+            self.len, other.len,
+            "composing permutations of unequal length"
+        );
         let mut slots = [0u8; MAX_N];
         for (i, &s) in other.as_slice().iter().enumerate() {
             slots[i] = self.slots[s as usize];
         }
-        Perm { len: self.len, slots }
+        Perm {
+            len: self.len,
+            slots,
+        }
     }
 
     /// Number of slots whose symbol differs from the identity.
@@ -258,7 +276,10 @@ impl Perm {
     /// Panics if lengths differ.
     #[must_use]
     pub fn hamming(&self, other: &Self) -> usize {
-        assert_eq!(self.len, other.len, "comparing permutations of unequal length");
+        assert_eq!(
+            self.len, other.len,
+            "comparing permutations of unequal length"
+        );
         self.as_slice()
             .iter()
             .zip(other.as_slice())
@@ -318,7 +339,10 @@ mod tests {
     #[test]
     fn identity_rejects_bad_lengths() {
         assert_eq!(Perm::try_identity(0), Err(PermError::BadLength(0)));
-        assert_eq!(Perm::try_identity(MAX_N + 1), Err(PermError::BadLength(MAX_N + 1)));
+        assert_eq!(
+            Perm::try_identity(MAX_N + 1),
+            Err(PermError::BadLength(MAX_N + 1))
+        );
     }
 
     #[test]
@@ -328,7 +352,10 @@ mod tests {
             Perm::from_slice(&[0, 3, 1]),
             Err(PermError::SymbolOutOfRange { symbol: 3, n: 3 })
         );
-        assert_eq!(Perm::from_slice(&[0, 1, 1]), Err(PermError::DuplicateSymbol(1)));
+        assert_eq!(
+            Perm::from_slice(&[0, 1, 1]),
+            Err(PermError::DuplicateSymbol(1))
+        );
         assert_eq!(Perm::from_slice(&[]), Err(PermError::BadLength(0)));
     }
 

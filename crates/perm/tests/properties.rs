@@ -1,0 +1,134 @@
+//! Property tests for the permutation kernel: Lehmer-code and
+//! cycle-decomposition round-trips, and the apply/compose algebra the
+//! SIMD register-file machinery leans on.
+
+use proptest::prelude::*;
+use sg_perm::apply::{gather, permute_in_place, scatter};
+use sg_perm::cycles::{cycle_structure, is_even, sign};
+use sg_perm::factorial::factorial;
+use sg_perm::lehmer::{from_lehmer_code, lehmer_code, rank, unrank};
+use sg_perm::Perm;
+
+/// Deterministic "random" permutation of length `n` from seed bits.
+fn arb_perm(n: usize, seed: u64) -> Perm {
+    unrank(seed % factorial(n), n).unwrap()
+}
+
+/// Rebuilds a permutation from its cycle decomposition: fixed slots
+/// map to themselves, and along each cycle `p[cycle[k]] = cycle[k+1]`
+/// (wrapping) — the inverse of `cycle_structure`'s reading.
+fn perm_from_cycles(n: usize, cycles: &[Vec<u8>]) -> Perm {
+    let mut slots: Vec<u8> = (0..n as u8).collect();
+    for cycle in cycles {
+        for k in 0..cycle.len() {
+            slots[cycle[k] as usize] = cycle[(k + 1) % cycle.len()];
+        }
+    }
+    Perm::from_slice(&slots).unwrap()
+}
+
+proptest! {
+    /// lehmer → perm → lehmer is the identity on codes.
+    #[test]
+    fn lehmer_perm_lehmer_roundtrip(n in 1usize..=16, seed in any::<u64>()) {
+        let p = arb_perm(n, seed);
+        let code = lehmer_code(&p);
+        let q = from_lehmer_code(&code).unwrap();
+        prop_assert_eq!(q, p);
+        prop_assert_eq!(lehmer_code(&q), code);
+    }
+
+    /// perm → rank → perm is the identity, and ranks are in range.
+    #[test]
+    fn rank_unrank_roundtrip(n in 1usize..=16, seed in any::<u64>()) {
+        let p = arb_perm(n, seed);
+        let r = rank(&p);
+        prop_assert!(r < factorial(n));
+        prop_assert_eq!(unrank(r, n).unwrap(), p);
+    }
+
+    /// cycles → perm → cycles is the identity on canonical structures.
+    #[test]
+    fn cycles_perm_cycles_roundtrip(n in 1usize..=16, seed in any::<u64>()) {
+        let p = arb_perm(n, seed);
+        let cs = cycle_structure(&p);
+        let rebuilt = perm_from_cycles(n, &cs.cycles);
+        prop_assert_eq!(rebuilt, p);
+        let cs2 = cycle_structure(&rebuilt);
+        prop_assert_eq!(cs2.cycles, cs.cycles);
+        prop_assert_eq!(cs2.fixed_points, cs.fixed_points);
+        prop_assert_eq!(cs.fixed_points + cs.moved(), n);
+    }
+
+    /// apply(inverse(p), apply(p, x)) == x — gathering through `p`
+    /// then through `p⁻¹` restores the register file.
+    #[test]
+    fn apply_inverse_is_identity(n in 1usize..=16, seed in any::<u64>(), salt in any::<u64>()) {
+        let p = arb_perm(n, seed);
+        let src: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(salt | 1)).collect();
+        let mut mid = vec![0u64; n];
+        let mut back = vec![0u64; n];
+        gather(&p, &src, &mut mid);
+        gather(&p.inverse(), &mid, &mut back);
+        prop_assert_eq!(back, src);
+    }
+
+    /// scatter is gather's inverse *and* equals gathering through the
+    /// inverse permutation; in-place permutation matches scatter.
+    #[test]
+    fn scatter_gather_inverse_laws(n in 1usize..=16, seed in any::<u64>()) {
+        let p = arb_perm(n, seed);
+        let src: Vec<u64> = (100..100 + n as u64).collect();
+        let mut via_scatter = vec![0u64; n];
+        scatter(&p, &src, &mut via_scatter);
+        let mut via_inv_gather = vec![0u64; n];
+        gather(&p.inverse(), &src, &mut via_inv_gather);
+        prop_assert_eq!(&via_scatter, &via_inv_gather);
+        let mut in_place = src.clone();
+        permute_in_place(&p, &mut in_place);
+        prop_assert_eq!(in_place, via_scatter);
+    }
+
+    /// Composition law: gather(b) after gather(a) == gather(a ∘ b),
+    /// matching `compose`'s `i ↦ a[b[i]]` definition.
+    #[test]
+    fn gather_composition_law(n in 1usize..=16, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = arb_perm(n, s1);
+        let b = arb_perm(n, s2);
+        let src: Vec<u64> = (0..n as u64).map(|i| 7 * i + 3).collect();
+        let mut mid = vec![0u64; n];
+        let mut two_step = vec![0u64; n];
+        gather(&a, &src, &mut mid);
+        gather(&b, &mid, &mut two_step);
+        let mut one_step = vec![0u64; n];
+        gather(&a.compose(&b), &src, &mut one_step);
+        prop_assert_eq!(two_step, one_step);
+    }
+
+    /// Group laws: p ∘ p⁻¹ = e, (p⁻¹)⁻¹ = p, and parity is a
+    /// homomorphism: sign(a ∘ b) = sign(a) · sign(b).
+    #[test]
+    fn group_and_parity_laws(n in 1usize..=16, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = arb_perm(n, s1);
+        let b = arb_perm(n, s2);
+        prop_assert!(a.compose(&a.inverse()).is_identity());
+        prop_assert!(a.inverse().compose(&a).is_identity());
+        prop_assert_eq!(a.inverse().inverse(), a);
+        prop_assert_eq!(sign(&a.compose(&b)), sign(&a) * sign(&b));
+        prop_assert_eq!(is_even(&a), sign(&a) == 1);
+    }
+}
+
+/// Exhaustive seal for small `n`: every permutation of `S_n`, `n ≤ 6`,
+/// round-trips through both codecs (no reliance on sampling).
+#[test]
+fn exhaustive_small_n_roundtrips() {
+    for n in 1..=6usize {
+        for r in 0..factorial(n) {
+            let p = unrank(r, n).unwrap();
+            assert_eq!(from_lehmer_code(&lehmer_code(&p)).unwrap(), p);
+            let cs = cycle_structure(&p);
+            assert_eq!(perm_from_cycles(n, &cs.cycles), p);
+        }
+    }
+}

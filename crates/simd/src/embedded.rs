@@ -124,13 +124,15 @@ impl<T: Clone> MeshSimd<T> for EmbeddedMeshMachine<T> {
 
     fn update(&mut self, reg: &str, f: &mut dyn FnMut(&MeshPoint, &mut T)) {
         let points = std::mem::take(&mut self.mesh_point_of_rank);
-        self.star.update_indexed(reg, &mut |r, _, v| f(&points[r], v));
+        self.star
+            .update_indexed(reg, &mut |r, _, v| f(&points[r], v));
         self.mesh_point_of_rank = points;
     }
 
     fn combine(&mut self, dst: &str, src: &str, f: &mut dyn FnMut(&MeshPoint, &mut T, &T)) {
         let points = std::mem::take(&mut self.mesh_point_of_rank);
-        self.star.combine_indexed(dst, src, &mut |r, _, d, s| f(&points[r], d, s));
+        self.star
+            .combine_indexed(dst, src, &mut |r, _, d, s| f(&points[r], d, s));
         self.mesh_point_of_rank = points;
     }
 
@@ -186,9 +188,7 @@ impl<T: Clone> MeshSimd<T> for EmbeddedMeshMachine<T> {
         // machine verifies receive-uniqueness (Lemma 5) each round.
         for round in &gen_of {
             self.star
-                .route_select(TRANSIT, &|pe, _| {
-                    round[pe as usize].map(|j| j as usize)
-                })
+                .route_select(TRANSIT, &|pe, _| round[pe as usize].map(|j| j as usize))
                 .expect("Lemma 5 guarantees a conflict-free schedule");
         }
 
@@ -339,7 +339,11 @@ mod tests {
 
         for _ in 0..60 {
             let dim = rng.gen_range(1..n);
-            let sign = if rng.gen_bool(0.5) { Sign::Plus } else { Sign::Minus };
+            let sign = if rng.gen_bool(0.5) {
+                Sign::Plus
+            } else {
+                Sign::Minus
+            };
             native.route("B", dim, sign);
             emb.route("B", dim, sign);
         }

@@ -57,13 +57,7 @@ pub trait MeshSimd<T: Clone> {
     /// (`B(i^{(dim±)}) ← B(i)`): every receiving PE's register is
     /// overwritten with its neighbor's value; PEs with no sender keep
     /// their value.
-    fn route_where(
-        &mut self,
-        reg: &str,
-        dim: usize,
-        sign: Sign,
-        mask: &dyn Fn(&MeshPoint) -> bool,
-    );
+    fn route_where(&mut self, reg: &str, dim: usize, sign: Sign, mask: &dyn Fn(&MeshPoint) -> bool);
 
     /// Unmasked unit route.
     fn route(&mut self, reg: &str, dim: usize, sign: Sign) {

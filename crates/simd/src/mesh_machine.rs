@@ -25,7 +25,12 @@ impl<T: Clone> MeshMachine<T> {
     pub fn new(shape: MeshShape) -> Self {
         let size = usize::try_from(shape.size()).expect("mesh too large to simulate");
         let points: Vec<MeshPoint> = (0..shape.size()).map(|i| shape.point_at(i)).collect();
-        MeshMachine { shape, points, regs: RegFile::new(size), stats: RouteStats::default() }
+        MeshMachine {
+            shape,
+            points,
+            regs: RegFile::new(size),
+            stats: RouteStats::default(),
+        }
     }
 
     /// Number of PEs.

@@ -17,7 +17,10 @@ impl<T: Clone> RegFile<T> {
     /// Creates an empty file for `pes` PEs.
     #[must_use]
     pub fn new(pes: usize) -> Self {
-        RegFile { pes, regs: HashMap::new() }
+        RegFile {
+            pes,
+            regs: HashMap::new(),
+        }
     }
 
     /// Number of PEs.

@@ -34,7 +34,11 @@ pub struct RouteConflict {
 
 impl std::fmt::Display for RouteConflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PE {} would receive two messages in one unit route", self.receiver)
+        write!(
+            f,
+            "PE {} would receive two messages in one unit route",
+            self.receiver
+        )
     }
 }
 
@@ -57,7 +61,13 @@ impl<T: Clone> StarMachine<T> {
                     .collect()
             })
             .collect();
-        StarMachine { star, nodes, neighbors, regs: RegFile::new(size), stats: RouteStats::default() }
+        StarMachine {
+            star,
+            nodes,
+            neighbors,
+            regs: RegFile::new(size),
+            stats: RouteStats::default(),
+        }
     }
 
     /// The underlying topology handle.
@@ -178,7 +188,9 @@ impl<T: Clone> StarMachine<T> {
                 if hit[dst] {
                     // Roll back: restore the untouched register.
                     self.regs.load(reg, data);
-                    return Err(RouteConflict { receiver: dst as u64 });
+                    return Err(RouteConflict {
+                        receiver: dst as u64,
+                    });
                 }
                 hit[dst] = true;
                 out[dst] = data[pe].clone();
@@ -231,7 +243,8 @@ mod tests {
         let mut m: StarMachine<i32> = StarMachine::new(3);
         m.load("A", vec![100, 0, 0, 0, 0, 0]);
         // Only PE 0 transmits, along g_1.
-        m.route_select("A", &|pe, _| (pe == 0).then_some(1)).unwrap();
+        m.route_select("A", &|pe, _| (pe == 0).then_some(1))
+            .unwrap();
         let out = m.read("A");
         let dst = m.neighbor_rank(0, 1) as usize;
         assert_eq!(out[dst], 100);

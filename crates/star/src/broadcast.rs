@@ -68,7 +68,10 @@ pub fn lower_bound(n: usize) -> u32 {
 #[must_use]
 pub fn flood_schedule(star: &StarGraph, source: u64) -> BroadcastSchedule {
     let n = star.n();
-    assert!(n <= 10, "flooding materializes n! node states; n = {n} too large");
+    assert!(
+        n <= 10,
+        "flooding materializes n! node states; n = {n} too large"
+    );
     let total = star.node_count();
     assert!(source < total, "source out of range");
     let total = total as usize;
@@ -108,10 +111,7 @@ pub fn flood_schedule(star: &StarGraph, source: u64) -> BroadcastSchedule {
 ///
 /// # Errors
 /// Returns a human-readable description of the first violation.
-pub fn verify_schedule(
-    star: &StarGraph,
-    schedule: &BroadcastSchedule,
-) -> Result<usize, String> {
+pub fn verify_schedule(star: &StarGraph, schedule: &BroadcastSchedule) -> Result<usize, String> {
     let total = star.node_count() as usize;
     let mut informed = vec![false; total];
     informed[schedule.source as usize] = true;

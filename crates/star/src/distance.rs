@@ -54,11 +54,11 @@ pub fn distance(a: &Perm, b: &Perm) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use sg_graph::bfs::bfs;
     use sg_graph::builders::star_graph;
     use sg_perm::factorial::factorial;
     use sg_perm::lehmer::{rank, unrank};
-    use proptest::prelude::*;
 
     #[test]
     fn identity_distance_zero() {

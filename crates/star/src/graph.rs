@@ -89,7 +89,11 @@ impl StarGraph {
     #[must_use]
     pub fn apply_generator(&self, p: &Perm, j: usize) -> Perm {
         assert_eq!(p.len(), self.n, "node belongs to a different S_n");
-        assert!(j >= 1 && j < self.n, "generator g_{j} undefined for S_{}", self.n);
+        assert!(
+            j >= 1 && j < self.n,
+            "generator g_{j} undefined for S_{}",
+            self.n
+        );
         p.with_slots_swapped(0, j)
     }
 
@@ -145,7 +149,9 @@ impl StarGraph {
     #[must_use]
     pub fn neighbor_ranks(&self, r: u64) -> Vec<u64> {
         let p = self.node_at(r);
-        self.generators().map(|j| rank(&p.with_slots_swapped(0, j))).collect()
+        self.generators()
+            .map(|j| rank(&p.with_slots_swapped(0, j)))
+            .collect()
     }
 
     /// Materializes the CSR adjacency structure (only feasible for
@@ -223,8 +229,11 @@ mod tests {
         for r in 0..24u64 {
             let mut ours = s.neighbor_ranks(r);
             ours.sort_unstable();
-            let theirs: Vec<u64> =
-                g.neighbors(r as u32).iter().map(|&x| u64::from(x)).collect();
+            let theirs: Vec<u64> = g
+                .neighbors(r as u32)
+                .iter()
+                .map(|&x| u64::from(x))
+                .collect();
             assert_eq!(ours, theirs);
         }
     }

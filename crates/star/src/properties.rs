@@ -51,12 +51,12 @@ pub fn max_fault_tolerance(n: usize) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sg_graph::connectivity::{survives_faults, vertex_connectivity};
-    use sg_graph::transitivity::is_automorphism;
-    use sg_perm::lehmer::unrank;
-    use sg_perm::factorial::factorial;
     use rand::prelude::*;
     use rand_chacha::ChaCha8Rng;
+    use sg_graph::connectivity::{survives_faults, vertex_connectivity};
+    use sg_graph::transitivity::is_automorphism;
+    use sg_perm::factorial::factorial;
+    use sg_perm::lehmer::unrank;
 
     #[test]
     fn diameter_formula_matches_bfs() {

@@ -72,9 +72,9 @@ mod tests {
     use super::*;
     use crate::distance::distance;
     use crate::StarGraph;
+    use proptest::prelude::*;
     use sg_perm::factorial::factorial;
     use sg_perm::lehmer::unrank;
-    use proptest::prelude::*;
 
     #[test]
     fn sorting_reaches_identity_with_optimal_length() {

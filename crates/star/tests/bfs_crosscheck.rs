@@ -1,0 +1,86 @@
+//! Cross-checks the Akers–Krishnamurthy cycle-structure distance
+//! formula (`sg_star::distance`) against `sg_graph` BFS on the
+//! materialized `S_n` for `n ≤ 6` — complementing
+//! `sg-graph`'s `petgraph_crosscheck`, which validates the BFS side
+//! against an independent Dijkstra.
+
+use sg_graph::bfs::{bfs, is_connected};
+use sg_graph::builders;
+use sg_star::distance::{distance, length_to_identity};
+use sg_star::StarGraph;
+
+/// Formula vs BFS, all ordered pairs, on the `StarGraph::to_csr`
+/// materialization.
+#[test]
+fn formula_matches_bfs_on_own_csr() {
+    for n in 2..=6usize {
+        let star = StarGraph::new(n);
+        let csr = star.to_csr();
+        assert!(is_connected(&csr), "S_{n} is connected");
+        let count = star.node_count();
+        for src in 0..count {
+            let tree = bfs(&csr, src as u32);
+            let a = star.node_at(src);
+            for dst in 0..count {
+                let b = star.node_at(dst);
+                assert_eq!(distance(&a, &b), tree.dist[dst as usize], "n={n} {a}→{b}");
+            }
+        }
+    }
+}
+
+/// Same check against the *independent* builder in `sg_graph`
+/// (constructed from generator arithmetic there, not via
+/// `StarGraph::to_csr`), guarding against a shared bug in the
+/// materialization path.
+#[test]
+fn formula_matches_bfs_on_independent_builder() {
+    for n in 2..=5usize {
+        let star = StarGraph::new(n);
+        let csr = builders::star_graph(n);
+        assert_eq!(csr.node_count() as u64, star.node_count(), "n={n}");
+        for src in 0..star.node_count() {
+            let tree = bfs(&csr, src as u32);
+            let a = star.node_at(src);
+            for dst in 0..star.node_count() {
+                let b = star.node_at(dst);
+                assert_eq!(distance(&a, &b), tree.dist[dst as usize], "n={n} {a}→{b}");
+            }
+        }
+    }
+}
+
+/// `length_to_identity(p) == distance(p, e)` and both equal BFS from
+/// the identity's rank.
+#[test]
+fn identity_specialization_agrees() {
+    for n in 2..=6usize {
+        let star = StarGraph::new(n);
+        let csr = star.to_csr();
+        let e = star.identity();
+        let tree = bfs(&csr, star.rank_of(&e) as u32);
+        for r in 0..star.node_count() {
+            let p = star.node_at(r);
+            assert_eq!(length_to_identity(&p), distance(&p, &e), "n={n} {p}");
+            assert_eq!(length_to_identity(&p), tree.dist[r as usize], "n={n} {p}");
+        }
+    }
+}
+
+/// Distance is a metric realized by the graph: symmetric, zero iff
+/// equal, and 1 exactly on star edges. (Triangle inequality follows
+/// from BFS agreement above.)
+#[test]
+fn metric_sanity_on_edges() {
+    for n in 2..=5usize {
+        let star = StarGraph::new(n);
+        for r in 0..star.node_count() {
+            let a = star.node_at(r);
+            assert_eq!(distance(&a, &a), 0);
+            for b in star.neighbors(&a) {
+                assert_eq!(distance(&a, &b), 1, "n={n}: edge {a}–{b}");
+                assert_eq!(distance(&b, &a), 1, "n={n}: symmetric");
+            }
+        }
+    }
+}

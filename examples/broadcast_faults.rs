@@ -16,7 +16,9 @@ use rand_chacha::ChaCha8Rng;
 use star_mesh_embedding::algo::broadcast::broadcast;
 use star_mesh_embedding::graph::connectivity::{survives_faults, vertex_connectivity};
 use star_mesh_embedding::prelude::*;
-use star_mesh_embedding::star::broadcast::{flood_schedule, lower_bound, paper_bound, verify_schedule};
+use star_mesh_embedding::star::broadcast::{
+    flood_schedule, lower_bound, paper_bound, verify_schedule,
+};
 
 fn main() {
     println!("=== Broadcast: embedded mesh sweep vs native star flooding ===\n");

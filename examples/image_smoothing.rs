@@ -14,7 +14,9 @@ use star_mesh_embedding::algo::stencil::{smooth, Fixed};
 use star_mesh_embedding::prelude::*;
 
 fn checkerboard(size: usize) -> Vec<Fixed> {
-    (0..size).map(|i| if i % 2 == 0 { 1000 } else { 0 }).collect()
+    (0..size)
+        .map(|i| if i % 2 == 0 { 1000 } else { 0 })
+        .collect()
 }
 
 fn main() {

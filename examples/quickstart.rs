@@ -29,8 +29,7 @@ fn main() {
     println!("Figure 7 — V(D_4) <-> V(S_4):");
     let table = mapping_table(n);
     for row in table.chunks(2) {
-        let line: Vec<String> =
-            row.iter().map(|(m, s)| format!("{m} {s}")).collect();
+        let line: Vec<String> = row.iter().map(|(m, s)| format!("{m} {s}")).collect();
         println!("  {}", line.join("    "));
     }
 

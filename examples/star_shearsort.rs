@@ -29,8 +29,9 @@ fn main() {
         let geom = GroupedGeometry::appendix(n, 2);
         let vshape = geom.virtual_shape().clone();
         let mut rng = ChaCha8Rng::seed_from_u64(2024);
-        let keys: Vec<u64> =
-            (0..vshape.size()).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let keys: Vec<u64> = (0..vshape.size())
+            .map(|_| rng.gen_range(0..1_000_000))
+            .collect();
 
         let mut star: EmbeddedMeshMachine<u64> = EmbeddedMeshMachine::new(n);
         let mut grouped = GroupedMachine::new(&mut star, geom);
@@ -53,8 +54,10 @@ fn main() {
         // Spot-check the snake output against a plain sort.
         let mut expect = keys;
         expect.sort_unstable();
-        let got: Vec<u64> =
-            snake_order_2d(&vshape).iter().map(|&i| out[i as usize]).collect();
+        let got: Vec<u64> = snake_order_2d(&vshape)
+            .iter()
+            .map(|&i| out[i as usize])
+            .collect();
         assert_eq!(got, expect, "n={n}");
     }
     println!(

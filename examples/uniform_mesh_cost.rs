@@ -20,7 +20,10 @@ use star_mesh_embedding::prelude::*;
 
 fn main() {
     println!("=== Theorem 8/9: per-step slowdown, uniform mesh on D_n ===\n");
-    println!("{:>3} {:>10} {:>16} {:>16}", "n", "N=n!", "thm8 slowdown", "log2(thm9)");
+    println!(
+        "{:>3} {:>10} {:>16} {:>16}",
+        "n", "N=n!", "thm8 slowdown", "log2(thm9)"
+    );
     for n in 4..=12usize {
         let full = MeshShape::new(&(2..=n).collect::<Vec<_>>()).unwrap();
         println!(
@@ -57,8 +60,7 @@ fn main() {
     println!("\n=== Appendix: optimal simulation dimension sweep ===\n");
     for n in [8usize, 10, 12] {
         let (sweep, best) = optimal_dimension_sweep(n);
-        let curve: Vec<String> =
-            sweep.iter().map(|(d, c)| format!("d{d}:{c:.1}")).collect();
+        let curve: Vec<String> = sweep.iter().map(|(d, c)| format!("d{d}:{c:.1}")).collect();
         println!("n={n}: log2-cost {}", curve.join(" "));
         println!(
             "      best d = {best}; sqrt(2 log2 N) = {:.2}; paper's half-sqrt = {:.2}\n",

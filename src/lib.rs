@@ -39,11 +39,11 @@ pub mod prelude {
     pub use sg_core::embedding::{Embedding, EmbeddingMetrics};
     pub use sg_core::lemma3::{mesh_neighbor_minus, mesh_neighbor_plus};
     pub use sg_core::paths::dilation3_path;
-    pub use sg_mesh::shape::MeshShape;
     pub use sg_mesh::coords::MeshPoint;
     pub use sg_mesh::dn::DnMesh;
-    pub use sg_perm::{Perm, PermIter};
+    pub use sg_mesh::shape::MeshShape;
     pub use sg_mesh::shape::Sign;
+    pub use sg_perm::{Perm, PermIter};
     pub use sg_simd::embedded::EmbeddedMeshMachine;
     pub use sg_simd::machine::{MeshSimd, RouteStats};
     pub use sg_simd::mesh_machine::MeshMachine;

@@ -1,0 +1,125 @@
+//! Exhaustive verification (all `n ≤ 7`) that `CONVERT-D-S` and
+//! `CONVERT-S-D` are mutually inverse **bijections** between the mesh
+//! `D_n` and the star graph `S_n` — the expansion-1 half of the
+//! paper's Theorem 6, checked node by node.
+
+use star_mesh_embedding::core::convert::{
+    convert_d_s_via_exchanges, convert_s_d_via_removal, home_node,
+};
+use star_mesh_embedding::perm::factorial::factorial;
+use star_mesh_embedding::perm::lehmer::{rank, unrank};
+use star_mesh_embedding::prelude::*;
+
+const N_MAX: usize = 7;
+
+/// `d ↦ π ↦ d` is the identity on every mesh node, and the images are
+/// pairwise distinct — `convert_d_s` is injective into `S_n`.
+#[test]
+fn d_to_s_roundtrip_and_injectivity_exhaustive() {
+    for n in 2..=N_MAX {
+        let dn = DnMesh::new(n);
+        let mut seen = vec![false; factorial(n) as usize];
+        for d in dn.points() {
+            let pi = convert_d_s(&d);
+            assert_eq!(pi.len(), n, "n={n}: image lives on S_{n}");
+            assert_eq!(
+                convert_s_d(&pi),
+                d,
+                "n={n}: CONVERT-S-D undoes CONVERT-D-S at {d}"
+            );
+            let r = rank(&pi) as usize;
+            assert!(!seen[r], "n={n}: image {pi} hit twice");
+            seen[r] = true;
+        }
+        // |D_n| = n! = |S_n| and the map is injective, so it is onto —
+        // but check the marks anyway rather than trusting arithmetic.
+        assert!(
+            seen.iter().all(|&s| s),
+            "n={n}: some star node is not an image"
+        );
+    }
+}
+
+/// `π ↦ d ↦ π` is the identity on every star node — the inverse
+/// direction, swept over all of `S_n`.
+#[test]
+fn s_to_d_roundtrip_exhaustive() {
+    for n in 2..=N_MAX {
+        for r in 0..factorial(n) {
+            let pi = unrank(r, n).unwrap();
+            let d = convert_s_d(&pi);
+            assert_eq!(
+                convert_d_s(&d),
+                pi,
+                "n={n}: CONVERT-D-S undoes CONVERT-S-D at {pi}"
+            );
+        }
+    }
+}
+
+/// Every coordinate produced by `CONVERT-S-D` respects the mesh shape
+/// `2 × 3 × ⋯ × n` (i.e. the inverse lands inside `D_n`).
+#[test]
+fn s_to_d_lands_inside_the_mesh() {
+    for n in 2..=N_MAX {
+        let dn = DnMesh::new(n);
+        for r in 0..factorial(n) {
+            let pi = unrank(r, n).unwrap();
+            let d = convert_s_d(&pi);
+            assert!(dn.shape().contains(&d), "n={n}: {pi} ↦ {d} escapes D_{n}");
+        }
+    }
+}
+
+/// The Figure-5 bubbling formulation and the Table-1 symbol-exchange
+/// formulation compute the same map; likewise the two `CONVERT-S-D`
+/// decoders.
+#[test]
+fn alternative_formulations_agree_exhaustive() {
+    for n in 2..=N_MAX {
+        let dn = DnMesh::new(n);
+        for d in dn.points() {
+            assert_eq!(
+                convert_d_s(&d),
+                convert_d_s_via_exchanges(&d),
+                "n={n}: Figure 5 vs Table 1 disagree at {d}"
+            );
+        }
+        for r in 0..factorial(n) {
+            let pi = unrank(r, n).unwrap();
+            assert_eq!(
+                convert_s_d(&pi),
+                convert_s_d_via_removal(&pi),
+                "n={n}: Figure 6 vs removal decoding disagree at {pi}"
+            );
+        }
+    }
+}
+
+/// The mesh origin maps to the paper's home node `(n−1 … 1 0)` and the
+/// all-max corner maps to its reverse reading, pinning the orientation
+/// conventions.
+#[test]
+fn anchor_points() {
+    for n in 2..=N_MAX {
+        let dn = DnMesh::new(n);
+        let origin = dn.point_at(0);
+        assert!(origin.ascending().iter().all(|&c| c == 0));
+        assert_eq!(convert_d_s(&origin), home_node(n));
+
+        let corner_coords: Vec<u32> = (1..n as u32).rev().collect();
+        let corner = MeshPoint::new(&corner_coords).unwrap();
+        let img = convert_d_s(&corner);
+        assert_eq!(convert_s_d(&img), corner);
+    }
+}
+
+/// The paper's §3.2 worked examples, kept at the integration level so
+/// a regression in any crate's conventions trips it.
+#[test]
+fn paper_section_3_2_worked_examples() {
+    let d = MeshPoint::new(&[3, 0, 1]).unwrap();
+    assert_eq!(convert_d_s(&d).to_string(), "(0 3 1 2)");
+    let pi = Perm::from_slice(&[0, 2, 1, 3]).unwrap();
+    assert_eq!(convert_s_d(&pi).to_string(), "(3,1,1)");
+}

@@ -31,7 +31,12 @@ fn three_dimensional_grouped_view_routes_correctly() {
     let mut grouped = GroupedMachine::new(&mut inner, geom);
     grouped.load("A", data);
 
-    for (dim, sign) in [(1, Sign::Plus), (2, Sign::Minus), (3, Sign::Plus), (2, Sign::Plus)] {
+    for (dim, sign) in [
+        (1, Sign::Plus),
+        (2, Sign::Minus),
+        (3, Sign::Plus),
+        (2, Sign::Plus),
+    ] {
         flat.route("A", dim, sign);
         grouped.route("A", dim, sign);
         assert_eq!(flat.read("A"), grouped.read("A"), "dim={dim} {sign:?}");

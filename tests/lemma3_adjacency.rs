@@ -1,0 +1,79 @@
+//! Lemma 3, checked against brute force for all `n ≤ 7`: the
+//! closed-form symbol-swap rules `π_{k+}` / `π_{k−}` produce exactly
+//! the star images of the mesh neighbors that `D_n`'s shape arithmetic
+//! produces — including agreeing on *which* neighbors exist at the
+//! mesh boundary.
+
+use star_mesh_embedding::core::lemma3::all_mesh_neighbors;
+use star_mesh_embedding::prelude::*;
+
+const N_MAX: usize = 7;
+
+/// For every node and dimension: `mesh_neighbor_plus/minus` on the
+/// star side equals convert-of-neighbor on the mesh side, and the
+/// boundary cases (`d_k = k` / `d_k = 0`) are exactly the `None`s.
+#[test]
+fn lemma3_agrees_with_brute_force_adjacency_exhaustive() {
+    for n in 2..=N_MAX {
+        let dn = DnMesh::new(n);
+        let shape = dn.shape().clone();
+        for d in dn.points() {
+            let pi = convert_d_s(&d);
+            for k in 1..n {
+                let brute_plus = shape.neighbor(&d, k, Sign::Plus).map(|q| convert_d_s(&q));
+                assert_eq!(
+                    mesh_neighbor_plus(&pi, k),
+                    brute_plus,
+                    "n={n} d={d} k={k} (+)"
+                );
+                let brute_minus = shape.neighbor(&d, k, Sign::Minus).map(|q| convert_d_s(&q));
+                assert_eq!(
+                    mesh_neighbor_minus(&pi, k),
+                    brute_minus,
+                    "n={n} d={d} k={k} (−)"
+                );
+            }
+        }
+    }
+}
+
+/// The aggregated helper returns one entry per existing mesh edge at
+/// the node, dimension-major — mirroring `MeshShape::degree`.
+#[test]
+fn all_mesh_neighbors_covers_the_degree() {
+    for n in 2..=N_MAX {
+        let dn = DnMesh::new(n);
+        let shape = dn.shape().clone();
+        for d in dn.points() {
+            let pi = convert_d_s(&d);
+            let star_side = all_mesh_neighbors(&pi);
+            assert_eq!(star_side.len(), shape.degree(&d), "n={n} d={d}");
+            for (k, plus, q) in star_side {
+                let sign = if plus { Sign::Plus } else { Sign::Minus };
+                let mesh_neighbor = shape
+                    .neighbor(&d, k, sign)
+                    .expect("lemma 3 produced a neighbor the mesh lacks");
+                assert_eq!(q, convert_d_s(&mesh_neighbor), "n={n} d={d} k={k}");
+            }
+        }
+    }
+}
+
+/// Lemma 2's consequence, pinned at the integration level: a Lemma-3
+/// neighbor differs from `π` in exactly one symbol transposition, and
+/// that transposition never involves symbols at equal slots — so its
+/// star distance is 1 (front swap) or exactly 3.
+#[test]
+fn lemma3_neighbors_are_symbol_transpositions() {
+    for n in 2..=N_MAX {
+        let dn = DnMesh::new(n);
+        for d in dn.points() {
+            let pi = convert_d_s(&d);
+            for (_k, _plus, q) in all_mesh_neighbors(&pi) {
+                assert_eq!(pi.hamming(&q), 2, "n={n}: {pi} vs {q}");
+                let dist = star_mesh_embedding::star::distance::distance(&pi, &q);
+                assert!(dist == 1 || dist == 3, "n={n}: distance {dist}");
+            }
+        }
+    }
+}

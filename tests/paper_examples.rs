@@ -32,9 +32,11 @@ fn section2_adjacency_definition() {
     //  (a_i a_{n-2} … a_{i+1} a_{n-1} a_{i-1} … a_0), 0 <= i <= n-2"
     let s4 = StarGraph::new(4);
     let pi = Perm::from_slice(&[0, 1, 2, 3]).unwrap();
-    let nbrs: Vec<Vec<u8>> =
-        s4.neighbors(&pi).map(|q| q.as_slice().to_vec()).collect();
-    assert_eq!(nbrs, vec![vec![1, 0, 2, 3], vec![2, 1, 0, 3], vec![3, 1, 2, 0]]);
+    let nbrs: Vec<Vec<u8>> = s4.neighbors(&pi).map(|q| q.as_slice().to_vec()).collect();
+    assert_eq!(
+        nbrs,
+        vec![vec![1, 0, 2, 3], vec![2, 1, 0, 3], vec![3, 1, 2, 0]]
+    );
 }
 
 #[test]
@@ -95,7 +97,10 @@ fn section32_convert_d_s_walkthrough() {
     let d = MeshPoint::new(&[3, 0, 1]).unwrap();
     assert_eq!(convert_d_s(&d).to_string(), "(0 3 1 2)");
     // "Assume that node (0,0,0 …,0) gets mapped to (n-1 n-2 … 2 1 0)"
-    assert_eq!(convert_d_s(&MeshPoint::new(&[0, 0, 0]).unwrap()), home_node(4));
+    assert_eq!(
+        convert_d_s(&MeshPoint::new(&[0, 0, 0]).unwrap()),
+        home_node(4)
+    );
 }
 
 #[test]
@@ -136,8 +141,14 @@ fn lemma3_worked_example() {
     //  π_{3+} = (2 1 4 0 3) and π_{3-} = (2 4 3 0 1)"
     let pi = Perm::from_slice(&[2, 3, 4, 0, 1]).unwrap();
     assert_eq!(convert_s_d(&pi).to_string(), "(2,1,0,1)");
-    assert_eq!(mesh_neighbor_plus(&pi, 3).unwrap().as_slice(), &[2, 1, 4, 0, 3]);
-    assert_eq!(mesh_neighbor_minus(&pi, 3).unwrap().as_slice(), &[2, 4, 3, 0, 1]);
+    assert_eq!(
+        mesh_neighbor_plus(&pi, 3).unwrap().as_slice(),
+        &[2, 1, 4, 0, 3]
+    );
+    assert_eq!(
+        mesh_neighbor_minus(&pi, 3).unwrap().as_slice(),
+        &[2, 4, 3, 0, 1]
+    );
 }
 
 #[test]
@@ -151,13 +162,19 @@ fn lemma3_edge_to_path_example() {
         .iter()
         .map(ToString::to_string)
         .collect();
-    assert_eq!(plus, ["(2 3 4 0 1)", "(3 2 4 0 1)", "(1 2 4 0 3)", "(2 1 4 0 3)"]);
+    assert_eq!(
+        plus,
+        ["(2 3 4 0 1)", "(3 2 4 0 1)", "(1 2 4 0 3)", "(2 1 4 0 3)"]
+    );
     let minus: Vec<String> = dilation3_path(&pi, 3, false)
         .unwrap()
         .iter()
         .map(ToString::to_string)
         .collect();
-    assert_eq!(minus, ["(2 3 4 0 1)", "(3 2 4 0 1)", "(4 2 3 0 1)", "(2 4 3 0 1)"]);
+    assert_eq!(
+        minus,
+        ["(2 3 4 0 1)", "(3 2 4 0 1)", "(4 2 3 0 1)", "(2 4 3 0 1)"]
+    );
 }
 
 #[test]

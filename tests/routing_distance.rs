@@ -1,0 +1,118 @@
+//! Star-graph routing and the Akers–Krishnamurthy distance formula
+//! versus breadth-first-search ground truth: exhaustive all-pairs for
+//! `n ≤ 6`, sampled for `n = 7`.
+
+use star_mesh_embedding::graph::bfs::bfs;
+use star_mesh_embedding::perm::factorial::factorial;
+use star_mesh_embedding::prelude::*;
+use star_mesh_embedding::star::distance::{distance, length_to_identity};
+use star_mesh_embedding::star::routing::{route_generators, shortest_path};
+
+/// All-pairs: the cycle-structure distance formula equals BFS distance
+/// on the materialized `S_n`, for every ordered pair, `n ≤ 6`.
+#[test]
+fn distance_formula_matches_bfs_all_pairs() {
+    for n in 2..=6usize {
+        let star = StarGraph::new(n);
+        let csr = star.to_csr();
+        let count = factorial(n);
+        for src in 0..count {
+            let tree = bfs(&csr, src as u32);
+            let a = star.node_at(src);
+            for dst in 0..count {
+                let b = star.node_at(dst);
+                assert_eq!(
+                    distance(&a, &b),
+                    tree.dist[dst as usize],
+                    "n={n}: d({a}, {b})"
+                );
+            }
+        }
+    }
+}
+
+/// `length_to_identity` is the single-argument specialization; check
+/// it against BFS from the identity node's rank.
+#[test]
+fn length_to_identity_matches_bfs() {
+    for n in 2..=6usize {
+        let star = StarGraph::new(n);
+        let csr = star.to_csr();
+        let id_rank = star.rank_of(&star.identity());
+        let tree = bfs(&csr, id_rank as u32);
+        for r in 0..factorial(n) {
+            let p = star.node_at(r);
+            assert_eq!(
+                length_to_identity(&p),
+                tree.dist[r as usize],
+                "n={n}: |{p}|"
+            );
+        }
+    }
+}
+
+/// The constructive router: its path really walks star edges, starts
+/// and ends correctly, and its length equals the exact distance — so
+/// the greedy front-symbol sorting is step-for-step optimal.
+#[test]
+fn shortest_path_is_valid_and_optimal() {
+    for n in 2..=5usize {
+        let star = StarGraph::new(n);
+        let count = factorial(n);
+        for src in 0..count {
+            let a = star.node_at(src);
+            for dst in 0..count {
+                let b = star.node_at(dst);
+                let path = shortest_path(&a, &b);
+                assert_eq!(*path.first().unwrap(), a);
+                assert_eq!(*path.last().unwrap(), b);
+                assert_eq!(path.len() as u32 - 1, distance(&a, &b), "n={n}: {a} → {b}");
+                for w in path.windows(2) {
+                    assert!(star.are_adjacent(&w[0], &w[1]), "n={n}: non-edge in path");
+                }
+                assert_eq!(route_generators(&a, &b).len() as u32, distance(&a, &b));
+            }
+        }
+    }
+}
+
+/// `n = 7` (5040 nodes): BFS ground truth from a handful of sources
+/// against the formula for every destination, plus router validity on
+/// a strided sample of pairs.
+#[test]
+fn n7_sampled_crosscheck() {
+    let n = 7usize;
+    let star = StarGraph::new(n);
+    let csr = star.to_csr();
+    let count = factorial(n);
+    for src in [0, 1, 720, 2519, count - 1] {
+        let tree = bfs(&csr, src as u32);
+        let a = star.node_at(src);
+        for dst in 0..count {
+            let b = star.node_at(dst);
+            assert_eq!(distance(&a, &b), tree.dist[dst as usize], "d({a}, {b})");
+        }
+    }
+    let a = star.node_at(17);
+    for dst in (0..count).step_by(101) {
+        let b = star.node_at(dst);
+        let path = shortest_path(&a, &b);
+        assert_eq!(path.len() as u32 - 1, distance(&a, &b));
+        for w in path.windows(2) {
+            assert!(star.are_adjacent(&w[0], &w[1]));
+        }
+    }
+}
+
+/// Paper §2 property 2: the diameter of `S_n` is `⌊3(n−1)/2⌋` —
+/// realized by BFS, matched by the closed form.
+#[test]
+fn diameter_closed_form() {
+    for n in 2..=6usize {
+        let star = StarGraph::new(n);
+        let csr = star.to_csr();
+        let measured = star_mesh_embedding::graph::metrics::diameter(&csr).unwrap();
+        assert_eq!(measured, (3 * (n as u32 - 1)) / 2, "n={n}");
+        assert_eq!(measured, star.diameter(), "n={n}");
+    }
+}

@@ -88,7 +88,11 @@ fn simulation_identity_random_programs() {
     star.load("B", data);
     for _ in 0..100 {
         let dim = rng.gen_range(1..n);
-        let sign = if rng.gen_bool(0.5) { Sign::Plus } else { Sign::Minus };
+        let sign = if rng.gen_bool(0.5) {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         match rng.gen_range(0..3) {
             0 => {
                 native.route("B", dim, sign);
