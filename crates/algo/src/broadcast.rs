@@ -1,4 +1,4 @@
-//! One-to-all broadcast by dimension sweeps ([NASS81] style).
+//! One-to-all broadcast by dimension sweeps (`[NASS81]` style).
 //!
 //! The value at `source` is spread along dimension 1, then the full
 //! hyperplane spreads along dimension 2, and so on — `l_i − 1` unit

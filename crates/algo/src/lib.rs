@@ -14,9 +14,9 @@
 //!   `D_n` via [`grouped::GroupedMachine`] — stacking all the way to
 //!   *shearsort on the star graph* (§5).
 //!
-//! Modules: [`broadcast`] (dimension-sweep one-to-all, [NASS81]),
+//! Modules: [`broadcast`] (dimension-sweep one-to-all, `[NASS81]`),
 //! [`scan`] (prefix combine), [`reduce`] (all-reduce), [`oddeven`]
-//! (odd-even transposition sort), [`shearsort`] ([SCHE89]),
+//! (odd-even transposition sort), [`shearsort`] (`[SCHE89]`),
 //! [`stencil`] (the intro's image-smoothing workload), [`grouped`]
 //! (Appendix snake linearization), [`util`] (register copies, snake
 //! order checks).

@@ -1,7 +1,7 @@
 //! Odd–even transposition sort along one mesh dimension.
 //!
 //! The classical `O(l)`-phase SIMD line sort (the 1-D base case of the
-//! mesh sorting literature the paper cites: [THOM77], [NASS79]).
+//! mesh sorting literature the paper cites: `[THOM77]`, `[NASS79]`).
 //! Every line along `dim` is sorted independently; the direction of
 //! each line is chosen by a caller-supplied predicate — exactly the
 //! hook shearsort needs for its boustrophedon rows.

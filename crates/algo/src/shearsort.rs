@@ -1,4 +1,4 @@
-//! Shearsort on a 2-D mesh ([SCHE89], cited in §5).
+//! Shearsort on a 2-D mesh (`[SCHE89]`, cited in §5).
 //!
 //! Alternately sort rows boustrophedon (even rows ascending, odd rows
 //! descending) and columns ascending; after `⌈log₂ r⌉ + 1` full

@@ -1,0 +1,65 @@
+//! Cost of the `sg-net` interconnect simulator's hot loop: the
+//! Lemma-5 dimension sweep (contention-free, 3 rounds) vs uniform
+//! random traffic (queued, long tail).
+//!
+//! Set `SG_BENCH_SMOKE=1` to run a minimal configuration (CI smoke
+//! mode: smallest sizes, fewest samples).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_net::{EmbeddingRouting, GreedyRouting, Network, Workload};
+
+fn smoke() -> bool {
+    std::env::var_os("SG_BENCH_SMOKE").is_some()
+}
+
+fn bench_dimension_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_dimension_sweep");
+    group.sample_size(if smoke() { 2 } else { 20 });
+    let orders: &[usize] = if smoke() { &[5] } else { &[5, 6, 7] };
+    for &n in orders {
+        let net = Network::new(n);
+        let w = Workload::dimension_sweep(n, n / 2, true);
+        group.bench_with_input(BenchmarkId::new("embedding", n), &n, |b, _| {
+            b.iter(|| net.run(&w, &EmbeddingRouting));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| net.run(&w, &GreedyRouting));
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_uniform_full_injection");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let orders: &[usize] = if smoke() { &[4] } else { &[5, 6] };
+    for &n in orders {
+        let net = Network::new(n);
+        let w = Workload::bernoulli_uniform(n, 10, 100, 0xBEEF);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| net.run(&w, &GreedyRouting));
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_construction(c: &mut Criterion) {
+    // Neighbor-table build (parallel unrank/rank over all n! PEs).
+    let mut group = c.benchmark_group("net_build");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let orders: &[usize] = if smoke() { &[5] } else { &[6, 7] };
+    for &n in orders {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| Network::new(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dimension_sweep,
+    bench_uniform_traffic,
+    bench_network_construction
+);
+criterion_main!(benches);

@@ -26,6 +26,9 @@ use sg_mesh::shape::{MeshShape, Sign};
 use sg_mesh::uniform::{
     thm7_slowdown, thm8_slowdown, thm9_approx_log2, thm9_slowdown_log2, UniformMesh,
 };
+use sg_net::{
+    EmbeddingRouting, FaultPlan, FaultPolicy, GreedyRouting, Network, RoutingPolicy, Workload,
+};
 use sg_perm::factorial::factorial;
 use sg_simd::machine::MeshSimd;
 use sg_simd::{EmbeddedMeshMachine, MeshMachine};
@@ -54,6 +57,7 @@ fn main() {
         "dilation" => dilation(parse_flag(&args, "--max-n", 8)),
         "thm6" => thm6(parse_flag(&args, "--max-n", 6)),
         "congestion" => congestion(parse_flag(&args, "--max-n", 6)),
+        "traffic" => traffic(parse_flag(&args, "--n", 5)),
         "starprops" => starprops(),
         "thm9" => thm9(),
         "appendix" => appendix(),
@@ -70,6 +74,7 @@ fn main() {
             dilation(8);
             thm6(6);
             congestion(6);
+            traffic(5);
             starprops();
             thm9();
             appendix();
@@ -298,6 +303,52 @@ fn congestion(max_n: usize) {
     );
 }
 
+/// Extension — contention-accounted traffic on the `sg-net` simulator.
+fn traffic(n: usize) {
+    banner("Extension — traffic simulation on the S_n interconnect (sg-net)");
+    let net = Network::new(n);
+    let mut t = Table::new(&[
+        "workload",
+        "policy",
+        "packets",
+        "delivered",
+        "rounds",
+        "avg lat",
+        "wait rounds",
+        "peak queue",
+    ]);
+    let mut add = |w: &Workload, policy: &dyn RoutingPolicy, net: &Network| {
+        let s = net.run(w, policy);
+        t.row(&[
+            w.name().to_string(),
+            policy.name().to_string(),
+            s.injected.to_string(),
+            s.delivered.to_string(),
+            s.makespan.to_string(),
+            format!("{:.2}", s.avg_latency()),
+            s.total_wait_rounds.to_string(),
+            s.peak_edge_occupancy.to_string(),
+        ]);
+    };
+    let sweep = Workload::dimension_sweep(n, n / 2, true);
+    add(&sweep, &EmbeddingRouting, &net);
+    add(&sweep, &GreedyRouting, &net);
+    let uniform = Workload::bernoulli_uniform(n, 20, 100, 0xBEEF);
+    add(&uniform, &GreedyRouting, &net);
+    add(&Workload::transpose(n), &GreedyRouting, &net);
+    add(&Workload::hot_spot(n, 0, 30, 0x5EED), &GreedyRouting, &net);
+    let faulted = Network::new(n)
+        .with_faults(FaultPlan::random_nodes(n, n - 2, 0xD00D).with_policy(FaultPolicy::Reroute));
+    add(
+        &Workload::random_permutation(n, 0xFADE),
+        &GreedyRouting,
+        &faulted,
+    );
+    print!("{}", t.render());
+    println!("(dimension sweep under embedding routing: the Lemma-5 schedule, zero waits;");
+    println!(" uniform full injection: no certificate, queues grow — the paper's contrast)");
+}
+
 /// E10 — §2 star-graph properties.
 fn starprops() {
     banner("S_n properties (paper §2)");
@@ -500,7 +551,7 @@ fn sorting() {
 
 /// E14 — intro comparison: star vs hypercube.
 fn star_vs_hypercube() {
-    banner("Star graph vs hypercube (intro / [AKER87])");
+    banner("Star graph vs hypercube (intro / `[AKER87]`)");
     let mut t = Table::new(&[
         "degree",
         "star nodes (n+1)!",

@@ -1,9 +1,13 @@
 //! Offline stand-in for the `rayon` adapters this workspace uses:
-//! `(a..b).into_par_iter().map(f).collect::<C>()` and the same with
-//! `filter_map`. Work really is fanned out across OS threads
+//! `(a..b).into_par_iter().map(f).collect::<C>()`, the same with
+//! `filter_map`, and the `fold(..).reduce(..)` pair for parallel
+//! aggregation. Work really is fanned out across OS threads
 //! (`std::thread::scope`, one chunk per available core), and results
 //! are recombined **in input order**, matching rayon's indexed-collect
-//! semantics. See `crates/compat/README.md`.
+//! semantics. `fold` produces one partial accumulator per chunk
+//! (rayon: one per split) and `reduce` merges the partials in input
+//! order, so any associative reduction gives identical results to
+//! rayon's. See `crates/compat/README.md`.
 
 #![forbid(unsafe_code)]
 
@@ -63,6 +67,23 @@ impl<T: Send> ParIter<T> {
             results: run_parallel(self.items, f),
         }
     }
+
+    /// Parallel fold: each worker folds its chunk into one accumulator
+    /// seeded from `identity`, yielding one partial per chunk (rayon
+    /// yields one per split). Chain with [`ParMapped::reduce`] — for
+    /// an associative `fold_op`/`reduce` pair the combined result is
+    /// independent of the chunking.
+    pub fn fold<U, ID, F>(self, identity: ID, fold_op: F) -> ParMapped<U>
+    where
+        U: Send,
+        ID: Fn() -> U + Sync,
+        F: Fn(U, T) -> U + Sync,
+    {
+        let partials = run_parallel_chunks(self.items, |chunk| {
+            chunk.into_iter().fold(identity(), &fold_op)
+        });
+        ParMapped { results: partials }
+    }
 }
 
 /// Results of a parallel map, ready to collect (already computed; the
@@ -91,6 +112,40 @@ impl<U> ParMapped<U> {
     {
         self.results.into_iter().max()
     }
+
+    /// Reduces the results with `op`, seeded from `identity` and
+    /// merging in input order (rayon merges split results pairwise;
+    /// both agree whenever `op` is associative with `identity()` as a
+    /// neutral element, which rayon requires anyway).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U + Sync,
+        OP: Fn(U, U) -> U + Sync,
+    {
+        self.results.into_iter().fold(identity(), op)
+    }
+}
+
+/// Splits `items` into at most `threads` contiguous chunks,
+/// preserving input order.
+fn split_chunks<T>(mut items: Vec<T>, threads: usize) -> Vec<Vec<T>> {
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    // Split from the back so each drain is O(chunk).
+    while items.len() > chunk {
+        chunks.push(items.split_off(items.len() - chunk));
+    }
+    chunks.push(items);
+    chunks.reverse(); // restore input order
+    chunks
+}
+
+/// Worker count for an input of `n` items.
+fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1))
 }
 
 /// Splits `items` into per-core chunks, maps each chunk on its own
@@ -102,35 +157,50 @@ where
     F: Fn(T) -> Option<U> + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n.max(1));
+    let threads = worker_count(n);
     if threads <= 1 || n < 2 {
         return items.into_iter().filter_map(f).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    // Split from the back so each drain is O(chunk).
-    while items.len() > chunk {
-        chunks.push(items.split_off(items.len() - chunk));
-    }
-    chunks.push(items);
-    chunks.reverse(); // restore input order
-
     let f = &f;
-    let outputs: Vec<Vec<U>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().filter_map(f).collect::<Vec<U>>()))
-            .collect();
+    run_parallel_chunks_inner(split_chunks(items, threads), move |c| {
+        c.into_iter().filter_map(f).collect::<Vec<U>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Splits `items` into per-core chunks and maps each whole chunk to
+/// one output on its own scoped thread, returning per-chunk outputs in
+/// input order (the engine behind [`ParIter::fold`]).
+fn run_parallel_chunks<T, U, G>(items: Vec<T>, g: G) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    G: Fn(Vec<T>) -> U + Sync,
+{
+    let n = items.len();
+    let threads = worker_count(n);
+    if threads <= 1 || n < 2 {
+        return vec![g(items)];
+    }
+    run_parallel_chunks_inner(split_chunks(items, threads), &g)
+}
+
+fn run_parallel_chunks_inner<T, U, G>(chunks: Vec<Vec<T>>, g: G) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    G: Fn(Vec<T>) -> U + Sync,
+{
+    let g = &g;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks.into_iter().map(|c| s.spawn(move || g(c))).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    });
-    outputs.into_iter().flatten().collect()
+    })
 }
 
 /// The conventional glob-import surface.
@@ -166,6 +236,67 @@ mod tests {
             .filter_map(|x| (x % 3 == 0).then_some(x))
             .collect();
         assert_eq!(v, (0usize..1000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let total: u64 = (0u64..100_000)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, (0u64..100_000).sum::<u64>());
+    }
+
+    #[test]
+    fn fold_reduce_histogram_merge() {
+        // The sg-net use-case in miniature: fold values into per-chunk
+        // histograms, reduce by element-wise merge.
+        let hist = (0usize..10_000)
+            .into_par_iter()
+            .fold(
+                || vec![0u64; 7],
+                |mut h, x| {
+                    h[x % 7] += 1;
+                    h
+                },
+            )
+            .reduce(
+                || vec![0u64; 7],
+                |mut a, b| {
+                    for (s, v) in a.iter_mut().zip(b) {
+                        *s += v;
+                    }
+                    a
+                },
+            );
+        let mut expect = vec![0u64; 7];
+        for x in 0usize..10_000 {
+            expect[x % 7] += 1;
+        }
+        assert_eq!(hist, expect);
+    }
+
+    #[test]
+    fn map_then_reduce() {
+        let m = (1u64..1001)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, u64::max);
+        assert_eq!(m, 1_000_000);
+    }
+
+    #[test]
+    fn fold_reduce_tiny_inputs() {
+        let one: u32 = (0u32..1)
+            .into_par_iter()
+            .fold(|| 0u32, |a, x| a + x + 1)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(one, 1);
+        let zero: u32 = (0u32..0)
+            .into_par_iter()
+            .fold(|| 0u32, |a, _| a + 1)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(zero, 0);
     }
 
     #[test]

@@ -139,26 +139,37 @@ pub fn static_congestion(n: usize) -> CongestionReport {
     assert!((2..=8).contains(&n), "sweep supported for 2 <= n <= 8");
     let dn = DnMesh::new(n);
     let shape = dn.shape().clone();
-    let mut usage: HashMap<(u64, u64), u64> = HashMap::new();
-    for idx in 0..dn.node_count() {
-        let d = shape.point_at(idx);
-        let pi = convert_d_s(&d);
-        for k in 1..n {
-            // '+' direction only: the '-' path of the neighbor is the
-            // same undirected mesh edge (its canonical path may differ;
-            // we charge each undirected mesh edge once, in canonical
-            // '+' orientation, matching the §3.1 definition of one
-            // path per guest edge).
-            if let Some(path) = dilation3_path(&pi, k, true) {
-                for w in path.windows(2) {
-                    let a = rank(&w[0]);
-                    let b = rank(&w[1]);
-                    let key = (a.min(b), a.max(b));
-                    *usage.entry(key).or_insert(0) += 1;
+    // Fold per-node edge overlays into per-chunk maps, then merge the
+    // partial maps (additive, hence associative — the shim's
+    // fold/reduce pair gives chunking-independent results).
+    let usage: HashMap<(u64, u64), u64> = (0..dn.node_count())
+        .into_par_iter()
+        .fold(HashMap::new, |mut usage: HashMap<(u64, u64), u64>, idx| {
+            let d = shape.point_at(idx);
+            let pi = convert_d_s(&d);
+            for k in 1..n {
+                // '+' direction only: the '-' path of the neighbor is
+                // the same undirected mesh edge (its canonical path may
+                // differ; we charge each undirected mesh edge once, in
+                // canonical '+' orientation, matching the §3.1
+                // definition of one path per guest edge).
+                if let Some(path) = dilation3_path(&pi, k, true) {
+                    for w in path.windows(2) {
+                        let a = rank(&w[0]);
+                        let b = rank(&w[1]);
+                        let key = (a.min(b), a.max(b));
+                        *usage.entry(key).or_insert(0) += 1;
+                    }
                 }
             }
-        }
-    }
+            usage
+        })
+        .reduce(HashMap::new, |mut a, b| {
+            for (key, v) in b {
+                *a.entry(key).or_insert(0) += v;
+            }
+            a
+        });
     let total = sg_perm::factorial::factorial(n) * (n as u64 - 1) / 2;
     CongestionReport {
         n,

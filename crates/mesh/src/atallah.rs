@@ -1,4 +1,4 @@
-//! Empirical U-on-R simulation ([ATAL88], paper §4).
+//! Empirical U-on-R simulation (`[ATAL88]`, paper §4).
 //!
 //! Theorems 7–8 bound the cost of simulating a uniform mesh `U`
 //! (extent `u` in each of `d` dimensions) on a rectangular mesh `R`

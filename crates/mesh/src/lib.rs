@@ -15,7 +15,7 @@
 //!   `2·3⋯n` into `d` balanced extents and the optimal-dimension
 //!   cost model;
 //! * [`atallah`] — empirical route-congestion measurement for the
-//!   U-on-R simulation ([ATAL88]).
+//!   U-on-R simulation (`[ATAL88]`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

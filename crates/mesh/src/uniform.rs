@@ -5,7 +5,7 @@
 //! asks how well the decidedly non-uniform `D_n = 2 × 3 × ⋯ × n` (and
 //! hence the star graph) can simulate `U`:
 //!
-//! * **Theorem 7** ([ATAL88], `d = O(1)`): rectangular `R` simulates
+//! * **Theorem 7** (`[ATAL88]`, `d = O(1)`): rectangular `R` simulates
 //!   `U` with per-step slowdown `O((max_i l_i)/N^{1/d})`.
 //! * **Theorem 8** (the paper's `d`-aware refinement): slowdown
 //!   `O((max_i l_i) · 2^d / N^{1/d})`.

@@ -1,0 +1,185 @@
+//! Node/edge kill-sets and fault-handling policy.
+//!
+//! The star graph `S_n` is `(n−1)`-connected, so it tolerates up to
+//! `n−2` node faults without disconnecting — the paper's fault
+//! tolerance. A [`FaultPlan`] names dead PEs (by Lehmer rank) and dead
+//! links (by canonical endpoint/generator key); the simulator consults
+//! it whenever a packet is about to use a link:
+//!
+//! * [`FaultPolicy::Drop`] — the packet dies on the spot
+//!   ([`crate::PacketOutcome::DroppedFault`]);
+//! * [`FaultPolicy::Reroute`] — the remaining route is recomputed by
+//!   BFS over the surviving subgraph (shortest detour); if no path
+//!   survives the packet is
+//!   [`crate::PacketOutcome::DroppedUnreachable`].
+
+use sg_perm::lehmer::rank;
+use sg_perm::Perm;
+use std::collections::BTreeSet;
+
+/// What happens when a packet's next hop is dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Drop the packet and count it.
+    #[default]
+    Drop,
+    /// Recompute a shortest surviving path from the current node.
+    Reroute,
+}
+
+/// A static set of dead nodes and links, plus the handling policy.
+///
+/// Links are keyed by `(min(rank(u), rank(v)), g)` where `v = u·g` —
+/// both directions of an undirected star edge die together (the swap
+/// `g` is an involution, so the same generator labels both
+/// directions).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    dead_nodes: BTreeSet<u64>,
+    dead_links: BTreeSet<(u64, usize)>,
+    policy: FaultPolicy,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults, policy irrelevant).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the handling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Kills the PE at `rank`.
+    #[must_use]
+    pub fn kill_node_rank(mut self, rank: u64) -> Self {
+        self.dead_nodes.insert(rank);
+        self
+    }
+
+    /// Kills the PE hosting star node `pi`.
+    #[must_use]
+    pub fn kill_node(self, pi: &Perm) -> Self {
+        self.kill_node_rank(rank(pi))
+    }
+
+    /// Kills the undirected link `pi ↔ pi·g`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ g < n`.
+    #[must_use]
+    pub fn kill_link(mut self, pi: &Perm, g: usize) -> Self {
+        assert!(g >= 1 && g < pi.len(), "generator out of range");
+        let u = rank(pi);
+        let v = rank(&pi.with_slots_swapped(0, g));
+        self.dead_links.insert((u.min(v), g));
+        self
+    }
+
+    /// Kills `count ≤ n−2` distinct pseudo-random PEs (the paper's
+    /// fault-tolerance budget), seeded and deterministic. Node 0 (the
+    /// identity) is spared so a run always has at least one
+    /// conventional reference PE.
+    ///
+    /// # Panics
+    /// Panics if `count > n − 2`.
+    #[must_use]
+    pub fn random_nodes(n: usize, count: usize, seed: u64) -> Self {
+        assert!(
+            count <= n.saturating_sub(2),
+            "S_n tolerates at most n-2 = {} node faults",
+            n.saturating_sub(2)
+        );
+        use rand::prelude::*;
+        let size = sg_perm::factorial::factorial(n);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none();
+        while plan.dead_nodes.len() < count {
+            let r = rng.gen_range(1..size);
+            plan.dead_nodes.insert(r);
+        }
+        plan
+    }
+
+    /// Is the PE at `rank` dead?
+    #[must_use]
+    pub fn is_node_dead(&self, rank: u64) -> bool {
+        self.dead_nodes.contains(&rank)
+    }
+
+    /// Is the undirected link between ranks `u` and `v` via generator
+    /// `g` dead (either explicitly, or because an endpoint is dead)?
+    #[must_use]
+    pub fn is_link_dead(&self, u: u64, v: u64, g: usize) -> bool {
+        self.dead_nodes.contains(&u)
+            || self.dead_nodes.contains(&v)
+            || self.dead_links.contains(&(u.min(v), g))
+    }
+
+    /// The handling policy.
+    #[must_use]
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Number of dead PEs.
+    #[must_use]
+    pub fn dead_node_count(&self) -> usize {
+        self.dead_nodes.len()
+    }
+
+    /// Number of explicitly dead links (endpoint deaths not counted).
+    #[must_use]
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// `true` when nothing is dead.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dead_nodes.is_empty() && self.dead_links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_perm::lehmer::unrank;
+
+    #[test]
+    fn link_kill_is_undirected() {
+        let pi = unrank(10, 4).unwrap();
+        let plan = FaultPlan::none().kill_link(&pi, 2);
+        let v = pi.with_slots_swapped(0, 2);
+        assert!(plan.is_link_dead(rank(&pi), rank(&v), 2));
+        assert!(plan.is_link_dead(rank(&v), rank(&pi), 2));
+        assert!(!plan.is_link_dead(rank(&pi), rank(&v), 3));
+    }
+
+    #[test]
+    fn dead_node_kills_incident_links() {
+        let plan = FaultPlan::none().kill_node_rank(5);
+        assert!(plan.is_node_dead(5));
+        assert!(plan.is_link_dead(5, 9, 1));
+        assert!(plan.is_link_dead(9, 5, 3));
+        assert!(!plan.is_link_dead(9, 4, 3));
+    }
+
+    #[test]
+    fn random_nodes_respects_budget_and_seed() {
+        let a = FaultPlan::random_nodes(5, 3, 7);
+        assert_eq!(a.dead_node_count(), 3);
+        assert!(!a.is_node_dead(0), "identity PE is spared");
+        assert_eq!(a, FaultPlan::random_nodes(5, 3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn over_budget_rejected() {
+        let _ = FaultPlan::random_nodes(4, 3, 0);
+    }
+}

@@ -1,0 +1,667 @@
+//! The round-based discrete-event interconnect simulator.
+//!
+//! Model: one PE per star node (addressed by Lehmer rank). Each PE
+//! owns `n−1` output queues, one per generator link. A round has four
+//! deterministic phases:
+//!
+//! 1. **Arrivals** — flits finishing a link traversal land at the far
+//!    PE; a flit at its destination is delivered, any other is
+//!    enqueued on the output queue its route names next.
+//! 2. **Injections** — this round's workload packets enter their
+//!    source PE's queues (routes were fixed at injection by the
+//!    [`RoutingPolicy`]).
+//! 3. **Arbitration** — every link forwards **at most one flit per
+//!    round** (FIFO head of its queue); the flit is in flight for
+//!    [`NetConfig::link_latency`] rounds.
+//! 4. **Accounting** — every flit still queued is charged one wait
+//!    round.
+//!
+//! PEs are scanned in rank order and queues in generator order, so a
+//! run is a pure function of `(workload, policy, config, faults)` —
+//! the determinism the property suite asserts. Queue capacity is
+//! enforced at enqueue time (tail drop); faults are consulted whenever
+//! a flit is about to take a link (see [`crate::FaultPlan`]).
+
+use crate::fault::{FaultPlan, FaultPolicy};
+use crate::packet::{PacketId, PacketOutcome, PacketRecord};
+use crate::routing::RoutingPolicy;
+use crate::stats::TrafficStats;
+use crate::workload::{Injection, Workload};
+use rayon::prelude::*;
+use sg_perm::factorial::factorial;
+use sg_perm::lehmer::unrank;
+use std::collections::{HashMap, VecDeque};
+
+/// Tunable knobs of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Rounds one link traversal takes (≥ 1).
+    pub link_latency: u32,
+    /// Per-output-queue capacity; `None` = unbounded (the default —
+    /// packet conservation then means every packet is delivered).
+    pub queue_capacity: Option<u32>,
+    /// Safety valve: packets unresolved after this many rounds are
+    /// recorded as [`PacketOutcome::Stranded`].
+    pub max_rounds: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            link_latency: 1,
+            queue_capacity: None,
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+/// A simulated `S_n` interconnect: topology + configuration + faults.
+///
+/// The struct is immutable; [`Network::run`] builds fresh per-run
+/// state, so one `Network` can drive many workloads.
+///
+/// ```
+/// use sg_net::{GreedyRouting, Network, Workload};
+/// let net = Network::new(4);
+/// let w = Workload::random_permutation(4, 0xC0FFEE);
+/// let stats = net.run(&w, &GreedyRouting);
+/// assert_eq!(stats.delivered, stats.injected); // nothing drops
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    n: usize,
+    node_count: usize,
+    config: NetConfig,
+    faults: FaultPlan,
+    /// `neighbor[u·(n−1) + (g−1)]` = rank of `u`'s neighbor via `g`.
+    neighbor: Vec<u32>,
+}
+
+impl Network {
+    /// Builds the `S_n` interconnect with default configuration and no
+    /// faults.
+    ///
+    /// # Panics
+    /// Panics for `n` outside `2..=9` (the node table is materialized,
+    /// `9! = 362 880` PEs).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(
+            (2..=9).contains(&n),
+            "simulator materializes n! PEs; supported for 2 <= n <= 9"
+        );
+        let node_count = factorial(n) as usize;
+        let gens = n - 1;
+        // Neighbor table, built in parallel: one row per PE.
+        let rows: Vec<Vec<u32>> = (0..node_count)
+            .into_par_iter()
+            .map(|u| {
+                let p = unrank(u as u64, n).expect("rank in range");
+                (1..n)
+                    .map(|g| sg_perm::lehmer::rank(&p.with_slots_swapped(0, g)) as u32)
+                    .collect()
+            })
+            .collect();
+        let mut neighbor = Vec::with_capacity(node_count * gens);
+        for row in rows {
+            neighbor.extend(row);
+        }
+        Network {
+            n,
+            node_count,
+            config: NetConfig::default(),
+            faults: FaultPlan::none(),
+            neighbor,
+        }
+    }
+
+    /// Replaces the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: NetConfig) -> Self {
+        assert!(config.link_latency >= 1, "links need at least one round");
+        self.config = config;
+        self
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Star order.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of PEs (`n!`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// The installed fault plan.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    #[inline]
+    fn neighbor_of(&self, u: u32, g: usize) -> u32 {
+        self.neighbor[u as usize * (self.n - 1) + (g - 1)]
+    }
+
+    /// Runs `workload` under `policy` and returns the full statistics.
+    ///
+    /// Routes for all packets are precomputed in parallel; the round
+    /// loop itself is sequential and deterministic.
+    ///
+    /// # Panics
+    /// Panics if the workload targets a different star order.
+    #[must_use]
+    pub fn run(&self, workload: &Workload, policy: &dyn RoutingPolicy) -> TrafficStats {
+        assert_eq!(
+            workload.n(),
+            self.n,
+            "workload is for S_{} but network is S_{}",
+            workload.n(),
+            self.n
+        );
+        let inj = workload.injections();
+        let n = self.n;
+        let routes: Vec<Vec<u8>> = (0..inj.len())
+            .into_par_iter()
+            .map(|i| {
+                let Injection { src, dst, .. } = inj[i];
+                if src == dst {
+                    Vec::new()
+                } else {
+                    let a = unrank(src, n).expect("rank in range");
+                    let b = unrank(dst, n).expect("rank in range");
+                    policy.route(&a, &b)
+                }
+            })
+            .collect();
+        Sim::new(self, inj, routes).run()
+    }
+}
+
+/// In-flight per-packet state.
+struct SimPacket {
+    cur: u32,
+    dst: u32,
+    route: Vec<u8>,
+    route_pos: u32,
+    hops: u32,
+}
+
+/// One run's mutable state.
+struct Sim<'a> {
+    net: &'a Network,
+    gens: usize,
+    lanes: usize,
+    inj: &'a [Injection],
+    pkts: Vec<SimPacket>,
+    outcomes: Vec<Option<PacketOutcome>>,
+    queues: Vec<VecDeque<PacketId>>,
+    node_occ: Vec<u32>,
+    /// Ring buffer of arrival lists, indexed by `round % lanes`.
+    arrivals: Vec<Vec<PacketId>>,
+    /// Per-destination BFS next-hop tables for fault reroutes
+    /// (generator per node; 0 = unreachable).
+    reroute_memo: HashMap<u32, Vec<u8>>,
+    resolved: usize,
+    last_event: u32,
+    total_queued: u64,
+    total_wait_rounds: u64,
+    peak_edge: u64,
+    peak_node: u64,
+    forwarded: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(net: &'a Network, inj: &'a [Injection], routes: Vec<Vec<u8>>) -> Self {
+        let gens = net.n - 1;
+        let lanes = net.config.link_latency as usize + 1;
+        let pkts = routes
+            .into_iter()
+            .zip(inj)
+            .map(|(route, i)| SimPacket {
+                cur: i.src as u32,
+                dst: i.dst as u32,
+                route,
+                route_pos: 0,
+                hops: 0,
+            })
+            .collect();
+        Sim {
+            net,
+            gens,
+            lanes,
+            inj,
+            pkts,
+            outcomes: vec![None; inj.len()],
+            queues: vec![VecDeque::new(); net.node_count * gens],
+            node_occ: vec![0; net.node_count],
+            arrivals: vec![Vec::new(); lanes],
+            reroute_memo: HashMap::new(),
+            resolved: 0,
+            last_event: 0,
+            total_queued: 0,
+            total_wait_rounds: 0,
+            peak_edge: 0,
+            peak_node: 0,
+            forwarded: 0,
+        }
+    }
+
+    fn resolve(&mut self, pid: PacketId, round: u32, outcome: PacketOutcome) {
+        debug_assert!(self.outcomes[pid as usize].is_none(), "double resolution");
+        self.outcomes[pid as usize] = Some(outcome);
+        self.resolved += 1;
+        self.last_event = self.last_event.max(round);
+    }
+
+    /// BFS over the surviving subgraph, memoized per destination:
+    /// returns the generator sequence `u → dst`, or `None` if `u` is
+    /// cut off.
+    fn reroute(&mut self, u: u32, dst: u32) -> Option<Vec<u8>> {
+        let net = self.net;
+        let gens = self.gens;
+        let next_gen = self.reroute_memo.entry(dst).or_insert_with(|| {
+            let mut next = vec![0u8; net.node_count];
+            let mut frontier = VecDeque::from([dst]);
+            let mut seen = vec![false; net.node_count];
+            seen[dst as usize] = true;
+            while let Some(w) = frontier.pop_front() {
+                for g in 1..=gens {
+                    let v = net.neighbor_of(w, g);
+                    if seen[v as usize] || net.faults.is_link_dead(u64::from(w), u64::from(v), g) {
+                        continue;
+                    }
+                    seen[v as usize] = true;
+                    // The same generator leads back toward dst (the
+                    // slot swap is an involution).
+                    next[v as usize] = g as u8;
+                    frontier.push_back(v);
+                }
+            }
+            next
+        });
+        let mut route = Vec::new();
+        let mut cur = u;
+        while cur != dst {
+            let g = next_gen[cur as usize];
+            if g == 0 {
+                return None;
+            }
+            route.push(g);
+            cur = net.neighbor_of(cur, g as usize);
+            debug_assert!(route.len() <= net.node_count, "reroute cycle");
+        }
+        Some(route)
+    }
+
+    /// Places a packet (known not to be at its destination) onto the
+    /// output queue its route names next, handling faults and queue
+    /// capacity.
+    fn enqueue_next(&mut self, pid: PacketId, round: u32) {
+        let p = pid as usize;
+        let u = self.pkts[p].cur;
+        let pos = self.pkts[p].route_pos as usize;
+        debug_assert!(
+            pos < self.pkts[p].route.len(),
+            "route exhausted before destination"
+        );
+        let mut g = self.pkts[p].route[pos] as usize;
+        let mut v = self.net.neighbor_of(u, g);
+        if self.net.faults.is_link_dead(u64::from(u), u64::from(v), g) {
+            match self.net.faults.policy() {
+                FaultPolicy::Drop => {
+                    self.resolve(pid, round, PacketOutcome::DroppedFault { round });
+                    return;
+                }
+                FaultPolicy::Reroute => {
+                    let dst = self.pkts[p].dst;
+                    match self.reroute(u, dst) {
+                        Some(route) => {
+                            g = route[0] as usize;
+                            v = self.net.neighbor_of(u, g);
+                            self.pkts[p].route = route;
+                            self.pkts[p].route_pos = 0;
+                        }
+                        None => {
+                            self.resolve(pid, round, PacketOutcome::DroppedUnreachable { round });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = v;
+        let qi = u as usize * self.gens + (g - 1);
+        if let Some(cap) = self.net.config.queue_capacity {
+            if self.queues[qi].len() >= cap as usize {
+                self.resolve(pid, round, PacketOutcome::DroppedOverflow { round });
+                return;
+            }
+        }
+        self.queues[qi].push_back(pid);
+        self.total_queued += 1;
+        self.peak_edge = self.peak_edge.max(self.queues[qi].len() as u64);
+        self.node_occ[u as usize] += 1;
+        self.peak_node = self.peak_node.max(u64::from(self.node_occ[u as usize]));
+    }
+
+    fn run(mut self) -> TrafficStats {
+        let total = self.inj.len();
+        let latency = self.net.config.link_latency as usize;
+        let mut inj_ptr = 0usize;
+        let mut round: u32 = 0;
+        while self.resolved < total {
+            if round >= self.net.config.max_rounds {
+                for pid in 0..total {
+                    if self.outcomes[pid].is_none() {
+                        self.outcomes[pid] = Some(PacketOutcome::Stranded);
+                        self.resolved += 1;
+                    }
+                }
+                break;
+            }
+            // 1. Arrivals.
+            let slot = round as usize % self.lanes;
+            let arrived = std::mem::take(&mut self.arrivals[slot]);
+            for pid in arrived {
+                let p = pid as usize;
+                if self.pkts[p].cur == self.pkts[p].dst {
+                    let hops = self.pkts[p].hops;
+                    self.resolve(pid, round, PacketOutcome::Delivered { round, hops });
+                } else {
+                    self.enqueue_next(pid, round);
+                }
+            }
+            // 2. Injections.
+            while inj_ptr < total && self.inj[inj_ptr].round <= round {
+                let pid = inj_ptr as PacketId;
+                let i = &self.inj[inj_ptr];
+                inj_ptr += 1;
+                if self.net.faults.is_node_dead(i.src) {
+                    self.resolve(pid, round, PacketOutcome::DroppedFault { round });
+                } else if i.src == i.dst {
+                    self.resolve(pid, round, PacketOutcome::Delivered { round, hops: 0 });
+                } else {
+                    self.enqueue_next(pid, round);
+                }
+            }
+            // 3. Arbitration: one flit per link per round.
+            for qi in 0..self.queues.len() {
+                if let Some(pid) = self.queues[qi].pop_front() {
+                    let u = qi / self.gens;
+                    self.total_queued -= 1;
+                    self.node_occ[u] -= 1;
+                    let v = self.net.neighbor[qi];
+                    let p = pid as usize;
+                    self.pkts[p].cur = v;
+                    self.pkts[p].hops += 1;
+                    self.pkts[p].route_pos += 1;
+                    self.forwarded += 1;
+                    let land = (round as usize + latency) % self.lanes;
+                    self.arrivals[land].push(pid);
+                }
+            }
+            // 4. Wait accounting.
+            self.total_wait_rounds += self.total_queued;
+            round += 1;
+        }
+
+        let records: Vec<PacketRecord> = self
+            .inj
+            .iter()
+            .zip(&self.outcomes)
+            .map(|(i, o)| PacketRecord {
+                src: i.src,
+                dst: i.dst,
+                inject_round: i.round,
+                outcome: o.expect("all packets resolved"),
+            })
+            .collect();
+        TrafficStats::from_records(
+            self.net.n,
+            records,
+            self.last_event,
+            self.total_wait_rounds,
+            self.peak_edge,
+            self.peak_node,
+            self.forwarded,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{EmbeddingRouting, GreedyRouting};
+    use sg_perm::lehmer::rank;
+    use sg_perm::Perm;
+    use sg_star::distance::distance;
+
+    #[test]
+    fn single_packet_latency_equals_distance() {
+        let net = Network::new(4);
+        let a = Perm::from_slice(&[3, 1, 0, 2]).unwrap();
+        let b = Perm::from_slice(&[0, 1, 2, 3]).unwrap();
+        let w = Workload::from_injections(
+            "one",
+            4,
+            vec![Injection {
+                round: 0,
+                src: rank(&a),
+                dst: rank(&b),
+            }],
+        );
+        let stats = net.run(&w, &GreedyRouting);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.makespan, distance(&a, &b));
+        assert_eq!(stats.max_latency, distance(&a, &b));
+        assert!(stats.is_contention_free());
+    }
+
+    #[test]
+    fn link_latency_scales_delivery_time() {
+        let a = Perm::from_slice(&[3, 1, 0, 2]).unwrap();
+        let b = Perm::identity(4);
+        let d = distance(&a, &b);
+        for latency in [1u32, 2, 5] {
+            let net = Network::new(4).with_config(NetConfig {
+                link_latency: latency,
+                ..NetConfig::default()
+            });
+            let w = Workload::from_injections(
+                "one",
+                4,
+                vec![Injection {
+                    round: 0,
+                    src: rank(&a),
+                    dst: rank(&b),
+                }],
+            );
+            let stats = net.run(&w, &GreedyRouting);
+            assert_eq!(stats.makespan, d * latency);
+        }
+    }
+
+    #[test]
+    fn two_packets_sharing_a_link_serialize() {
+        // Both packets need link identity→g1 in the same round; one of
+        // them must wait exactly one round.
+        let net = Network::new(3);
+        let id = Perm::identity(3);
+        let via = id.with_slots_swapped(0, 1); // (1 0 2)
+        let far = via.with_slots_swapped(0, 2); // two hops from id
+        let near = via;
+        // Packet A: id -> far (route g1,g2 under greedy), B: id -> near (g1).
+        let w = Workload::from_injections(
+            "collide",
+            3,
+            vec![
+                Injection {
+                    round: 0,
+                    src: rank(&id),
+                    dst: rank(&far),
+                },
+                Injection {
+                    round: 0,
+                    src: rank(&id),
+                    dst: rank(&near),
+                },
+            ],
+        );
+        let stats = net.run(&w, &GreedyRouting);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.total_wait_rounds, 1, "loser waits one round");
+        assert_eq!(stats.peak_edge_occupancy, 2);
+        assert!(!stats.is_contention_free());
+    }
+
+    #[test]
+    fn self_send_delivers_instantly() {
+        let net = Network::new(3);
+        let w = Workload::from_injections(
+            "self",
+            3,
+            vec![Injection {
+                round: 4,
+                src: 2,
+                dst: 2,
+            }],
+        );
+        let stats = net.run(&w, &GreedyRouting);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.makespan, 4);
+        assert_eq!(stats.sum_latency, 0);
+    }
+
+    #[test]
+    fn queue_capacity_tail_drops() {
+        // Saturate one node's single useful output link.
+        let net = Network::new(3).with_config(NetConfig {
+            queue_capacity: Some(1),
+            ..NetConfig::default()
+        });
+        let id = Perm::identity(3);
+        let dst = id.with_slots_swapped(0, 1);
+        let injections = (0..3)
+            .map(|_| Injection {
+                round: 0,
+                src: rank(&id),
+                dst: rank(&dst),
+            })
+            .collect();
+        let stats = net.run(
+            &Workload::from_injections("burst", 3, injections),
+            &GreedyRouting,
+        );
+        assert_eq!(stats.delivered + stats.dropped_overflow, 3);
+        assert!(stats.dropped_overflow >= 1, "capacity 1 must tail-drop");
+    }
+
+    #[test]
+    fn fault_drop_vs_reroute() {
+        let n = 4;
+        let a = Perm::identity(n);
+        let b = Perm::from_slice(&[3, 2, 1, 0]).unwrap();
+        // Kill the first hop of the greedy route a -> b.
+        let first_gen = GreedyRouting.route(&a, &b)[0] as usize;
+        let dead_plan = |policy| {
+            FaultPlan::none()
+                .with_policy(policy)
+                .kill_link(&a, first_gen)
+        };
+        let w = Workload::from_injections(
+            "faulted",
+            n,
+            vec![Injection {
+                round: 0,
+                src: rank(&a),
+                dst: rank(&b),
+            }],
+        );
+        let dropped = Network::new(n)
+            .with_faults(dead_plan(FaultPolicy::Drop))
+            .run(&w, &GreedyRouting);
+        assert_eq!(dropped.dropped_fault, 1);
+        assert_eq!(dropped.delivered, 0);
+
+        let rerouted = Network::new(n)
+            .with_faults(dead_plan(FaultPolicy::Reroute))
+            .run(&w, &GreedyRouting);
+        assert_eq!(rerouted.delivered, 1);
+        // The detour can cost more than the fault-free distance but
+        // must still be a real path.
+        assert!(rerouted.max_latency >= distance(&a, &b));
+    }
+
+    #[test]
+    fn dead_destination_is_unreachable_under_reroute() {
+        let n = 4;
+        let a = Perm::identity(n);
+        let b = Perm::from_slice(&[1, 0, 3, 2]).unwrap();
+        let plan = FaultPlan::none()
+            .with_policy(FaultPolicy::Reroute)
+            .kill_node(&b);
+        let w = Workload::from_injections(
+            "dead-dst",
+            n,
+            vec![Injection {
+                round: 0,
+                src: rank(&a),
+                dst: rank(&b),
+            }],
+        );
+        let stats = Network::new(n).with_faults(plan).run(&w, &GreedyRouting);
+        assert_eq!(stats.dropped_unreachable, 1);
+    }
+
+    #[test]
+    fn n_minus_2_faults_still_deliver_everything_with_reroute() {
+        // The paper's fault-tolerance bound: n-2 dead nodes cannot
+        // disconnect S_n, so every packet between live PEs delivers.
+        let n = 5;
+        let plan = FaultPlan::random_nodes(n, n - 2, 99).with_policy(FaultPolicy::Reroute);
+        let net = Network::new(n).with_faults(plan.clone());
+        let w = Workload::random_permutation(n, 1234);
+        let stats = net.run(&w, &GreedyRouting);
+        for rec in &stats.packets {
+            if plan.is_node_dead(rec.src) || plan.is_node_dead(rec.dst) {
+                assert!(!rec.outcome.is_delivered());
+            } else {
+                assert!(
+                    rec.outcome.is_delivered(),
+                    "live pair {}->{} must survive n-2 faults",
+                    rec.src,
+                    rec.dst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_and_greedy_agree_on_delivery() {
+        let net = Network::new(4);
+        let w = Workload::random_permutation(4, 5);
+        let g = net.run(&w, &GreedyRouting);
+        let e = net.run(&w, &EmbeddingRouting);
+        assert_eq!(g.delivered, g.injected);
+        assert_eq!(e.delivered, e.injected);
+        // Greedy routes are never longer than embedding routes.
+        assert!(g.forwarded_flits <= e.forwarded_flits);
+    }
+}

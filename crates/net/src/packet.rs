@@ -1,0 +1,102 @@
+//! Per-packet records and outcomes.
+//!
+//! Every packet injected into a [`crate::Network`] run ends in exactly
+//! one [`PacketOutcome`]; the full table of [`PacketRecord`]s is part
+//! of [`crate::TrafficStats`], so packet conservation
+//! (`delivered + dropped + stranded == injected`) is checkable — and
+//! checked, by the property suite — from the stats alone.
+
+/// Dense packet id: index into the run's packet table (assigned in
+/// workload order, so ids are stable across runs of the same
+/// workload).
+pub type PacketId = u32;
+
+/// Terminal state of one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketOutcome {
+    /// Reached its destination.
+    Delivered {
+        /// Round of arrival at the destination PE.
+        round: u32,
+        /// Star links traversed (≥ the star distance `src → dst`).
+        hops: u32,
+    },
+    /// Hit a dead node/link under [`crate::FaultPolicy::Drop`], or was
+    /// injected at a dead source PE.
+    DroppedFault {
+        /// Round of the drop.
+        round: u32,
+    },
+    /// No fault-free path existed when a reroute was attempted
+    /// (possible only beyond the paper's `n−2` fault tolerance, or
+    /// when the destination itself is dead).
+    DroppedUnreachable {
+        /// Round of the drop.
+        round: u32,
+    },
+    /// Tail-dropped: the next output queue was at capacity.
+    DroppedOverflow {
+        /// Round of the drop.
+        round: u32,
+    },
+    /// Still queued or in flight when the round cap
+    /// ([`crate::NetConfig::max_rounds`]) fired.
+    Stranded,
+}
+
+impl PacketOutcome {
+    /// `true` for [`PacketOutcome::Delivered`].
+    #[inline]
+    #[must_use]
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, PacketOutcome::Delivered { .. })
+    }
+}
+
+/// One packet's life, as recorded in [`crate::TrafficStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Source PE (Lehmer rank of its star node).
+    pub src: u64,
+    /// Destination PE (Lehmer rank).
+    pub dst: u64,
+    /// Round the packet entered the network.
+    pub inject_round: u32,
+    /// How it ended.
+    pub outcome: PacketOutcome,
+}
+
+impl PacketRecord {
+    /// End-to-end latency in rounds (delivery − injection);
+    /// `None` unless delivered.
+    #[must_use]
+    pub fn latency(&self) -> Option<u32> {
+        match self.outcome {
+            PacketOutcome::Delivered { round, .. } => Some(round - self.inject_round),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_delivery_minus_injection() {
+        let r = PacketRecord {
+            src: 0,
+            dst: 1,
+            inject_round: 2,
+            outcome: PacketOutcome::Delivered { round: 7, hops: 3 },
+        };
+        assert_eq!(r.latency(), Some(5));
+        assert!(r.outcome.is_delivered());
+        let d = PacketRecord {
+            outcome: PacketOutcome::DroppedFault { round: 3 },
+            ..r
+        };
+        assert_eq!(d.latency(), None);
+        assert!(!d.outcome.is_delivered());
+    }
+}

@@ -1,0 +1,180 @@
+//! Pluggable source routing policies.
+//!
+//! A [`RoutingPolicy`] maps a `(src, dst)` pair of star nodes to the
+//! generator sequence the packet will follow; the [`crate::Network`]
+//! charges contention along that path. Two policies ship:
+//!
+//! * [`GreedyRouting`] — the Akers–Krishnamurthy "sort the front
+//!   symbol home" shortest path of [`sg_star::routing`]; optimal in
+//!   hops, oblivious to contention.
+//! * [`EmbeddingRouting`] — dimension-order routing in the embedded
+//!   mesh `D_n`: walk the mesh coordinates of `src` to those of `dst`
+//!   one unit move at a time, expanding every mesh edge through its
+//!   Lemma-2 dilation-3 (or 1) path. Longer in hops, but on the
+//!   mesh-dimension-sweep workload it reproduces the paper's Lemma-5
+//!   schedule exactly — provably contention-free.
+
+use sg_core::convert::convert_s_d;
+use sg_core::lemma3::{minus_swap_symbols, plus_swap_symbols};
+use sg_core::paths::transposition_generators;
+use sg_perm::Perm;
+use sg_star::routing::route_generators;
+
+/// A source-routing strategy: the whole generator sequence is fixed at
+/// injection time (faults may later replace the tail, see
+/// [`crate::FaultPolicy::Reroute`]).
+///
+/// `Sync` is required so the simulator can precompute routes for large
+/// workloads in parallel.
+pub trait RoutingPolicy: Sync {
+    /// Human-readable policy name (used in tables and reports).
+    fn name(&self) -> &'static str;
+
+    /// Generator indices (`1 ≤ g < n`) carrying `src` to `dst`.
+    /// Must return an empty sequence iff `src == dst`.
+    fn route(&self, src: &Perm, dst: &Perm) -> Vec<u8>;
+}
+
+/// Greedy shortest-path routing (always `distance(src, dst)` hops).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyRouting;
+
+impl RoutingPolicy for GreedyRouting {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn route(&self, src: &Perm, dst: &Perm) -> Vec<u8> {
+        route_generators(src, dst)
+            .into_iter()
+            .map(|g| g as u8)
+            .collect()
+    }
+}
+
+/// Dimension-order routing through the mesh embedding.
+///
+/// Corrects mesh dimension 1 first, then 2, …, then `n−1`; each unit
+/// move is expanded via [`sg_core::paths::transposition_generators`]
+/// on the Lemma-3 symbol pair, i.e. every hop sequence is exactly the
+/// path [`sg_core::paths::dilation3_path`] would take for that mesh
+/// edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmbeddingRouting;
+
+impl RoutingPolicy for EmbeddingRouting {
+    fn name(&self) -> &'static str {
+        "embedding"
+    }
+
+    fn route(&self, src: &Perm, dst: &Perm) -> Vec<u8> {
+        let n = src.len();
+        assert_eq!(n, dst.len(), "routing between different star orders");
+        let target = convert_s_d(dst);
+        let mut cur = *src;
+        let mut cur_d = convert_s_d(src);
+        let mut gens: Vec<u8> = Vec::new();
+        for k in 1..n {
+            let want = target.d(k);
+            while cur_d.d(k) != want {
+                let plus = cur_d.d(k) < want;
+                let (a, b) = if plus {
+                    plus_swap_symbols(&cur, k)
+                } else {
+                    minus_swap_symbols(&cur, k)
+                }
+                .expect("interior coordinate always has a neighbor toward the target");
+                gens.extend(
+                    transposition_generators(&cur, a, b)
+                        .into_iter()
+                        .map(|g| g as u8),
+                );
+                cur = cur.with_symbols_swapped(a, b);
+                let step: i64 = if plus { 1 } else { -1 };
+                cur_d = cur_d.with_d(k, (i64::from(cur_d.d(k)) + step) as u32);
+            }
+        }
+        debug_assert_eq!(cur, *dst, "mesh walk must land on dst");
+        gens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_perm::factorial::factorial;
+    use sg_perm::lehmer::unrank;
+    use sg_star::distance::distance;
+
+    fn apply(src: &Perm, route: &[u8]) -> Perm {
+        let mut cur = *src;
+        for &g in route {
+            cur.swap_slots(0, g as usize);
+        }
+        cur
+    }
+
+    #[test]
+    fn both_policies_reach_target_exhaustive_small() {
+        for n in 2..=4usize {
+            for ra in 0..factorial(n) {
+                for rb in 0..factorial(n) {
+                    let a = unrank(ra, n).unwrap();
+                    let b = unrank(rb, n).unwrap();
+                    for policy in [&GreedyRouting as &dyn RoutingPolicy, &EmbeddingRouting] {
+                        let route = policy.route(&a, &b);
+                        assert_eq!(apply(&a, &route), b, "{} {a}->{b}", policy.name());
+                        assert_eq!(route.is_empty(), a == b);
+                        assert!(route.iter().all(|&g| g >= 1 && (g as usize) < n));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_shortest() {
+        let n = 5;
+        for ra in (0..factorial(n)).step_by(7) {
+            let a = unrank(ra, n).unwrap();
+            let b = unrank((ra * 31 + 17) % factorial(n), n).unwrap();
+            assert_eq!(GreedyRouting.route(&a, &b).len() as u32, distance(&a, &b));
+        }
+    }
+
+    #[test]
+    fn embedding_route_length_matches_dilation_times_l1() {
+        // Every unit mesh move costs 1 hop (dimension n−1) or 3 hops
+        // (all other dimensions), so the total is a per-dimension sum.
+        let n = 5;
+        for ra in (0..factorial(n)).step_by(11) {
+            let a = unrank(ra, n).unwrap();
+            let b = unrank((ra * 13 + 5) % factorial(n), n).unwrap();
+            let da = convert_s_d(&a);
+            let db = convert_s_d(&b);
+            let mut expect = 0u64;
+            for k in 1..n {
+                let delta = u64::from(da.d(k).abs_diff(db.d(k)));
+                expect += delta * if k == n - 1 { 1 } else { 3 };
+            }
+            assert_eq!(EmbeddingRouting.route(&a, &b).len() as u64, expect);
+        }
+    }
+
+    #[test]
+    fn embedding_beats_nothing_but_is_valid_for_single_mesh_hops() {
+        // For a single mesh edge the embedding route is the exact
+        // Lemma-2 path: 3 hops (or 1 on dimension n−1).
+        let n = 5;
+        for r in 0..factorial(n) {
+            let a = unrank(r, n).unwrap();
+            for k in 1..n {
+                if let Some(b) = sg_core::lemma3::mesh_neighbor_plus(&a, k) {
+                    let route = EmbeddingRouting.route(&a, &b);
+                    let expect = if k == n - 1 { 1 } else { 3 };
+                    assert_eq!(route.len(), expect, "{a} k={k}");
+                }
+            }
+        }
+    }
+}

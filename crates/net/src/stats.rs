@@ -1,0 +1,279 @@
+//! Traffic statistics and the saturation-sweep driver.
+//!
+//! [`TrafficStats`] is a pure-integer, `Eq`-comparable summary of one
+//! simulation run (floats appear only in derived accessors), so the
+//! determinism property — same seed ⇒ identical stats — is a single
+//! `assert_eq!`. Latency aggregation over the per-packet records uses
+//! the rayon shim's `fold`/`reduce` adapters.
+
+use crate::network::Network;
+use crate::packet::{PacketOutcome, PacketRecord};
+use crate::routing::RoutingPolicy;
+use crate::workload::Workload;
+use rayon::prelude::*;
+
+/// Aggregated outcome of one [`Network::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Star order.
+    pub n: usize,
+    /// Packets injected (= workload size).
+    pub injected: u64,
+    /// Packets delivered to their destination PE.
+    pub delivered: u64,
+    /// Packets dropped on a dead node/link under
+    /// [`crate::FaultPolicy::Drop`].
+    pub dropped_fault: u64,
+    /// Packets with no surviving path under
+    /// [`crate::FaultPolicy::Reroute`].
+    pub dropped_unreachable: u64,
+    /// Packets tail-dropped at a full output queue.
+    pub dropped_overflow: u64,
+    /// Packets still unresolved when the round cap fired.
+    pub stranded: u64,
+    /// Round of the last packet resolution (delivery or drop).
+    pub makespan: u32,
+    /// Total flit·rounds spent waiting in output queues beyond the
+    /// round that forwarded each flit. Zero iff the run was
+    /// contention-free.
+    pub total_wait_rounds: u64,
+    /// Peak occupancy of any single output queue.
+    pub peak_edge_occupancy: u64,
+    /// Peak queued packets at any single PE (all its queues summed).
+    pub peak_node_occupancy: u64,
+    /// Star links traversed in total.
+    pub forwarded_flits: u64,
+    /// `latency_histogram[l]` counts delivered packets with latency
+    /// `l` rounds.
+    pub latency_histogram: Vec<u64>,
+    /// Sum of delivered latencies (rounds).
+    pub sum_latency: u64,
+    /// Largest delivered latency (rounds); 0 if nothing was delivered.
+    pub max_latency: u32,
+    /// One record per packet, in injection order.
+    pub packets: Vec<PacketRecord>,
+}
+
+/// Partial latency aggregate folded per chunk, merged by `reduce`.
+#[derive(Default)]
+struct LatencyAgg {
+    histogram: Vec<u64>,
+    sum: u64,
+    max: u32,
+    delivered: u64,
+    dropped_fault: u64,
+    dropped_unreachable: u64,
+    dropped_overflow: u64,
+    stranded: u64,
+}
+
+impl LatencyAgg {
+    fn absorb(mut self, rec: &PacketRecord) -> Self {
+        match rec.outcome {
+            PacketOutcome::Delivered { round, .. } => {
+                let lat = round - rec.inject_round;
+                if self.histogram.len() <= lat as usize {
+                    self.histogram.resize(lat as usize + 1, 0);
+                }
+                self.histogram[lat as usize] += 1;
+                self.sum += u64::from(lat);
+                self.max = self.max.max(lat);
+                self.delivered += 1;
+            }
+            PacketOutcome::DroppedFault { .. } => self.dropped_fault += 1,
+            PacketOutcome::DroppedUnreachable { .. } => self.dropped_unreachable += 1,
+            PacketOutcome::DroppedOverflow { .. } => self.dropped_overflow += 1,
+            PacketOutcome::Stranded => self.stranded += 1,
+        }
+        self
+    }
+
+    fn merge(mut self, other: Self) -> Self {
+        if self.histogram.len() < other.histogram.len() {
+            self.histogram.resize(other.histogram.len(), 0);
+        }
+        for (slot, v) in self.histogram.iter_mut().zip(other.histogram) {
+            *slot += v;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.delivered += other.delivered;
+        self.dropped_fault += other.dropped_fault;
+        self.dropped_unreachable += other.dropped_unreachable;
+        self.dropped_overflow += other.dropped_overflow;
+        self.stranded += other.stranded;
+        self
+    }
+}
+
+impl TrafficStats {
+    /// Builds the stats from per-packet records plus the counters the
+    /// simulator tracks online. The latency histogram and outcome
+    /// tallies are aggregated in parallel (shim `fold`/`reduce`).
+    #[must_use]
+    pub(crate) fn from_records(
+        n: usize,
+        packets: Vec<PacketRecord>,
+        makespan: u32,
+        total_wait_rounds: u64,
+        peak_edge_occupancy: u64,
+        peak_node_occupancy: u64,
+        forwarded_flits: u64,
+    ) -> Self {
+        let records = &packets;
+        let agg = (0..records.len())
+            .into_par_iter()
+            .fold(LatencyAgg::default, |acc, i| acc.absorb(&records[i]))
+            .reduce(LatencyAgg::default, LatencyAgg::merge);
+        TrafficStats {
+            n,
+            injected: packets.len() as u64,
+            delivered: agg.delivered,
+            dropped_fault: agg.dropped_fault,
+            dropped_unreachable: agg.dropped_unreachable,
+            dropped_overflow: agg.dropped_overflow,
+            stranded: agg.stranded,
+            makespan,
+            total_wait_rounds,
+            peak_edge_occupancy,
+            peak_node_occupancy,
+            forwarded_flits,
+            latency_histogram: agg.histogram,
+            sum_latency: agg.sum,
+            max_latency: agg.max,
+            packets,
+        }
+    }
+
+    /// All drops combined.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped_fault + self.dropped_unreachable + self.dropped_overflow
+    }
+
+    /// Mean delivered latency in rounds (`NaN` if nothing delivered).
+    #[must_use]
+    pub fn avg_latency(&self) -> f64 {
+        self.sum_latency as f64 / self.delivered as f64
+    }
+
+    /// Delivered packets per round over the whole run.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            self.delivered as f64
+        } else {
+            self.delivered as f64 / f64::from(self.makespan)
+        }
+    }
+
+    /// `true` iff no packet ever waited in a queue — the network ran
+    /// the workload exactly as a lockstep SIMD schedule would.
+    #[must_use]
+    pub fn is_contention_free(&self) -> bool {
+        self.total_wait_rounds == 0 && self.peak_edge_occupancy <= 1
+    }
+}
+
+/// One point of a saturation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationPoint {
+    /// Injection rate in percent of full injection.
+    pub rate_pct: u32,
+    /// Packets offered.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Run length in rounds.
+    pub makespan: u32,
+    /// Mean delivered latency (rounds).
+    pub avg_latency: f64,
+    /// Delivered packets per round.
+    pub throughput: f64,
+    /// Peak single-queue occupancy.
+    pub peak_edge_occupancy: u64,
+    /// Total queue wait (flit·rounds).
+    pub total_wait_rounds: u64,
+}
+
+/// Drives [`Workload::bernoulli_uniform`] across injection rates and
+/// summarizes each run — the classic latency-vs-offered-load curve.
+/// Deterministic: each rate reuses the same base `seed`.
+///
+/// # Panics
+/// Panics if any rate exceeds 100.
+#[must_use]
+pub fn saturation_sweep(
+    net: &Network,
+    rates_pct: &[u32],
+    rounds: u32,
+    seed: u64,
+    policy: &dyn RoutingPolicy,
+) -> Vec<SaturationPoint> {
+    rates_pct
+        .iter()
+        .map(|&rate_pct| {
+            let w = Workload::bernoulli_uniform(net.n(), rounds, rate_pct, seed);
+            let stats = net.run(&w, policy);
+            SaturationPoint {
+                rate_pct,
+                injected: stats.injected,
+                delivered: stats.delivered,
+                makespan: stats.makespan,
+                avg_latency: stats.avg_latency(),
+                throughput: stats.throughput(),
+                peak_edge_occupancy: stats.peak_edge_occupancy,
+                total_wait_rounds: stats.total_wait_rounds,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(inject: u32, outcome: PacketOutcome) -> PacketRecord {
+        PacketRecord {
+            src: 0,
+            dst: 1,
+            inject_round: inject,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn from_records_tallies_outcomes() {
+        let packets = vec![
+            rec(0, PacketOutcome::Delivered { round: 3, hops: 3 }),
+            rec(0, PacketOutcome::Delivered { round: 5, hops: 4 }),
+            rec(1, PacketOutcome::DroppedFault { round: 2 }),
+            rec(1, PacketOutcome::DroppedOverflow { round: 2 }),
+            rec(2, PacketOutcome::Stranded),
+        ];
+        let s = TrafficStats::from_records(4, packets, 5, 7, 2, 3, 11);
+        assert_eq!(s.injected, 5);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.stranded, 1);
+        assert_eq!(s.sum_latency, 3 + 5);
+        assert_eq!(s.max_latency, 5);
+        assert_eq!(s.latency_histogram[3], 1);
+        assert_eq!(s.latency_histogram[5], 1);
+        assert!((s.avg_latency() - 4.0).abs() < 1e-12);
+        assert!(!s.is_contention_free());
+        assert_eq!(
+            s.delivered + s.dropped() + s.stranded,
+            s.injected,
+            "conservation"
+        );
+    }
+
+    #[test]
+    fn contention_free_requires_zero_waits() {
+        let packets = vec![rec(0, PacketOutcome::Delivered { round: 3, hops: 3 })];
+        let s = TrafficStats::from_records(4, packets, 3, 0, 1, 1, 3);
+        assert!(s.is_contention_free());
+        assert!((s.throughput() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

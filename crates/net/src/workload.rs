@@ -1,0 +1,277 @@
+//! Traffic workload generators.
+//!
+//! A [`Workload`] is a deterministic list of [`Injection`]s (round,
+//! source PE, destination PE), sorted by round. All randomized
+//! generators are seeded, so a `(generator, seed)` pair always
+//! produces byte-identical traffic — the determinism property the
+//! test suite asserts end-to-end.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use sg_core::lemma3::{mesh_neighbor_minus, mesh_neighbor_plus};
+use sg_perm::factorial::factorial;
+use sg_perm::lehmer::{rank, unrank};
+
+/// One packet to be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Round at which the packet enters its source PE.
+    pub round: u32,
+    /// Source PE (Lehmer rank of its star node).
+    pub src: u64,
+    /// Destination PE (Lehmer rank).
+    pub dst: u64,
+}
+
+/// A named batch of injections, sorted by round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    name: String,
+    n: usize,
+    injections: Vec<Injection>,
+}
+
+impl Workload {
+    /// Builds a workload from raw injections (sorted by round, stably,
+    /// so same-round order is the caller's order).
+    ///
+    /// # Panics
+    /// Panics if any rank is `≥ n!`.
+    #[must_use]
+    pub fn from_injections(name: &str, n: usize, mut injections: Vec<Injection>) -> Self {
+        let size = factorial(n);
+        for inj in &injections {
+            assert!(inj.src < size && inj.dst < size, "PE rank out of range");
+        }
+        injections.sort_by_key(|i| i.round);
+        Workload {
+            name: name.to_string(),
+            n,
+            injections,
+        }
+    }
+
+    /// The Lemma-5 scenario: every mesh node with a neighbor along
+    /// dimension `k` (direction `plus`) sends one packet to that
+    /// neighbor, all at round 0. Under [`crate::EmbeddingRouting`]
+    /// this is exactly one SIMD-A mesh unit route.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k < n`.
+    #[must_use]
+    pub fn dimension_sweep(n: usize, k: usize, plus: bool) -> Self {
+        assert!(k >= 1 && k < n, "dimension out of range");
+        let mut injections = Vec::new();
+        for r in 0..factorial(n) {
+            let pi = unrank(r, n).expect("rank in range");
+            let neighbor = if plus {
+                mesh_neighbor_plus(&pi, k)
+            } else {
+                mesh_neighbor_minus(&pi, k)
+            };
+            if let Some(q) = neighbor {
+                injections.push(Injection {
+                    round: 0,
+                    src: r,
+                    dst: rank(&q),
+                });
+            }
+        }
+        let sign = if plus { '+' } else { '-' };
+        Workload::from_injections(&format!("sweep(k={k},{sign})"), n, injections)
+    }
+
+    /// Uniform random permutation traffic: destinations are a seeded
+    /// random permutation of the PEs, one packet per PE at round 0
+    /// (fixed points — self-sends — are skipped).
+    #[must_use]
+    pub fn random_permutation(n: usize, seed: u64) -> Self {
+        let size = factorial(n);
+        let mut dst: Vec<u64> = (0..size).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        dst.shuffle(&mut rng);
+        let injections = dst
+            .into_iter()
+            .enumerate()
+            .filter(|&(src, d)| src as u64 != d)
+            .map(|(src, d)| Injection {
+                round: 0,
+                src: src as u64,
+                dst: d,
+            })
+            .collect();
+        Workload::from_injections("random-perm", n, injections)
+    }
+
+    /// Transpose-style fixed permutation: every PE `π` sends to `π⁻¹`
+    /// at round 0 (the star-graph analogue of mesh transpose traffic;
+    /// an involution, so traffic is perfectly symmetric). Self-inverse
+    /// nodes are skipped.
+    #[must_use]
+    pub fn transpose(n: usize) -> Self {
+        let mut injections = Vec::new();
+        for r in 0..factorial(n) {
+            let pi = unrank(r, n).expect("rank in range");
+            let inv = rank(&pi.inverse());
+            if inv != r {
+                injections.push(Injection {
+                    round: 0,
+                    src: r,
+                    dst: inv,
+                });
+            }
+        }
+        Workload::from_injections("transpose", n, injections)
+    }
+
+    /// Hot-spot traffic at round 0: each PE draws its destination —
+    /// `hotspot` with probability `hot_pct`%, a uniformly random PE
+    /// otherwise (so background traffic can still hit the hotspot by
+    /// chance). Draws that land on the sender itself are skipped
+    /// rather than redrawn, so the packet count can be slightly below
+    /// `n!` (and the hotspot PE sends nothing at `hot_pct = 100`).
+    ///
+    /// # Panics
+    /// Panics if `hot_pct > 100` or `hotspot ≥ n!`.
+    #[must_use]
+    pub fn hot_spot(n: usize, hotspot: u64, hot_pct: u32, seed: u64) -> Self {
+        assert!(hot_pct <= 100, "hot_pct is a percentage");
+        let size = factorial(n);
+        assert!(hotspot < size, "hotspot rank out of range");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut injections = Vec::new();
+        for src in 0..size {
+            let dst = if rng.gen_range(0u32..100) < hot_pct {
+                hotspot
+            } else {
+                rng.gen_range(0..size)
+            };
+            if dst != src {
+                injections.push(Injection { round: 0, src, dst });
+            }
+        }
+        Workload::from_injections(&format!("hotspot({hot_pct}%)"), n, injections)
+    }
+
+    /// Open-loop uniform traffic: for `rounds` rounds, every PE
+    /// injects a packet with probability `rate_pct`% per round, to a
+    /// uniformly random other PE. `rate_pct = 100` is full injection
+    /// — one packet per PE per round — the saturation regime where
+    /// queueing is unavoidable.
+    ///
+    /// # Panics
+    /// Panics if `rate_pct > 100`.
+    #[must_use]
+    pub fn bernoulli_uniform(n: usize, rounds: u32, rate_pct: u32, seed: u64) -> Self {
+        assert!(rate_pct <= 100, "rate_pct is a percentage");
+        let size = factorial(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut injections = Vec::new();
+        for round in 0..rounds {
+            for src in 0..size {
+                if rng.gen_range(0u32..100) < rate_pct {
+                    let dst = rng.gen_range(0..size);
+                    if dst != src {
+                        injections.push(Injection { round, src, dst });
+                    }
+                }
+            }
+        }
+        Workload::from_injections(&format!("uniform({rate_pct}%)"), n, injections)
+    }
+
+    /// Workload name (used in tables and reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Star order `n` the workload targets.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The injections, sorted by round.
+    #[must_use]
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Number of packets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// `true` if no packets are injected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_sweep_counts_match_lemma5() {
+        // Along dimension k, '+' participants number n!·k/(k+1).
+        let n = 5;
+        for k in 1..n {
+            let w = Workload::dimension_sweep(n, k, true);
+            assert_eq!(w.len() as u64, factorial(n) * k as u64 / (k as u64 + 1));
+            let wm = Workload::dimension_sweep(n, k, false);
+            assert_eq!(wm.len(), w.len());
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let w = Workload::random_permutation(4, 42);
+        let mut seen = [false; 24];
+        for inj in w.injections() {
+            assert!(!seen[inj.dst as usize], "duplicate destination");
+            seen[inj.dst as usize] = true;
+            assert_ne!(inj.src, inj.dst);
+        }
+        // Deterministic per seed.
+        assert_eq!(w, Workload::random_permutation(4, 42));
+        assert_ne!(
+            w.injections(),
+            Workload::random_permutation(4, 43).injections()
+        );
+    }
+
+    #[test]
+    fn transpose_pairs_up() {
+        let w = Workload::transpose(4);
+        for inj in w.injections() {
+            let pi = unrank(inj.src, 4).unwrap();
+            assert_eq!(rank(&pi.inverse()), inj.dst);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_bounds() {
+        let zero = Workload::bernoulli_uniform(4, 10, 0, 1);
+        assert!(zero.is_empty());
+        let full = Workload::bernoulli_uniform(4, 10, 100, 1);
+        // rate 100 injects every PE every round, minus skipped self-sends.
+        assert!(full.len() as u64 >= 10 * 24 - 20);
+        assert!(full
+            .injections()
+            .windows(2)
+            .all(|w| w[0].round <= w[1].round));
+    }
+
+    #[test]
+    fn hot_spot_concentrates() {
+        let hot = Workload::hot_spot(5, 7, 100, 3);
+        assert!(hot.injections().iter().all(|i| i.dst == 7));
+        let none = Workload::hot_spot(5, 7, 0, 3);
+        let frac = none.injections().iter().filter(|i| i.dst == 7).count();
+        assert!(frac < 10, "0% hot traffic should rarely hit the hotspot");
+    }
+}

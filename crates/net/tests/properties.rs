@@ -1,0 +1,100 @@
+//! Property suite for the simulator: packet conservation, the
+//! latency-vs-distance lower bound, and seed determinism.
+
+use proptest::prelude::*;
+use sg_net::{
+    EmbeddingRouting, FaultPlan, FaultPolicy, GreedyRouting, NetConfig, Network, PacketOutcome,
+    RoutingPolicy, Workload,
+};
+use sg_perm::lehmer::unrank;
+use sg_star::distance::distance;
+
+fn policy_for(flip: bool) -> &'static dyn RoutingPolicy {
+    if flip {
+        &GreedyRouting
+    } else {
+        &EmbeddingRouting
+    }
+}
+
+proptest! {
+    /// Default config (unbounded queues, no faults): every injected
+    /// packet is delivered exactly once — none lost, none duplicated.
+    #[test]
+    fn prop_packet_conservation(n in 3usize..=5, seed in any::<u64>(), rate in 1u32..=60, flip in any::<bool>()) {
+        let net = Network::new(n);
+        let w = Workload::bernoulli_uniform(n, 3, rate, seed);
+        let stats = net.run(&w, policy_for(flip));
+        prop_assert_eq!(stats.injected, w.len() as u64);
+        prop_assert_eq!(stats.delivered, stats.injected);
+        prop_assert_eq!(stats.dropped(), 0);
+        prop_assert_eq!(stats.stranded, 0);
+        // Exactly once: one record per injection, all delivered, and
+        // the histogram re-counts them with no surplus.
+        prop_assert_eq!(stats.packets.len() as u64, stats.injected);
+        prop_assert!(stats.packets.iter().all(|r| r.outcome.is_delivered()));
+        prop_assert_eq!(stats.latency_histogram.iter().sum::<u64>(), stats.delivered);
+    }
+
+    /// Conservation also holds as a partition when faults and finite
+    /// queues make drops possible.
+    #[test]
+    fn prop_conservation_partitions_under_faults(n in 4usize..=5, seed in any::<u64>(), cap in 1u32..=4, reroute in any::<bool>()) {
+        let policy = if reroute { FaultPolicy::Reroute } else { FaultPolicy::Drop };
+        let plan = FaultPlan::random_nodes(n, n - 2, seed ^ 0xFA17).with_policy(policy);
+        let net = Network::new(n)
+            .with_config(NetConfig { queue_capacity: Some(cap), ..NetConfig::default() })
+            .with_faults(plan);
+        let w = Workload::bernoulli_uniform(n, 3, 40, seed);
+        let stats = net.run(&w, policy_for(reroute));
+        prop_assert_eq!(
+            stats.delivered + stats.dropped() + stats.stranded,
+            stats.injected
+        );
+    }
+
+    /// No packet beats the star metric: observed latency is at least
+    /// `distance(src, dst) · link_latency`.
+    #[test]
+    fn prop_latency_at_least_star_distance(n in 3usize..=5, seed in any::<u64>(), latency in 1u32..=3, flip in any::<bool>()) {
+        let net = Network::new(n).with_config(NetConfig { link_latency: latency, ..NetConfig::default() });
+        let w = Workload::random_permutation(n, seed);
+        let stats = net.run(&w, policy_for(flip));
+        for rec in &stats.packets {
+            if let PacketOutcome::Delivered { hops, .. } = rec.outcome {
+                let a = unrank(rec.src, n).unwrap();
+                let b = unrank(rec.dst, n).unwrap();
+                let d = distance(&a, &b);
+                prop_assert!(hops >= d, "hops {} < distance {}", hops, d);
+                let lat = rec.latency().unwrap();
+                prop_assert!(lat >= d * latency, "latency {} < {}", lat, d * latency);
+            }
+        }
+    }
+
+    /// Same seed ⇒ bit-identical stats, independently constructed
+    /// networks included. (The whole pipeline — workload generation,
+    /// route precomputation, round loop, parallel aggregation — must
+    /// be deterministic for this to hold.)
+    #[test]
+    fn prop_determinism(n in 3usize..=5, seed in any::<u64>(), rate in 1u32..=100, flip in any::<bool>()) {
+        let w1 = Workload::bernoulli_uniform(n, 2, rate, seed);
+        let w2 = Workload::bernoulli_uniform(n, 2, rate, seed);
+        prop_assert_eq!(&w1, &w2);
+        let s1 = Network::new(n).run(&w1, policy_for(flip));
+        let s2 = Network::new(n).run(&w2, policy_for(flip));
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Hot-spot traffic concentrates queueing at the hot PE.
+    #[test]
+    fn prop_hotspot_queues_when_hot(n in 4usize..=5, seed in any::<u64>()) {
+        let net = Network::new(n);
+        let hot = net.run(&Workload::hot_spot(n, 0, 100, seed), &GreedyRouting);
+        prop_assert_eq!(hot.delivered, hot.injected);
+        // n!−1 packets funnel into one PE of degree n−1: waiting is
+        // unavoidable.
+        prop_assert!(hot.total_wait_rounds > 0);
+        prop_assert!(hot.peak_edge_occupancy > 1);
+    }
+}

@@ -1,7 +1,7 @@
 //! One-to-all broadcast on `S_n` in the SIMD-B model.
 //!
 //! §2 property 3: "Broadcasting can be performed on the star graph in
-//! at most `3(n log n − …)` unit routes" ([AKER87]). We generate an
+//! at most `3(n log n − …)` unit routes" (`[AKER87]`). We generate an
 //! explicit *schedule*: a list of rounds, each round a set of
 //! `(src, dst)` sends such that
 //!
@@ -39,7 +39,7 @@ impl BroadcastSchedule {
 
 /// Paper's §2 budget for broadcast unit routes: `3(n lg n − n)`,
 /// rounded up, never below the trivial diameter bound. (The paper
-/// prints the second term smudged — `3(n log n − ~)`; [AKER87]'s
+/// prints the second term smudged — `3(n log n − ~)`; `[AKER87]`'s
 /// scheme is `Θ(n log n)`, and we treat `3 n lg n` as the headline
 /// envelope. Our measured schedules must come in under it.)
 #[must_use]

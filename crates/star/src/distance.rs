@@ -1,7 +1,7 @@
 //! Exact star-graph distances via the Akers–Krishnamurthy formula.
 //!
 //! Sorting a permutation with moves "swap the front symbol into any
-//! slot" is a classic problem ([AKER89]): writing `m` for the number
+//! slot" is a classic problem (`[AKER89]`): writing `m` for the number
 //! of misplaced symbols and `c` for the number of nontrivial cycles,
 //! the minimum number of moves is
 //!

@@ -1,7 +1,7 @@
 //! # sg-star — the star graph `S_n`
 //!
 //! The interconnection network of Akers, Harel & Krishnamurthy
-//! ([AKER87]) that the paper embeds meshes into. `S_n` has `n!` nodes,
+//! (`[AKER87]`) that the paper embeds meshes into. `S_n` has `n!` nodes,
 //! one per permutation of the symbols `0..n`; node `π` is adjacent to
 //! the `n−1` permutations obtained by swapping π's **front** symbol
 //! (display slot 0, the paper's position `n−1`) with any other slot.

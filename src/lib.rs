@@ -21,7 +21,7 @@
 //!
 //! See the crate-level docs of each member crate for the details:
 //! [`sg_perm`], [`sg_graph`], [`sg_star`], [`sg_mesh`], [`sg_core`],
-//! [`sg_simd`], [`sg_algo`].
+//! [`sg_simd`], [`sg_algo`], [`sg_net`].
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +29,7 @@ pub use sg_algo as algo;
 pub use sg_core as core;
 pub use sg_graph as graph;
 pub use sg_mesh as mesh;
+pub use sg_net as net;
 pub use sg_perm as perm;
 pub use sg_simd as simd;
 pub use sg_star as star;
@@ -43,6 +44,10 @@ pub mod prelude {
     pub use sg_mesh::dn::DnMesh;
     pub use sg_mesh::shape::MeshShape;
     pub use sg_mesh::shape::Sign;
+    pub use sg_net::{
+        EmbeddingRouting, FaultPlan, FaultPolicy, GreedyRouting, NetConfig, Network, RoutingPolicy,
+        TrafficStats, Workload,
+    };
     pub use sg_perm::{Perm, PermIter};
     pub use sg_simd::embedded::EmbeddedMeshMachine;
     pub use sg_simd::machine::{MeshSimd, RouteStats};
