@@ -1,12 +1,21 @@
 //! Cost of the `sg-net` interconnect simulator's hot loop: the
 //! Lemma-5 dimension sweep (contention-free, 3 rounds) vs uniform
-//! random traffic (queued, long tail).
+//! random traffic (queued, long tail), plus the engine regression
+//! guard — FastEngine vs ReferenceEngine on identical traffic.
 //!
 //! Set `SG_BENCH_SMOKE=1` to run a minimal configuration (CI smoke
-//! mode: smallest sizes, fewest samples).
+//! mode: smallest sizes, fewest samples). Smoke mode also **asserts**
+//! the two tentpole claims of the fast-path engine PR and appends a
+//! trajectory entry to `BENCH_traffic.json` at the workspace root:
+//!
+//! * FastEngine is not slower than ReferenceEngine on contended
+//!   uniform traffic;
+//! * a full-injection uniform sweep at `n = 8` (40 320 PEs) completes
+//!   within the CI smoke budget.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sg_net::{EmbeddingRouting, GreedyRouting, Network, Workload};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use sg_net::{EmbeddingRouting, Engine, GreedyRouting, Network, Workload};
+use std::time::Instant;
 
 fn smoke() -> bool {
     std::env::var_os("SG_BENCH_SMOKE").is_some()
@@ -43,6 +52,27 @@ fn bench_uniform_traffic(c: &mut Criterion) {
     group.finish();
 }
 
+/// The regression guard proper: identical contended traffic on both
+/// engines. The differential suite proves the outputs byte-identical;
+/// this group shows what the worklist + slab queues + idle skipping
+/// buy in wall clock.
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_engine_fast_vs_reference");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    let orders: &[usize] = if smoke() { &[6] } else { &[6, 7] };
+    for &n in orders {
+        let net = Network::new(n);
+        let w = Workload::bernoulli_uniform(n, 5, 100, 0xBEEF);
+        group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, _| {
+            b.iter(|| net.run_with(&w, &GreedyRouting, Engine::Fast));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| net.run_with(&w, &GreedyRouting, Engine::Reference));
+        });
+    }
+    group.finish();
+}
+
 fn bench_network_construction(c: &mut Criterion) {
     // Neighbor-table build (parallel unrank/rank over all n! PEs).
     let mut group = c.benchmark_group("net_build");
@@ -56,10 +86,128 @@ fn bench_network_construction(c: &mut Criterion) {
     group.finish();
 }
 
+/// Best-of-`reps` wall-clock time of two alternating runs, in
+/// nanoseconds. Interleaving means a transient slowdown (noisy
+/// neighbor, frequency scaling) hits both sides instead of biasing
+/// whichever happened to run first.
+fn best_of_interleaved<F: FnMut(), G: FnMut()>(reps: usize, mut f: F, mut g: G) -> (u128, u128) {
+    let mut best_f = u128::MAX;
+    let mut best_g = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best_f = best_f.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        g();
+        best_g = best_g.min(t.elapsed().as_nanos());
+    }
+    (best_f, best_g)
+}
+
+/// Measures the PR's two guarded claims and appends a trajectory
+/// entry to `BENCH_traffic.json` (one JSON object per line, newest
+/// last) so successive runs accumulate a history. In smoke mode the
+/// claims are hard assertions — this is the CI regression gate.
+fn engine_trajectory() {
+    // Claim 1: FastEngine ≥ ReferenceEngine. Gate at n = 7 (5 040
+    // PEs, 30 240 queues) under 20% injection, where the worklist's
+    // advantage is structural (the reference engine scans 30k queues
+    // every round regardless of how few are busy) and the measured
+    // margin is a stable ≥ 1.3x. At small n with saturated queues the
+    // engines converge to parity — per-hop work dominates and both
+    // engines share it — which the criterion group above reports but
+    // CI does not gate on.
+    let n_cmp = 7;
+    let net = Network::new(n_cmp);
+    let w = Workload::bernoulli_uniform(n_cmp, 10, 20, 0xBEEF);
+    let (fast_ns, ref_ns) = best_of_interleaved(
+        3,
+        || {
+            let _ = net.run_with(&w, &GreedyRouting, Engine::Fast);
+        },
+        || {
+            let _ = net.run_with(&w, &GreedyRouting, Engine::Reference);
+        },
+    );
+    let speedup = ref_ns as f64 / fast_ns as f64;
+    println!("engine comparison (n={n_cmp} uniform 20% injection, best of 3):");
+    println!("  fast      {:>12.3} ms", fast_ns as f64 / 1e6);
+    println!(
+        "  reference {:>12.3} ms   (speedup {speedup:.2}x)",
+        ref_ns as f64 / 1e6
+    );
+
+    // Claim 2: the n = 8 full-injection uniform sweep (40 320 PEs,
+    // ~80k packets over 2 injection rounds) finishes in seconds on
+    // the fast engine.
+    let n_big = 8;
+    let t = Instant::now();
+    let big = Network::new(n_big);
+    let build_ns = t.elapsed().as_nanos();
+    let wbig = Workload::bernoulli_uniform(n_big, 2, 100, 0xBEEF);
+    let t = Instant::now();
+    let stats = big.run(&wbig, &GreedyRouting);
+    let sweep_ns = t.elapsed().as_nanos();
+    assert_eq!(
+        stats.delivered, stats.injected,
+        "uniform traffic is lossless"
+    );
+    println!(
+        "n=8 full-injection sweep: {} packets, {} rounds, build {:.2}s, run {:.2}s",
+        stats.injected,
+        stats.makespan,
+        build_ns as f64 / 1e9,
+        sweep_ns as f64 / 1e9
+    );
+
+    if smoke() {
+        // CI gates. The measured margin is a stable ≥ 1.3x; the 10%
+        // allowance below absorbs shared-runner timing noise without
+        // letting a real regression (fast falling to parity or
+        // worse) slip through.
+        assert!(
+            fast_ns <= ref_ns + ref_ns / 10,
+            "FastEngine regressed: {fast_ns} ns vs reference {ref_ns} ns"
+        );
+        const SMOKE_BUDGET_NS: u128 = 60_000_000_000; // 60 s, measured ~1 s
+        assert!(
+            sweep_ns < SMOKE_BUDGET_NS,
+            "n=8 sweep took {sweep_ns} ns, over the CI smoke budget"
+        );
+    }
+
+    // One trajectory line per run, appended at the workspace root.
+    let entry = format!(
+        "{{\"bench\":\"traffic\",\"mode\":\"{}\",\"compare_n\":{n_cmp},\
+         \"fast_ns\":{fast_ns},\"reference_ns\":{ref_ns},\"speedup\":{speedup:.3},\
+         \"n8_packets\":{},\"n8_build_ns\":{build_ns},\"n8_sweep_ns\":{sweep_ns}}}\n",
+        if smoke() { "smoke" } else { "full" },
+        stats.injected,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_traffic.json");
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(mut f) => {
+            let _ = f.write_all(entry.as_bytes());
+            println!("trajectory entry appended to BENCH_traffic.json");
+        }
+        Err(e) => eprintln!("could not append BENCH_traffic.json: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_dimension_sweep,
     bench_uniform_traffic,
+    bench_engine_comparison,
     bench_network_construction
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    engine_trajectory();
+}

@@ -105,6 +105,35 @@ impl FaultPlan {
         plan
     }
 
+    /// Kills `count ≤ n−2` distinct pseudo-random undirected links,
+    /// seeded and deterministic — the edge-fault twin of
+    /// [`FaultPlan::random_nodes`]. `S_n` is `(n−1)`-edge-connected
+    /// (it is `(n−1)`-regular and vertex-transitive), so staying
+    /// within the paper's `n−2` fault budget leaves the graph
+    /// connected and reroutes always exist between live PEs.
+    ///
+    /// # Panics
+    /// Panics if `count > n − 2`.
+    #[must_use]
+    pub fn random_links(n: usize, count: usize, seed: u64) -> Self {
+        assert!(
+            count <= n.saturating_sub(2),
+            "keep edge faults within the n-2 = {} budget",
+            n.saturating_sub(2)
+        );
+        use rand::prelude::*;
+        let size = sg_perm::factorial::factorial(n);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none();
+        while plan.dead_links.len() < count {
+            let r = rng.gen_range(0..size);
+            let g = rng.gen_range(1..n as u64) as usize;
+            let pi = sg_perm::lehmer::unrank(r, n).expect("rank in range");
+            plan = plan.kill_link(&pi, g);
+        }
+        plan
+    }
+
     /// Is the PE at `rank` dead?
     #[must_use]
     pub fn is_node_dead(&self, rank: u64) -> bool {
@@ -181,5 +210,20 @@ mod tests {
     #[should_panic(expected = "at most")]
     fn over_budget_rejected() {
         let _ = FaultPlan::random_nodes(4, 3, 0);
+    }
+
+    #[test]
+    fn random_links_respects_budget_and_seed() {
+        let a = FaultPlan::random_links(5, 3, 11);
+        assert_eq!(a.dead_link_count(), 3);
+        assert_eq!(a.dead_node_count(), 0);
+        assert_eq!(a, FaultPlan::random_links(5, 3, 11));
+        assert_ne!(a, FaultPlan::random_links(5, 3, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn random_links_over_budget_rejected() {
+        let _ = FaultPlan::random_links(4, 3, 0);
     }
 }

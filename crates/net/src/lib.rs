@@ -41,6 +41,21 @@
 //! its inputs — the property suite asserts packet conservation,
 //! latency ≥ star distance, and bit-identical [`TrafficStats`] per
 //! seed.
+//!
+//! ## Engines
+//!
+//! Two engines execute that model. [`Engine::Reference`] scans every
+//! queue every round — the transparent oracle. [`Engine::Fast`] (the
+//! default behind [`Network::run`]) drives an active-queue worklist
+//! over flat slab-allocated ring buffers with batched round-keyed
+//! arrivals, and skips idle rounds — the engine that makes
+//! full-injection sweeps at `n = 8` (40 320 PEs) finish in seconds.
+//! `tests/differential.rs` proves them observationally identical:
+//! byte-equal [`TrafficStats`] across every workload × routing ×
+//! fault axis. Two scenario axes ride on the engines:
+//! [`AdaptiveRouting`] (contention-aware least-occupied shortest-path
+//! hops) and [`FlowControl::CreditBased`] (packets stall at the
+//! source instead of tail-dropping).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,8 +68,8 @@ pub mod stats;
 pub mod workload;
 
 pub use fault::{FaultPlan, FaultPolicy};
-pub use network::{NetConfig, Network};
-pub use packet::{PacketId, PacketOutcome, PacketRecord};
-pub use routing::{EmbeddingRouting, GreedyRouting, RoutingPolicy};
+pub use network::{Engine, FlowControl, NetConfig, Network};
+pub use packet::{HopRecord, PacketId, PacketOutcome, PacketRecord};
+pub use routing::{AdaptiveRouting, EmbeddingRouting, GreedyRouting, RoutingPolicy};
 pub use stats::{saturation_sweep, SaturationPoint, TrafficStats};
 pub use workload::{Injection, Workload};

@@ -1,4 +1,5 @@
-//! The round-based discrete-event interconnect simulator.
+//! The round-based discrete-event interconnect simulator — two
+//! engines, one semantics.
 //!
 //! Model: one PE per star node (addressed by Lehmer rank). Each PE
 //! owns `n−1` output queues, one per generator link. A round has four
@@ -6,31 +7,96 @@
 //!
 //! 1. **Arrivals** — flits finishing a link traversal land at the far
 //!    PE; a flit at its destination is delivered, any other is
-//!    enqueued on the output queue its route names next.
-//! 2. **Injections** — this round's workload packets enter their
-//!    source PE's queues (routes were fixed at injection by the
-//!    [`RoutingPolicy`]).
+//!    enqueued on the output queue its route names next (or the queue
+//!    the adaptive policy picks, see [`crate::AdaptiveRouting`]).
+//! 2. **Injections** — packets stalled for credit retry in FIFO
+//!    order, then this round's workload packets enter their source
+//!    PE's queues.
 //! 3. **Arbitration** — every link forwards **at most one flit per
 //!    round** (FIFO head of its queue); the flit is in flight for
-//!    [`NetConfig::link_latency`] rounds.
+//!    [`NetConfig::link_latency`] rounds. Under
+//!    [`FlowControl::CreditBased`] a head flit stalls in place while
+//!    the downstream PE has no free buffer credit.
 //! 4. **Accounting** — every flit still queued is charged one wait
-//!    round.
+//!    round; every packet still stalled pre-injection is charged one
+//!    stall round.
 //!
 //! PEs are scanned in rank order and queues in generator order, so a
-//! run is a pure function of `(workload, policy, config, faults)` —
-//! the determinism the property suite asserts. Queue capacity is
-//! enforced at enqueue time (tail drop); faults are consulted whenever
-//! a flit is about to take a link (see [`crate::FaultPlan`]).
+//! run is a pure function of `(workload, policy, config, faults)`.
+//!
+//! ## The two engines
+//!
+//! [`Engine::Reference`] is the transparent oracle: a `VecDeque` per
+//! queue, and an arbitration phase that scans *every* queue every
+//! round — obviously correct, and `O(n!·(n−1))` per round no matter
+//! how idle the network is.
+//!
+//! [`Engine::Fast`] (the default behind [`Network::run`]) is the
+//! production engine:
+//!
+//! * an **active-queue worklist** — an occupancy bitmap scanned a
+//!   word at a time — so arbitration touches only non-empty queues,
+//!   in exactly the reference scan order;
+//! * **flat slab-allocated ring-buffer queues** — all queue storage
+//!   lives in one paged slab with a free list, no per-packet boxing
+//!   and no per-queue allocation churn;
+//! * **batched arrivals keyed by round** — flits landing in round `r`
+//!   are drained as one batch from a `link_latency + 1` lane ring;
+//! * **idle-round skipping** — when nothing is queued, time jumps
+//!   straight to the next injection or landing round.
+//!
+//! The two engines are **observationally identical**: for any
+//! `(workload, policy, config, faults)` they produce byte-identical
+//! [`TrafficStats`] — enforced by `tests/differential.rs` across
+//! every workload × policy × fault-plan axis. Queue capacity is
+//! enforced at enqueue time (tail drop) or as stalling buffer credits
+//! (see [`FlowControl`]); faults are consulted whenever a flit is
+//! about to take a link (see [`crate::FaultPlan`]).
 
 use crate::fault::{FaultPlan, FaultPolicy};
-use crate::packet::{PacketId, PacketOutcome, PacketRecord};
+use crate::packet::{HopRecord, PacketId, PacketOutcome, PacketRecord};
 use crate::routing::RoutingPolicy;
-use crate::stats::TrafficStats;
+use crate::stats::{RunCounters, TrafficStats};
 use crate::workload::{Injection, Workload};
 use rayon::prelude::*;
+use sg_core::convert::convert_s_d;
+use sg_core::lemma3::{minus_swap_symbols, plus_swap_symbols};
+use sg_core::paths::transposition_generators;
 use sg_perm::factorial::factorial;
 use sg_perm::lehmer::unrank;
+use sg_perm::Perm;
+use sg_star::distance::distance;
 use std::collections::{HashMap, VecDeque};
+
+/// What happens when a packet heads for a full downstream buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowControl {
+    /// Enqueue onto a full queue drops the packet
+    /// ([`crate::PacketOutcome::DroppedOverflow`]). The classic lossy
+    /// model; [`NetConfig::queue_capacity`] bounds each queue.
+    #[default]
+    TailDrop,
+    /// Credit-based (shared-buffer virtual cut-through): each PE owns
+    /// a pool of `queue_capacity × (n−1)` buffer slots shared by its
+    /// output queues. A flit is forwarded over a link only when the
+    /// downstream PE has a free slot (reserved at forward time,
+    /// released on delivery), and a packet enters the network only
+    /// when its source PE has one — otherwise it **stalls at the
+    /// source** and retries every round, FIFO. Nothing is ever
+    /// tail-dropped; `queue_capacity = None` means infinite credits.
+    CreditBased,
+}
+
+/// Which simulation engine executes the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Worklist + slab ring buffers + batched arrivals (the default).
+    #[default]
+    Fast,
+    /// The scan-everything oracle the differential suite compares
+    /// against.
+    Reference,
+}
 
 /// Tunable knobs of the interconnect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,9 +105,17 @@ pub struct NetConfig {
     pub link_latency: u32,
     /// Per-output-queue capacity; `None` = unbounded (the default —
     /// packet conservation then means every packet is delivered).
+    /// Under [`FlowControl::CreditBased`] this sizes the shared
+    /// per-PE buffer pool instead (`capacity × (n−1)` slots).
     pub queue_capacity: Option<u32>,
+    /// What a full downstream buffer does: drop or stall.
+    pub flow_control: FlowControl,
     /// Safety valve: packets unresolved after this many rounds are
-    /// recorded as [`PacketOutcome::Stranded`].
+    /// recorded as [`PacketOutcome::Stranded`]. (A credit deadlock —
+    /// possible when tiny pools form a cycle of full PEs — is
+    /// detected as soon as the network provably cannot move again and
+    /// strands the survivors immediately instead of spinning to this
+    /// cap.)
     pub max_rounds: u32,
 }
 
@@ -50,6 +124,7 @@ impl Default for NetConfig {
         NetConfig {
             link_latency: 1,
             queue_capacity: None,
+            flow_control: FlowControl::TailDrop,
             max_rounds: 1_000_000,
         }
     }
@@ -159,15 +234,92 @@ impl Network {
         self.neighbor[u as usize * (self.n - 1) + (g - 1)]
     }
 
-    /// Runs `workload` under `policy` and returns the full statistics.
+    /// Per-PE buffer pool under credit-based flow control; `None`
+    /// means credits are not limiting (tail-drop mode, or unbounded
+    /// capacity).
+    fn credit_pool(&self) -> Option<u64> {
+        match self.config.flow_control {
+            FlowControl::TailDrop => None,
+            FlowControl::CreditBased => self
+                .config
+                .queue_capacity
+                .map(|cap| u64::from(cap) * (self.n as u64 - 1)),
+        }
+    }
+
+    /// Runs `workload` under `policy` on the default [`Engine::Fast`]
+    /// and returns the full statistics.
     ///
-    /// Routes for all packets are precomputed in parallel; the round
-    /// loop itself is sequential and deterministic.
+    /// Routes for all packets are precomputed in parallel (adaptive
+    /// policies route hop-by-hop instead); the round loop itself is
+    /// sequential and deterministic.
     ///
     /// # Panics
     /// Panics if the workload targets a different star order.
     #[must_use]
     pub fn run(&self, workload: &Workload, policy: &dyn RoutingPolicy) -> TrafficStats {
+        self.run_with(workload, policy, Engine::Fast)
+    }
+
+    /// Runs `workload` under `policy` on the chosen engine. Both
+    /// engines produce byte-identical [`TrafficStats`]; the reference
+    /// engine exists as the oracle for the differential suite (and
+    /// for debugging the fast one).
+    ///
+    /// # Panics
+    /// Panics if the workload targets a different star order.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        workload: &Workload,
+        policy: &dyn RoutingPolicy,
+        engine: Engine,
+    ) -> TrafficStats {
+        match engine {
+            Engine::Fast => self.run_fast(workload, policy, None),
+            Engine::Reference => {
+                let (inj, routes, adaptive) = self.prepare(workload, policy);
+                ReferenceSim::new(self, inj, routes, adaptive).run()
+            }
+        }
+    }
+
+    /// Like [`Network::run`], but additionally returns one hop trace
+    /// per packet (every link traversal, in order) — the ground truth
+    /// the adaptive-routing validity suite audits against the
+    /// surviving subgraph. Runs on [`Engine::Fast`].
+    ///
+    /// # Panics
+    /// Panics if the workload targets a different star order.
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        workload: &Workload,
+        policy: &dyn RoutingPolicy,
+    ) -> (TrafficStats, Vec<Vec<HopRecord>>) {
+        let mut traces = vec![Vec::new(); workload.len()];
+        let stats = self.run_fast(workload, policy, Some(&mut traces));
+        (stats, traces)
+    }
+
+    fn run_fast(
+        &self,
+        workload: &Workload,
+        policy: &dyn RoutingPolicy,
+        trace: Option<&mut Vec<Vec<HopRecord>>>,
+    ) -> TrafficStats {
+        let (inj, routes, adaptive) = self.prepare(workload, policy);
+        FastSim::new(self, inj, routes, adaptive).run(trace)
+    }
+
+    /// Shared run setup: workload validation and parallel route
+    /// precomputation (skipped for adaptive policies, which pick hops
+    /// at enqueue time).
+    fn prepare<'w>(
+        &self,
+        workload: &'w Workload,
+        policy: &dyn RoutingPolicy,
+    ) -> (&'w [Injection], Vec<Vec<u8>>, bool) {
         assert_eq!(
             workload.n(),
             self.n,
@@ -176,23 +328,32 @@ impl Network {
             self.n
         );
         let inj = workload.injections();
+        let adaptive = policy.is_adaptive();
         let n = self.n;
-        let routes: Vec<Vec<u8>> = (0..inj.len())
-            .into_par_iter()
-            .map(|i| {
-                let Injection { src, dst, .. } = inj[i];
-                if src == dst {
-                    Vec::new()
-                } else {
-                    let a = unrank(src, n).expect("rank in range");
-                    let b = unrank(dst, n).expect("rank in range");
-                    policy.route(&a, &b)
-                }
-            })
-            .collect();
-        Sim::new(self, inj, routes).run()
+        let routes: Vec<Vec<u8>> = if adaptive {
+            vec![Vec::new(); inj.len()]
+        } else {
+            (0..inj.len())
+                .into_par_iter()
+                .map(|i| {
+                    let Injection { src, dst, .. } = inj[i];
+                    if src == dst {
+                        Vec::new()
+                    } else {
+                        let a = unrank(src, n).expect("rank in range");
+                        let b = unrank(dst, n).expect("rank in range");
+                        policy.route(&a, &b)
+                    }
+                })
+                .collect()
+        };
+        (inj, routes, adaptive)
     }
 }
+
+// ---------------------------------------------------------------------
+// Logic shared verbatim by both engines.
+// ---------------------------------------------------------------------
 
 /// In-flight per-packet state.
 struct SimPacket {
@@ -201,10 +362,258 @@ struct SimPacket {
     route: Vec<u8>,
     route_pos: u32,
     hops: u32,
+    /// Hop chosen at enqueue time; cleared when a fault pins the
+    /// packet to a BFS detour route.
+    adaptive: bool,
 }
 
-/// One run's mutable state.
-struct Sim<'a> {
+fn make_packets(inj: &[Injection], routes: Vec<Vec<u8>>, adaptive: bool) -> Vec<SimPacket> {
+    routes
+        .into_iter()
+        .zip(inj)
+        .map(|(route, i)| SimPacket {
+            cur: i.src as u32,
+            dst: i.dst as u32,
+            route,
+            route_pos: 0,
+            hops: 0,
+            adaptive: adaptive && i.src != i.dst,
+        })
+        .collect()
+}
+
+/// Outcome of one adaptive next-hop selection.
+enum HopChoice {
+    /// Take generator `g` (its link is alive and reduces distance).
+    Go(usize),
+    /// Faults killed every distance-reducing link at this PE.
+    Blocked,
+}
+
+/// Upper bound on `n − 1` for the supported `n ≤ 9`, so per-hop
+/// scratch buffers can live on the stack.
+const MAX_GENS: usize = 8;
+
+/// The adaptive hop selector both engines call: among the generators
+/// that move the packet strictly closer to `dst` and whose link
+/// survives the fault plan, pick the one with the smallest output
+/// queue at the current PE (`occ[g−1]` is that queue's occupancy).
+/// Ties prefer the next generator of the dimension-order embedding
+/// path, then the smallest generator index. Allocation-free: this
+/// runs once per hop of every adaptive packet.
+fn adaptive_hop(net: &Network, u: u32, dst: u32, occ: &[u32]) -> HopChoice {
+    let n = net.n;
+    let cur_p = unrank(u64::from(u), n).expect("rank in range");
+    let dst_p = unrank(u64::from(dst), n).expect("rank in range");
+    let d0 = distance(&cur_p, &dst_p);
+    debug_assert!(d0 > 0, "adaptive hop requested at the destination");
+    let faulty = !net.faults.is_empty();
+    let mut is_cand = [false; MAX_GENS + 1];
+    let mut min_occ = u32::MAX;
+    for g in 1..n {
+        let v = net.neighbor_of(u, g);
+        if faulty && net.faults.is_link_dead(u64::from(u), u64::from(v), g) {
+            continue;
+        }
+        if distance(&cur_p.with_slots_swapped(0, g), &dst_p) < d0 {
+            is_cand[g] = true;
+            min_occ = min_occ.min(occ[g - 1]);
+        }
+    }
+    if min_occ == u32::MAX {
+        return HopChoice::Blocked;
+    }
+    let mut first = 0usize;
+    let mut ties = 0usize;
+    for g in 1..n {
+        if is_cand[g] && occ[g - 1] == min_occ {
+            if first == 0 {
+                first = g;
+            }
+            ties += 1;
+        }
+    }
+    if ties > 1 {
+        // Tie: follow the embedding path's order when it is one of
+        // the tied candidates.
+        let eg = embedding_first_generator(&cur_p, &dst_p);
+        if is_cand[eg] && occ[eg - 1] == min_occ {
+            return HopChoice::Go(eg);
+        }
+    }
+    HopChoice::Go(first)
+}
+
+/// First generator of [`EmbeddingRouting::route`]`(cur, dst)` without
+/// building the whole route: locate the first mesh dimension that
+/// needs correcting and expand just the first transposition of its
+/// first unit move.
+///
+/// # Panics
+/// Panics if `cur == dst` (there is no first hop).
+fn embedding_first_generator(cur: &Perm, dst: &Perm) -> usize {
+    let n = cur.len();
+    let target = convert_s_d(dst);
+    let cur_d = convert_s_d(cur);
+    for k in 1..n {
+        let want = target.d(k);
+        if cur_d.d(k) == want {
+            continue;
+        }
+        let pair = if cur_d.d(k) < want {
+            plus_swap_symbols(cur, k)
+        } else {
+            minus_swap_symbols(cur, k)
+        };
+        let (a, b) = pair.expect("interior coordinate always has a neighbor toward the target");
+        return transposition_generators(cur, a, b)[0];
+    }
+    unreachable!("cur == dst has no first embedding hop")
+}
+
+/// Why [`select_generator`] could not name a next hop.
+enum HopFail {
+    /// The fault policy says drop on the spot.
+    Fault,
+    /// No surviving path exists (reroute exhausted).
+    Unreachable,
+}
+
+/// Decides which generator link packet `pid` takes next from its
+/// current PE: the fixed route's next entry (source-routed), or the
+/// least-occupied shortest-path candidate (adaptive, `occ` holds the
+/// current PE's queue occupancies). When faults block the hop this
+/// applies the fault policy — dropping, or pinning the BFS detour
+/// over the surviving subgraph (which also turns an adaptive packet
+/// into a source-routed one). Shared verbatim by both engines so the
+/// fault/credit fallback can never drift between them; only queue
+/// bookkeeping stays engine-specific.
+fn select_generator(
+    net: &Network,
+    faulty: bool,
+    pkts: &mut [SimPacket],
+    memo: &mut HashMap<u32, Vec<u8>>,
+    pid: PacketId,
+    occ: &[u32],
+) -> Result<usize, HopFail> {
+    let p = pid as usize;
+    let u = pkts[p].cur;
+    if pkts[p].adaptive {
+        if let HopChoice::Go(g) = adaptive_hop(net, u, pkts[p].dst, occ) {
+            return Ok(g);
+        }
+    } else {
+        let pos = pkts[p].route_pos as usize;
+        debug_assert!(
+            pos < pkts[p].route.len(),
+            "route exhausted before destination"
+        );
+        let g = pkts[p].route[pos] as usize;
+        let v = net.neighbor_of(u, g);
+        if !(faulty && net.faults.is_link_dead(u64::from(u), u64::from(v), g)) {
+            return Ok(g);
+        }
+    }
+    // The hop (or every adaptive candidate) is dead: fault fallback.
+    match net.faults.policy() {
+        FaultPolicy::Drop => Err(HopFail::Fault),
+        FaultPolicy::Reroute => {
+            let dst = pkts[p].dst;
+            match reroute_from(net, memo, u, dst) {
+                Some(route) => {
+                    let g = route[0] as usize;
+                    pkts[p].route = route;
+                    pkts[p].route_pos = 0;
+                    pkts[p].adaptive = false;
+                    Ok(g)
+                }
+                None => Err(HopFail::Unreachable),
+            }
+        }
+    }
+}
+
+/// BFS over the surviving subgraph, memoized per destination: returns
+/// the generator sequence `u → dst`, or `None` if `u` is cut off.
+fn reroute_from(
+    net: &Network,
+    memo: &mut HashMap<u32, Vec<u8>>,
+    u: u32,
+    dst: u32,
+) -> Option<Vec<u8>> {
+    let gens = net.n - 1;
+    let next_gen = memo.entry(dst).or_insert_with(|| {
+        let mut next = vec![0u8; net.node_count];
+        let mut frontier = VecDeque::from([dst]);
+        let mut seen = vec![false; net.node_count];
+        seen[dst as usize] = true;
+        while let Some(w) = frontier.pop_front() {
+            for g in 1..=gens {
+                let v = net.neighbor_of(w, g);
+                if seen[v as usize] || net.faults.is_link_dead(u64::from(w), u64::from(v), g) {
+                    continue;
+                }
+                seen[v as usize] = true;
+                // The same generator leads back toward dst (the slot
+                // swap is an involution).
+                next[v as usize] = g as u8;
+                frontier.push_back(v);
+            }
+        }
+        next
+    });
+    let mut route = Vec::new();
+    let mut cur = u;
+    while cur != dst {
+        let g = next_gen[cur as usize];
+        if g == 0 {
+            return None;
+        }
+        route.push(g);
+        cur = net.neighbor_of(cur, g as usize);
+        debug_assert!(route.len() <= net.node_count, "reroute cycle");
+    }
+    Some(route)
+}
+
+/// Resolves every still-open packet as [`PacketOutcome::Stranded`]
+/// (round cap or credit deadlock).
+fn strand_remaining(outcomes: &mut [Option<PacketOutcome>], resolved: &mut usize) {
+    for o in outcomes.iter_mut() {
+        if o.is_none() {
+            *o = Some(PacketOutcome::Stranded);
+            *resolved += 1;
+        }
+    }
+}
+
+fn finish(
+    net: &Network,
+    inj: &[Injection],
+    outcomes: &[Option<PacketOutcome>],
+    counters: RunCounters,
+) -> TrafficStats {
+    let records: Vec<PacketRecord> = inj
+        .iter()
+        .zip(outcomes)
+        .map(|(i, o)| PacketRecord {
+            src: i.src,
+            dst: i.dst,
+            inject_round: i.round,
+            outcome: o.expect("all packets resolved"),
+        })
+        .collect();
+    TrafficStats::from_records(net.n, records, counters)
+}
+
+// ---------------------------------------------------------------------
+// Reference engine: the scan-everything oracle.
+// ---------------------------------------------------------------------
+
+/// One reference run's mutable state. A `VecDeque` per queue, every
+/// queue scanned every round — the simplest faithful implementation
+/// of the phase semantics, kept as the differential oracle.
+struct ReferenceSim<'a> {
     net: &'a Network,
     gens: usize,
     lanes: usize,
@@ -213,53 +622,47 @@ struct Sim<'a> {
     outcomes: Vec<Option<PacketOutcome>>,
     queues: Vec<VecDeque<PacketId>>,
     node_occ: Vec<u32>,
+    /// Buffer slots promised to in-flight flits (credit mode).
+    reserved: Vec<u32>,
     /// Ring buffer of arrival lists, indexed by `round % lanes`.
     arrivals: Vec<Vec<PacketId>>,
-    /// Per-destination BFS next-hop tables for fault reroutes
-    /// (generator per node; 0 = unreachable).
+    in_flight: usize,
+    /// Packets waiting at their source for a buffer credit, FIFO.
+    stalled: VecDeque<PacketId>,
+    /// Per-destination BFS next-hop tables for fault reroutes.
     reroute_memo: HashMap<u32, Vec<u8>>,
     resolved: usize,
-    last_event: u32,
     total_queued: u64,
-    total_wait_rounds: u64,
-    peak_edge: u64,
-    peak_node: u64,
-    forwarded: u64,
+    pool: Option<u64>,
+    /// Cached `!faults.is_empty()`: skips the per-hop fault lookups
+    /// entirely on a clean network.
+    faulty: bool,
+    counters: RunCounters,
 }
 
-impl<'a> Sim<'a> {
-    fn new(net: &'a Network, inj: &'a [Injection], routes: Vec<Vec<u8>>) -> Self {
+impl<'a> ReferenceSim<'a> {
+    fn new(net: &'a Network, inj: &'a [Injection], routes: Vec<Vec<u8>>, adaptive: bool) -> Self {
         let gens = net.n - 1;
         let lanes = net.config.link_latency as usize + 1;
-        let pkts = routes
-            .into_iter()
-            .zip(inj)
-            .map(|(route, i)| SimPacket {
-                cur: i.src as u32,
-                dst: i.dst as u32,
-                route,
-                route_pos: 0,
-                hops: 0,
-            })
-            .collect();
-        Sim {
+        ReferenceSim {
             net,
             gens,
             lanes,
             inj,
-            pkts,
+            pkts: make_packets(inj, routes, adaptive),
             outcomes: vec![None; inj.len()],
             queues: vec![VecDeque::new(); net.node_count * gens],
             node_occ: vec![0; net.node_count],
+            reserved: vec![0; net.node_count],
             arrivals: vec![Vec::new(); lanes],
+            in_flight: 0,
+            stalled: VecDeque::new(),
             reroute_memo: HashMap::new(),
             resolved: 0,
-            last_event: 0,
             total_queued: 0,
-            total_wait_rounds: 0,
-            peak_edge: 0,
-            peak_node: 0,
-            forwarded: 0,
+            pool: net.credit_pool(),
+            faulty: !net.faults.is_empty(),
+            counters: RunCounters::default(),
         }
     }
 
@@ -267,98 +670,63 @@ impl<'a> Sim<'a> {
         debug_assert!(self.outcomes[pid as usize].is_none(), "double resolution");
         self.outcomes[pid as usize] = Some(outcome);
         self.resolved += 1;
-        self.last_event = self.last_event.max(round);
+        self.counters.last_event = self.counters.last_event.max(round);
     }
 
-    /// BFS over the surviving subgraph, memoized per destination:
-    /// returns the generator sequence `u → dst`, or `None` if `u` is
-    /// cut off.
-    fn reroute(&mut self, u: u32, dst: u32) -> Option<Vec<u8>> {
-        let net = self.net;
-        let gens = self.gens;
-        let next_gen = self.reroute_memo.entry(dst).or_insert_with(|| {
-            let mut next = vec![0u8; net.node_count];
-            let mut frontier = VecDeque::from([dst]);
-            let mut seen = vec![false; net.node_count];
-            seen[dst as usize] = true;
-            while let Some(w) = frontier.pop_front() {
-                for g in 1..=gens {
-                    let v = net.neighbor_of(w, g);
-                    if seen[v as usize] || net.faults.is_link_dead(u64::from(w), u64::from(v), g) {
-                        continue;
-                    }
-                    seen[v as usize] = true;
-                    // The same generator leads back toward dst (the
-                    // slot swap is an involution).
-                    next[v as usize] = g as u8;
-                    frontier.push_back(v);
-                }
-            }
-            next
-        });
-        let mut route = Vec::new();
-        let mut cur = u;
-        while cur != dst {
-            let g = next_gen[cur as usize];
-            if g == 0 {
-                return None;
-            }
-            route.push(g);
-            cur = net.neighbor_of(cur, g as usize);
-            debug_assert!(route.len() <= net.node_count, "reroute cycle");
-        }
-        Some(route)
+    fn has_credit(&self, v: u32) -> bool {
+        self.pool.is_none_or(|pool| {
+            u64::from(self.node_occ[v as usize]) + u64::from(self.reserved[v as usize]) < pool
+        })
     }
 
-    /// Places a packet (known not to be at its destination) onto the
-    /// output queue its route names next, handling faults and queue
-    /// capacity.
+    /// Places a packet (known not to be at its destination) onto an
+    /// output queue: the one its route names next, or the adaptive
+    /// pick — handling faults and queue capacity.
     fn enqueue_next(&mut self, pid: PacketId, round: u32) {
         let p = pid as usize;
         let u = self.pkts[p].cur;
-        let pos = self.pkts[p].route_pos as usize;
-        debug_assert!(
-            pos < self.pkts[p].route.len(),
-            "route exhausted before destination"
-        );
-        let mut g = self.pkts[p].route[pos] as usize;
-        let mut v = self.net.neighbor_of(u, g);
-        if self.net.faults.is_link_dead(u64::from(u), u64::from(v), g) {
-            match self.net.faults.policy() {
-                FaultPolicy::Drop => {
-                    self.resolve(pid, round, PacketOutcome::DroppedFault { round });
-                    return;
-                }
-                FaultPolicy::Reroute => {
-                    let dst = self.pkts[p].dst;
-                    match self.reroute(u, dst) {
-                        Some(route) => {
-                            g = route[0] as usize;
-                            v = self.net.neighbor_of(u, g);
-                            self.pkts[p].route = route;
-                            self.pkts[p].route_pos = 0;
-                        }
-                        None => {
-                            self.resolve(pid, round, PacketOutcome::DroppedUnreachable { round });
-                            return;
-                        }
-                    }
-                }
+        let mut occ = [0u32; MAX_GENS];
+        if self.pkts[p].adaptive {
+            let base = u as usize * self.gens;
+            for (i, slot) in occ[..self.gens].iter_mut().enumerate() {
+                *slot = self.queues[base + i].len() as u32;
             }
         }
-        let _ = v;
-        let qi = u as usize * self.gens + (g - 1);
-        if let Some(cap) = self.net.config.queue_capacity {
-            if self.queues[qi].len() >= cap as usize {
-                self.resolve(pid, round, PacketOutcome::DroppedOverflow { round });
+        let g = match select_generator(
+            self.net,
+            self.faulty,
+            &mut self.pkts,
+            &mut self.reroute_memo,
+            pid,
+            &occ[..self.gens],
+        ) {
+            Ok(g) => g,
+            Err(HopFail::Fault) => {
+                self.resolve(pid, round, PacketOutcome::DroppedFault { round });
                 return;
+            }
+            Err(HopFail::Unreachable) => {
+                self.resolve(pid, round, PacketOutcome::DroppedUnreachable { round });
+                return;
+            }
+        };
+        let qi = u as usize * self.gens + (g - 1);
+        if self.net.config.flow_control == FlowControl::TailDrop {
+            if let Some(cap) = self.net.config.queue_capacity {
+                if self.queues[qi].len() >= cap as usize {
+                    self.resolve(pid, round, PacketOutcome::DroppedOverflow { round });
+                    return;
+                }
             }
         }
         self.queues[qi].push_back(pid);
         self.total_queued += 1;
-        self.peak_edge = self.peak_edge.max(self.queues[qi].len() as u64);
+        self.counters.peak_edge = self.counters.peak_edge.max(self.queues[qi].len() as u64);
         self.node_occ[u as usize] += 1;
-        self.peak_node = self.peak_node.max(u64::from(self.node_occ[u as usize]));
+        self.counters.peak_node = self
+            .counters
+            .peak_node
+            .max(u64::from(self.node_occ[u as usize]));
     }
 
     fn run(mut self) -> TrafficStats {
@@ -368,90 +736,502 @@ impl<'a> Sim<'a> {
         let mut round: u32 = 0;
         while self.resolved < total {
             if round >= self.net.config.max_rounds {
-                for pid in 0..total {
-                    if self.outcomes[pid].is_none() {
-                        self.outcomes[pid] = Some(PacketOutcome::Stranded);
-                        self.resolved += 1;
-                    }
-                }
+                strand_remaining(&mut self.outcomes, &mut self.resolved);
                 break;
             }
+            let mut progress = false;
             // 1. Arrivals.
             let slot = round as usize % self.lanes;
             let arrived = std::mem::take(&mut self.arrivals[slot]);
+            self.in_flight -= arrived.len();
             for pid in arrived {
+                progress = true;
                 let p = pid as usize;
                 if self.pkts[p].cur == self.pkts[p].dst {
                     let hops = self.pkts[p].hops;
                     self.resolve(pid, round, PacketOutcome::Delivered { round, hops });
                 } else {
+                    if self.pool.is_some() {
+                        // The reservation taken at forward time turns
+                        // into real occupancy (or is released if the
+                        // enqueue drops on a fault).
+                        self.reserved[self.pkts[p].cur as usize] -= 1;
+                    }
                     self.enqueue_next(pid, round);
                 }
             }
-            // 2. Injections.
+            // 2. Injections: stalled retries first (FIFO), then this
+            // round's workload.
+            for _ in 0..self.stalled.len() {
+                let pid = self.stalled.pop_front().expect("len checked");
+                let src = self.pkts[pid as usize].cur;
+                if self.has_credit(src) {
+                    self.enqueue_next(pid, round);
+                    progress = true;
+                } else {
+                    self.stalled.push_back(pid);
+                }
+            }
             while inj_ptr < total && self.inj[inj_ptr].round <= round {
                 let pid = inj_ptr as PacketId;
                 let i = &self.inj[inj_ptr];
                 inj_ptr += 1;
-                if self.net.faults.is_node_dead(i.src) {
+                if self.faulty && self.net.faults.is_node_dead(i.src) {
                     self.resolve(pid, round, PacketOutcome::DroppedFault { round });
+                    progress = true;
                 } else if i.src == i.dst {
                     self.resolve(pid, round, PacketOutcome::Delivered { round, hops: 0 });
+                    progress = true;
+                } else if !self.has_credit(i.src as u32) {
+                    self.stalled.push_back(pid);
                 } else {
                     self.enqueue_next(pid, round);
+                    progress = true;
                 }
             }
-            // 3. Arbitration: one flit per link per round.
+            // 3. Arbitration: one flit per link per round, scanning
+            // every queue in index order.
             for qi in 0..self.queues.len() {
-                if let Some(pid) = self.queues[qi].pop_front() {
+                let Some(&pid) = self.queues[qi].front() else {
+                    continue;
+                };
+                let v = self.net.neighbor[qi];
+                let p = pid as usize;
+                if self.pool.is_some() {
+                    // Final hops need no downstream buffer: delivery
+                    // consumes the ejection port, not a credit.
+                    let final_hop = self.pkts[p].dst == v;
+                    if !final_hop {
+                        if !self.has_credit(v) {
+                            continue; // head stalls for credit
+                        }
+                        self.reserved[v as usize] += 1;
+                    }
+                }
+                self.queues[qi].pop_front();
+                let u = qi / self.gens;
+                self.total_queued -= 1;
+                self.node_occ[u] -= 1;
+                self.pkts[p].cur = v;
+                self.pkts[p].hops += 1;
+                self.pkts[p].route_pos += 1;
+                self.counters.forwarded += 1;
+                progress = true;
+                let land = (round as usize + latency) % self.lanes;
+                self.arrivals[land].push(pid);
+                self.in_flight += 1;
+            }
+            // 4. Wait + stall accounting.
+            self.counters.total_wait_rounds += self.total_queued;
+            self.counters.injection_stall_rounds += self.stalled.len() as u64;
+            // Credit deadlock: no event fired, nothing in flight, no
+            // workload left — the state is a fixed point, so the
+            // survivors can never move again.
+            if !progress && self.in_flight == 0 && inj_ptr == total && self.resolved < total {
+                strand_remaining(&mut self.outcomes, &mut self.resolved);
+                break;
+            }
+            round += 1;
+        }
+        finish(self.net, self.inj, &self.outcomes, self.counters)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast engine: worklist + slab ring buffers + batched arrivals.
+// ---------------------------------------------------------------------
+
+/// Flits per slab page. Small enough that near-empty queues waste
+/// little, big enough that a busy queue touches one page per ~16 ops.
+const PAGE: usize = 16;
+const NO_PAGE: u32 = u32::MAX;
+
+/// Per-queue ring state inside the slab.
+#[derive(Clone, Copy)]
+struct QState {
+    head: u32,
+    tail: u32,
+    head_off: u8,
+    tail_off: u8,
+    len: u32,
+}
+
+const EMPTY_Q: QState = QState {
+    head: NO_PAGE,
+    tail: NO_PAGE,
+    head_off: 0,
+    tail_off: 0,
+    len: 0,
+};
+
+/// All output queues of the network, packed into one paged slab: a
+/// flat `data` arena of `PAGE`-sized chunks linked through `next`,
+/// recycled through a free list. Pushing and popping never allocate
+/// once the arena has grown to the high-water mark, and queue storage
+/// is dense in memory — the "flat slab-allocated ring buffers"
+/// replacing the reference engine's per-queue `VecDeque`s.
+struct SlabQueues {
+    data: Vec<PacketId>,
+    next: Vec<u32>,
+    free: Vec<u32>,
+    q: Vec<QState>,
+}
+
+impl SlabQueues {
+    fn new(queues: usize) -> Self {
+        SlabQueues {
+            data: Vec::new(),
+            next: Vec::new(),
+            free: Vec::new(),
+            q: vec![EMPTY_Q; queues],
+        }
+    }
+
+    fn alloc_page(&mut self) -> u32 {
+        if let Some(p) = self.free.pop() {
+            self.next[p as usize] = NO_PAGE;
+            return p;
+        }
+        let p = (self.data.len() / PAGE) as u32;
+        self.data.resize(self.data.len() + PAGE, 0);
+        self.next.push(NO_PAGE);
+        p
+    }
+
+    fn push(&mut self, qi: usize, pid: PacketId) {
+        let mut q = self.q[qi];
+        if q.tail == NO_PAGE {
+            let pg = self.alloc_page();
+            q = QState {
+                head: pg,
+                tail: pg,
+                head_off: 0,
+                tail_off: 0,
+                len: 0,
+            };
+        } else if q.tail_off as usize == PAGE {
+            let pg = self.alloc_page();
+            self.next[q.tail as usize] = pg;
+            q.tail = pg;
+            q.tail_off = 0;
+        }
+        self.data[q.tail as usize * PAGE + q.tail_off as usize] = pid;
+        q.tail_off += 1;
+        q.len += 1;
+        self.q[qi] = q;
+    }
+
+    fn front(&self, qi: usize) -> Option<PacketId> {
+        let q = self.q[qi];
+        (q.len > 0).then(|| self.data[q.head as usize * PAGE + q.head_off as usize])
+    }
+
+    fn pop(&mut self, qi: usize) -> PacketId {
+        let mut q = self.q[qi];
+        debug_assert!(q.len > 0, "pop from empty queue");
+        let pid = self.data[q.head as usize * PAGE + q.head_off as usize];
+        q.head_off += 1;
+        q.len -= 1;
+        if q.len == 0 {
+            debug_assert_eq!(q.head, q.tail);
+            self.free.push(q.head);
+            q = EMPTY_Q;
+        } else if q.head_off as usize == PAGE {
+            let nxt = self.next[q.head as usize];
+            self.free.push(q.head);
+            q.head = nxt;
+            q.head_off = 0;
+        }
+        self.q[qi] = q;
+        pid
+    }
+
+    #[inline]
+    fn len(&self, qi: usize) -> u32 {
+        self.q[qi].len
+    }
+}
+
+/// One fast run's mutable state.
+struct FastSim<'a> {
+    net: &'a Network,
+    gens: usize,
+    lanes: usize,
+    inj: &'a [Injection],
+    pkts: Vec<SimPacket>,
+    outcomes: Vec<Option<PacketOutcome>>,
+    qs: SlabQueues,
+    /// Occupancy-bitmap worklist: bit `qi` is set iff queue `qi` is
+    /// non-empty. Arbitration scans words and skips zeros, visiting
+    /// exactly the non-empty queues in ascending index order — the
+    /// reference engine's scan order — with no per-round sorting.
+    active_bits: Vec<u64>,
+    node_occ: Vec<u32>,
+    reserved: Vec<u32>,
+    /// Arrival batches keyed by landing round, one lane per possible
+    /// in-flight round (`link_latency + 1`).
+    arrivals: Vec<Vec<PacketId>>,
+    arrival_round: Vec<u32>,
+    in_flight: usize,
+    stalled: VecDeque<PacketId>,
+    reroute_memo: HashMap<u32, Vec<u8>>,
+    resolved: usize,
+    total_queued: u64,
+    pool: Option<u64>,
+    /// Cached `!faults.is_empty()`: skips the per-hop fault lookups
+    /// entirely on a clean network.
+    faulty: bool,
+    counters: RunCounters,
+}
+
+impl<'a> FastSim<'a> {
+    fn new(net: &'a Network, inj: &'a [Injection], routes: Vec<Vec<u8>>, adaptive: bool) -> Self {
+        let gens = net.n - 1;
+        let lanes = net.config.link_latency as usize + 1;
+        let queues = net.node_count * gens;
+        FastSim {
+            net,
+            gens,
+            lanes,
+            inj,
+            pkts: make_packets(inj, routes, adaptive),
+            outcomes: vec![None; inj.len()],
+            qs: SlabQueues::new(queues),
+            active_bits: vec![0; queues.div_ceil(64)],
+            node_occ: vec![0; net.node_count],
+            reserved: vec![0; net.node_count],
+            arrivals: vec![Vec::new(); lanes],
+            arrival_round: vec![0; lanes],
+            in_flight: 0,
+            stalled: VecDeque::new(),
+            reroute_memo: HashMap::new(),
+            resolved: 0,
+            total_queued: 0,
+            pool: net.credit_pool(),
+            faulty: !net.faults.is_empty(),
+            counters: RunCounters::default(),
+        }
+    }
+
+    fn resolve(&mut self, pid: PacketId, round: u32, outcome: PacketOutcome) {
+        debug_assert!(self.outcomes[pid as usize].is_none(), "double resolution");
+        self.outcomes[pid as usize] = Some(outcome);
+        self.resolved += 1;
+        self.counters.last_event = self.counters.last_event.max(round);
+    }
+
+    fn has_credit(&self, v: u32) -> bool {
+        self.pool.is_none_or(|pool| {
+            u64::from(self.node_occ[v as usize]) + u64::from(self.reserved[v as usize]) < pool
+        })
+    }
+
+    /// Enqueues `pid` on queue `qi`, keeping the worklist invariant:
+    /// bit `qi` is set iff queue `qi` is non-empty.
+    fn push_queue(&mut self, qi: usize, pid: PacketId) {
+        self.qs.push(qi, pid);
+        self.active_bits[qi / 64] |= 1u64 << (qi % 64);
+    }
+
+    /// Mirror of [`ReferenceSim::enqueue_next`] on the slab queues.
+    fn enqueue_next(&mut self, pid: PacketId, round: u32) {
+        let p = pid as usize;
+        let u = self.pkts[p].cur;
+        let mut occ = [0u32; MAX_GENS];
+        if self.pkts[p].adaptive {
+            let base = u as usize * self.gens;
+            for (i, slot) in occ[..self.gens].iter_mut().enumerate() {
+                *slot = self.qs.len(base + i);
+            }
+        }
+        let g = match select_generator(
+            self.net,
+            self.faulty,
+            &mut self.pkts,
+            &mut self.reroute_memo,
+            pid,
+            &occ[..self.gens],
+        ) {
+            Ok(g) => g,
+            Err(HopFail::Fault) => {
+                self.resolve(pid, round, PacketOutcome::DroppedFault { round });
+                return;
+            }
+            Err(HopFail::Unreachable) => {
+                self.resolve(pid, round, PacketOutcome::DroppedUnreachable { round });
+                return;
+            }
+        };
+        let qi = u as usize * self.gens + (g - 1);
+        if self.net.config.flow_control == FlowControl::TailDrop {
+            if let Some(cap) = self.net.config.queue_capacity {
+                if self.qs.len(qi) >= cap {
+                    self.resolve(pid, round, PacketOutcome::DroppedOverflow { round });
+                    return;
+                }
+            }
+        }
+        self.push_queue(qi, pid);
+        self.total_queued += 1;
+        self.counters.peak_edge = self.counters.peak_edge.max(u64::from(self.qs.len(qi)));
+        self.node_occ[u as usize] += 1;
+        self.counters.peak_node = self
+            .counters
+            .peak_node
+            .max(u64::from(self.node_occ[u as usize]));
+    }
+
+    fn run(mut self, mut trace: Option<&mut Vec<Vec<HopRecord>>>) -> TrafficStats {
+        let total = self.inj.len();
+        let latency = self.net.config.link_latency as usize;
+        let max_rounds = self.net.config.max_rounds;
+        let mut inj_ptr = 0usize;
+        let mut round: u32 = 0;
+        while self.resolved < total {
+            if round >= max_rounds {
+                strand_remaining(&mut self.outcomes, &mut self.resolved);
+                break;
+            }
+            let mut progress = false;
+            // 1. Arrivals: drain this round's batch. The batch was
+            // filled in ascending forwarding-queue order, which is
+            // exactly the order the reference engine lands flits in.
+            let slot = round as usize % self.lanes;
+            if !self.arrivals[slot].is_empty() {
+                debug_assert_eq!(self.arrival_round[slot], round, "lane landed early/late");
+                let arrived = std::mem::take(&mut self.arrivals[slot]);
+                self.in_flight -= arrived.len();
+                for pid in arrived {
+                    progress = true;
+                    let p = pid as usize;
+                    if self.pkts[p].cur == self.pkts[p].dst {
+                        let hops = self.pkts[p].hops;
+                        self.resolve(pid, round, PacketOutcome::Delivered { round, hops });
+                    } else {
+                        if self.pool.is_some() {
+                            self.reserved[self.pkts[p].cur as usize] -= 1;
+                        }
+                        self.enqueue_next(pid, round);
+                    }
+                }
+            }
+            // 2. Injections: stalled retries first (FIFO), then this
+            // round's workload.
+            for _ in 0..self.stalled.len() {
+                let pid = self.stalled.pop_front().expect("len checked");
+                let src = self.pkts[pid as usize].cur;
+                if self.has_credit(src) {
+                    self.enqueue_next(pid, round);
+                    progress = true;
+                } else {
+                    self.stalled.push_back(pid);
+                }
+            }
+            while inj_ptr < total && self.inj[inj_ptr].round <= round {
+                let pid = inj_ptr as PacketId;
+                let i = &self.inj[inj_ptr];
+                inj_ptr += 1;
+                if self.faulty && self.net.faults.is_node_dead(i.src) {
+                    self.resolve(pid, round, PacketOutcome::DroppedFault { round });
+                    progress = true;
+                } else if i.src == i.dst {
+                    self.resolve(pid, round, PacketOutcome::Delivered { round, hops: 0 });
+                    progress = true;
+                } else if !self.has_credit(i.src as u32) {
+                    self.stalled.push_back(pid);
+                } else {
+                    self.enqueue_next(pid, round);
+                    progress = true;
+                }
+            }
+            // 3. Arbitration over the occupancy bitmap: visit exactly
+            // the non-empty queues in ascending index order (the
+            // reference scan order). Enqueues only happen in phases
+            // 1–2, so no bit is set during this pass; a queue that
+            // drains clears its bit, a credit-stalled head keeps it.
+            let land = (round as usize + latency) % self.lanes;
+            for wi in 0..self.active_bits.len() {
+                let mut word = self.active_bits[wi];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let qi = wi * 64 + bit;
+                    let pid = self.qs.front(qi).expect("worklist queues are non-empty");
+                    let v = self.net.neighbor[qi];
+                    let p = pid as usize;
+                    if self.pool.is_some() {
+                        let final_hop = self.pkts[p].dst == v;
+                        if !final_hop {
+                            if !self.has_credit(v) {
+                                continue; // head stalls for credit, bit stays
+                            }
+                            self.reserved[v as usize] += 1;
+                        }
+                    }
+                    self.qs.pop(qi);
                     let u = qi / self.gens;
                     self.total_queued -= 1;
                     self.node_occ[u] -= 1;
-                    let v = self.net.neighbor[qi];
-                    let p = pid as usize;
                     self.pkts[p].cur = v;
                     self.pkts[p].hops += 1;
                     self.pkts[p].route_pos += 1;
-                    self.forwarded += 1;
-                    let land = (round as usize + latency) % self.lanes;
+                    self.counters.forwarded += 1;
+                    progress = true;
+                    if let Some(traces) = trace.as_deref_mut() {
+                        traces[p].push(HopRecord {
+                            from: u as u64,
+                            gen: (qi % self.gens + 1) as u8,
+                            to: u64::from(v),
+                            round,
+                        });
+                    }
                     self.arrivals[land].push(pid);
+                    self.in_flight += 1;
+                    if self.qs.len(qi) == 0 {
+                        self.active_bits[wi] &= !(1u64 << bit);
+                    }
                 }
             }
-            // 4. Wait accounting.
-            self.total_wait_rounds += self.total_queued;
-            round += 1;
+            if !self.arrivals[land].is_empty() {
+                self.arrival_round[land] = round + latency as u32;
+            }
+            // 4. Wait + stall accounting, deadlock detection.
+            self.counters.total_wait_rounds += self.total_queued;
+            self.counters.injection_stall_rounds += self.stalled.len() as u64;
+            if !progress && self.in_flight == 0 && inj_ptr == total && self.resolved < total {
+                strand_remaining(&mut self.outcomes, &mut self.resolved);
+                break;
+            }
+            // Idle skip: with nothing queued and nothing stalled,
+            // rounds pass eventlessly until the next injection or
+            // landing — jump straight there. Unobservable in the
+            // stats: idle rounds accrue zero wait, and the stalled
+            // guard keeps injection_stall_rounds accounting exact
+            // (a stalled packet is charged every round even when the
+            // pool is held only by in-flight reservations).
+            round = if self.total_queued == 0 && self.stalled.is_empty() && self.resolved < total {
+                let next_inj = (inj_ptr < total).then(|| self.inj[inj_ptr].round);
+                let next_arr = (0..self.lanes)
+                    .filter(|&s| !self.arrivals[s].is_empty())
+                    .map(|s| self.arrival_round[s])
+                    .min();
+                match next_inj.into_iter().chain(next_arr).min() {
+                    Some(t) => t.clamp(round + 1, max_rounds),
+                    None => max_rounds,
+                }
+            } else {
+                round + 1
+            };
         }
-
-        let records: Vec<PacketRecord> = self
-            .inj
-            .iter()
-            .zip(&self.outcomes)
-            .map(|(i, o)| PacketRecord {
-                src: i.src,
-                dst: i.dst,
-                inject_round: i.round,
-                outcome: o.expect("all packets resolved"),
-            })
-            .collect();
-        TrafficStats::from_records(
-            self.net.n,
-            records,
-            self.last_event,
-            self.total_wait_rounds,
-            self.peak_edge,
-            self.peak_node,
-            self.forwarded,
-        )
+        finish(self.net, self.inj, &self.outcomes, self.counters)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::routing::{EmbeddingRouting, GreedyRouting};
+    use crate::routing::{AdaptiveRouting, EmbeddingRouting, GreedyRouting};
     use sg_perm::lehmer::rank;
-    use sg_perm::Perm;
-    use sg_star::distance::distance;
 
     #[test]
     fn single_packet_latency_equals_distance() {
@@ -533,6 +1313,8 @@ mod tests {
 
     #[test]
     fn self_send_delivers_instantly() {
+        // Also exercises the fast engine's idle-round skip: nothing
+        // happens until round 4.
         let net = Network::new(3);
         let w = Workload::from_injections(
             "self",
@@ -547,6 +1329,7 @@ mod tests {
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.makespan, 4);
         assert_eq!(stats.sum_latency, 0);
+        assert_eq!(stats, net.run_with(&w, &GreedyRouting, Engine::Reference));
     }
 
     #[test]
@@ -571,6 +1354,35 @@ mod tests {
         );
         assert_eq!(stats.delivered + stats.dropped_overflow, 3);
         assert!(stats.dropped_overflow >= 1, "capacity 1 must tail-drop");
+    }
+
+    #[test]
+    fn credit_flow_stalls_instead_of_dropping() {
+        // The same over-capacity burst under credit-based flow
+        // control: no drops, everything delivered late.
+        let id = Perm::identity(3);
+        let dst = id.with_slots_swapped(0, 1);
+        let injections: Vec<Injection> = (0..6)
+            .map(|_| Injection {
+                round: 0,
+                src: rank(&id),
+                dst: rank(&dst),
+            })
+            .collect();
+        let w = Workload::from_injections("burst", 3, injections);
+        let net = Network::new(3).with_config(NetConfig {
+            queue_capacity: Some(1),
+            flow_control: FlowControl::CreditBased,
+            ..NetConfig::default()
+        });
+        let stats = net.run(&w, &GreedyRouting);
+        assert_eq!(stats.dropped(), 0, "credits never drop");
+        assert_eq!(stats.delivered, 6);
+        assert!(
+            stats.injection_stall_rounds > 0,
+            "a 6-packet burst into a 2-slot pool must stall at the source"
+        );
+        assert_eq!(stats, net.run_with(&w, &GreedyRouting, Engine::Reference));
     }
 
     #[test]
@@ -663,5 +1475,90 @@ mod tests {
         assert_eq!(e.delivered, e.injected);
         // Greedy routes are never longer than embedding routes.
         assert!(g.forwarded_flits <= e.forwarded_flits);
+    }
+
+    #[test]
+    fn adaptive_routing_is_minimal_without_contention_or_faults() {
+        // One lone packet: adaptive must take a shortest path — same
+        // flit count and latency as greedy.
+        let n = 5;
+        let net = Network::new(n);
+        for seed in 0..4u64 {
+            let w = Workload::uniform_pairs(n, 1, seed);
+            let a = net.run(&w, &AdaptiveRouting);
+            let g = net.run(&w, &GreedyRouting);
+            assert_eq!(a.forwarded_flits, g.forwarded_flits, "seed {seed}");
+            assert_eq!(a.sum_latency, g.sum_latency, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_contended_uniform_traffic() {
+        let net = Network::new(4);
+        let w = Workload::bernoulli_uniform(4, 5, 80, 0xABBA);
+        let fast = net.run_with(&w, &GreedyRouting, Engine::Fast);
+        let reference = net.run_with(&w, &GreedyRouting, Engine::Reference);
+        assert_eq!(fast, reference);
+        assert!(fast.total_wait_rounds > 0, "the case must exercise queues");
+    }
+
+    #[test]
+    fn max_rounds_strands_in_both_engines() {
+        let w = Workload::hot_spot(4, 0, 100, 7);
+        let net = Network::new(4).with_config(NetConfig {
+            max_rounds: 2,
+            ..NetConfig::default()
+        });
+        let fast = net.run_with(&w, &GreedyRouting, Engine::Fast);
+        assert!(fast.stranded > 0, "2 rounds cannot drain a hot spot");
+        assert_eq!(
+            fast.delivered + fast.stranded + fast.dropped(),
+            fast.injected
+        );
+        assert_eq!(fast, net.run_with(&w, &GreedyRouting, Engine::Reference));
+    }
+
+    #[test]
+    fn run_traced_records_every_forwarded_flit() {
+        let net = Network::new(4);
+        let w = Workload::random_permutation(4, 21);
+        let (stats, traces) = net.run_traced(&w, &GreedyRouting);
+        let hops: u64 = traces.iter().map(|t| t.len() as u64).sum();
+        assert_eq!(hops, stats.forwarded_flits);
+        for (rec, tr) in stats.packets.iter().zip(&traces) {
+            assert_eq!(tr.first().map(|h| h.from), Some(rec.src));
+            assert_eq!(tr.last().map(|h| h.to), Some(rec.dst));
+            for pair in tr.windows(2) {
+                assert_eq!(pair[0].to, pair[1].from, "trace must chain");
+                assert!(pair[0].round < pair[1].round, "hops take time");
+            }
+        }
+    }
+
+    #[test]
+    fn slab_queue_fifo_across_pages() {
+        let mut qs = SlabQueues::new(2);
+        // Interleave two queues well past one page each.
+        for i in 0..100u32 {
+            qs.push(0, i);
+            qs.push(1, 1000 + i);
+        }
+        assert_eq!(qs.len(0), 100);
+        for i in 0..100u32 {
+            assert_eq!(qs.front(0), Some(i));
+            assert_eq!(qs.pop(0), i);
+            assert_eq!(qs.pop(1), 1000 + i);
+        }
+        assert_eq!(qs.len(0), 0);
+        assert_eq!(qs.front(0), None);
+        // Freed pages are recycled: push again and drain in order.
+        let pages_before = qs.next.len();
+        for i in 0..50u32 {
+            qs.push(0, i * 3);
+        }
+        for i in 0..50u32 {
+            assert_eq!(qs.pop(0), i * 3);
+        }
+        assert_eq!(qs.next.len(), pages_before, "no new pages allocated");
     }
 }

@@ -78,6 +78,23 @@ impl PacketRecord {
     }
 }
 
+/// One forwarded flit hop, as recorded by
+/// [`crate::Network::run_traced`]. A packet's trace lists every link
+/// it traversed, in order — the ground truth the adaptive-routing
+/// validity suite checks against the surviving subgraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// PE the flit left (Lehmer rank).
+    pub from: u64,
+    /// Generator link taken (`1 ≤ g < n`).
+    pub gen: u8,
+    /// PE the flit was forwarded to (Lehmer rank).
+    pub to: u64,
+    /// Round the flit left `from`; it lands
+    /// [`crate::NetConfig::link_latency`] rounds later.
+    pub round: u32,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

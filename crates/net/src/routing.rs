@@ -1,8 +1,8 @@
-//! Pluggable source routing policies.
+//! Pluggable routing policies.
 //!
 //! A [`RoutingPolicy`] maps a `(src, dst)` pair of star nodes to the
 //! generator sequence the packet will follow; the [`crate::Network`]
-//! charges contention along that path. Two policies ship:
+//! charges contention along that path. Three policies ship:
 //!
 //! * [`GreedyRouting`] — the Akers–Krishnamurthy "sort the front
 //!   symbol home" shortest path of [`sg_star::routing`]; optimal in
@@ -13,6 +13,13 @@
 //!   Lemma-2 dilation-3 (or 1) path. Longer in hops, but on the
 //!   mesh-dimension-sweep workload it reproduces the paper's Lemma-5
 //!   schedule exactly — provably contention-free.
+//! * [`AdaptiveRouting`] — contention-aware: instead of fixing the
+//!   route at injection, each hop is chosen **at enqueue time** among
+//!   the shortest-path candidate generators, picking the one whose
+//!   output queue is least occupied (ties broken toward the
+//!   embedding path's order). Still minimal in hops while any
+//!   shortest-path link survives; falls back to a BFS detour over the
+//!   surviving subgraph when faults block every candidate.
 
 use sg_core::convert::convert_s_d;
 use sg_core::lemma3::{minus_swap_symbols, plus_swap_symbols};
@@ -33,6 +40,15 @@ pub trait RoutingPolicy: Sync {
     /// Generator indices (`1 ≤ g < n`) carrying `src` to `dst`.
     /// Must return an empty sequence iff `src == dst`.
     fn route(&self, src: &Perm, dst: &Perm) -> Vec<u8>;
+
+    /// `true` for policies that pick each hop at enqueue time from
+    /// live queue occupancy instead of following a fixed source
+    /// route. The engines then skip route precomputation and call
+    /// their shared hop selector per hop; [`RoutingPolicy::route`] is
+    /// only a static description of the zero-contention path.
+    fn is_adaptive(&self) -> bool {
+        false
+    }
 }
 
 /// Greedy shortest-path routing (always `distance(src, dst)` hops).
@@ -96,6 +112,40 @@ impl RoutingPolicy for EmbeddingRouting {
         }
         debug_assert_eq!(cur, *dst, "mesh walk must land on dst");
         gens
+    }
+}
+
+/// Contention-aware minimal routing, decided hop by hop.
+///
+/// At every enqueue the engines ask: which generators `g` move the
+/// packet strictly closer to its destination (there is always at
+/// least one in a fault-free star graph), and which of their output
+/// queues at the current PE is least occupied? The least-occupied
+/// surviving candidate wins; ties prefer the generator the
+/// dimension-order [`EmbeddingRouting`] path would take next, then
+/// the smallest generator index. Every adaptive hop reduces the star
+/// distance by exactly 1, so routes are minimal and provably
+/// terminate; when faults kill **all** candidate links at some PE the
+/// packet falls back to [`crate::FaultPolicy`] semantics (drop, or
+/// pin the BFS detour over the surviving subgraph and follow it to
+/// the end).
+///
+/// [`RoutingPolicy::route`] returns the greedy shortest path — the
+/// route an adaptive packet takes when it never meets contention.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveRouting;
+
+impl RoutingPolicy for AdaptiveRouting {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn route(&self, src: &Perm, dst: &Perm) -> Vec<u8> {
+        GreedyRouting.route(src, dst)
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
     }
 }
 

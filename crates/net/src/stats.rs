@@ -37,6 +37,14 @@ pub struct TrafficStats {
     /// round that forwarded each flit. Zero iff the run was
     /// contention-free.
     pub total_wait_rounds: u64,
+    /// Packet·rounds spent stalled **before** injection because the
+    /// source PE had no buffer credit (always 0 outside
+    /// [`crate::FlowControl::CreditBased`]). Stalled packets are not
+    /// in any queue yet, so this is disjoint from
+    /// [`TrafficStats::total_wait_rounds`]; it still shows up in
+    /// end-to-end latency, which is measured from the workload's
+    /// injection round.
+    pub injection_stall_rounds: u64,
     /// Peak occupancy of any single output queue.
     pub peak_edge_occupancy: u64,
     /// Peak queued packets at any single PE (all its queues summed).
@@ -106,6 +114,25 @@ impl LatencyAgg {
     }
 }
 
+/// The counters an engine tracks online during one run, handed to
+/// [`TrafficStats::from_records`] at the end. Both engines fill the
+/// same struct, so the differential suite compares like with like.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RunCounters {
+    /// Round of the last packet resolution (= makespan).
+    pub last_event: u32,
+    /// Flit·rounds spent queued.
+    pub total_wait_rounds: u64,
+    /// Packet·rounds stalled pre-injection (credit mode only).
+    pub injection_stall_rounds: u64,
+    /// Peak single-queue occupancy.
+    pub peak_edge: u64,
+    /// Peak per-PE queued total.
+    pub peak_node: u64,
+    /// Links traversed.
+    pub forwarded: u64,
+}
+
 impl TrafficStats {
     /// Builds the stats from per-packet records plus the counters the
     /// simulator tracks online. The latency histogram and outcome
@@ -114,11 +141,7 @@ impl TrafficStats {
     pub(crate) fn from_records(
         n: usize,
         packets: Vec<PacketRecord>,
-        makespan: u32,
-        total_wait_rounds: u64,
-        peak_edge_occupancy: u64,
-        peak_node_occupancy: u64,
-        forwarded_flits: u64,
+        counters: RunCounters,
     ) -> Self {
         let records = &packets;
         let agg = (0..records.len())
@@ -133,11 +156,12 @@ impl TrafficStats {
             dropped_unreachable: agg.dropped_unreachable,
             dropped_overflow: agg.dropped_overflow,
             stranded: agg.stranded,
-            makespan,
-            total_wait_rounds,
-            peak_edge_occupancy,
-            peak_node_occupancy,
-            forwarded_flits,
+            makespan: counters.last_event,
+            total_wait_rounds: counters.total_wait_rounds,
+            injection_stall_rounds: counters.injection_stall_rounds,
+            peak_edge_occupancy: counters.peak_edge,
+            peak_node_occupancy: counters.peak_node,
+            forwarded_flits: counters.forwarded,
             latency_histogram: agg.histogram,
             sum_latency: agg.sum,
             max_latency: agg.max,
@@ -251,7 +275,18 @@ mod tests {
             rec(1, PacketOutcome::DroppedOverflow { round: 2 }),
             rec(2, PacketOutcome::Stranded),
         ];
-        let s = TrafficStats::from_records(4, packets, 5, 7, 2, 3, 11);
+        let s = TrafficStats::from_records(
+            4,
+            packets,
+            RunCounters {
+                last_event: 5,
+                total_wait_rounds: 7,
+                injection_stall_rounds: 0,
+                peak_edge: 2,
+                peak_node: 3,
+                forwarded: 11,
+            },
+        );
         assert_eq!(s.injected, 5);
         assert_eq!(s.delivered, 2);
         assert_eq!(s.dropped(), 2);
@@ -272,7 +307,18 @@ mod tests {
     #[test]
     fn contention_free_requires_zero_waits() {
         let packets = vec![rec(0, PacketOutcome::Delivered { round: 3, hops: 3 })];
-        let s = TrafficStats::from_records(4, packets, 3, 0, 1, 1, 3);
+        let s = TrafficStats::from_records(
+            4,
+            packets,
+            RunCounters {
+                last_event: 3,
+                total_wait_rounds: 0,
+                injection_stall_rounds: 0,
+                peak_edge: 1,
+                peak_node: 1,
+                forwarded: 3,
+            },
+        );
         assert!(s.is_contention_free());
         assert!((s.throughput() - 1.0 / 3.0).abs() < 1e-12);
     }

@@ -180,6 +180,31 @@ impl Workload {
         Workload::from_injections(&format!("uniform({rate_pct}%)"), n, injections)
     }
 
+    /// Fixed-count uniform random traffic: exactly `pairs` packets,
+    /// each with an independently uniform source and destination
+    /// (`src ≠ dst`, redrawn on collision), all injected at round 0.
+    ///
+    /// Unlike [`Workload::bernoulli_uniform`] the generation cost is
+    /// `O(pairs)` rather than `O(n!·rounds)`, which is what the
+    /// differential suite and the engine benchmarks want: the same
+    /// traffic shape at a size chosen independently of `n!`.
+    #[must_use]
+    pub fn uniform_pairs(n: usize, pairs: usize, seed: u64) -> Self {
+        let size = factorial(n);
+        debug_assert!(size >= 2, "S_n has at least two PEs for n >= 2");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut injections = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            let src = rng.gen_range(0..size);
+            let mut dst = rng.gen_range(0..size);
+            while dst == src {
+                dst = rng.gen_range(0..size);
+            }
+            injections.push(Injection { round: 0, src, dst });
+        }
+        Workload::from_injections(&format!("pairs({pairs})"), n, injections)
+    }
+
     /// Workload name (used in tables and reports).
     #[must_use]
     pub fn name(&self) -> &str {
@@ -264,6 +289,19 @@ mod tests {
             .injections()
             .windows(2)
             .all(|w| w[0].round <= w[1].round));
+    }
+
+    #[test]
+    fn uniform_pairs_sized_and_seeded() {
+        let w = Workload::uniform_pairs(4, 100, 9);
+        assert_eq!(w.len(), 100);
+        assert!(w.injections().iter().all(|i| i.src != i.dst));
+        assert!(w.injections().iter().all(|i| i.round == 0));
+        assert_eq!(w, Workload::uniform_pairs(4, 100, 9));
+        assert_ne!(
+            w.injections(),
+            Workload::uniform_pairs(4, 100, 10).injections()
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod prelude {
     pub use sg_mesh::shape::MeshShape;
     pub use sg_mesh::shape::Sign;
     pub use sg_net::{
-        EmbeddingRouting, FaultPlan, FaultPolicy, GreedyRouting, NetConfig, Network, RoutingPolicy,
-        TrafficStats, Workload,
+        AdaptiveRouting, EmbeddingRouting, Engine, FaultPlan, FaultPolicy, FlowControl,
+        GreedyRouting, NetConfig, Network, RoutingPolicy, TrafficStats, Workload,
     };
     pub use sg_perm::{Perm, PermIter};
     pub use sg_simd::embedded::EmbeddedMeshMachine;
