@@ -12,6 +12,9 @@
 //!   uniform traffic;
 //! * a full-injection uniform sweep at `n = 8` (40 320 PEs) completes
 //!   within the CI smoke budget.
+//!
+//! Non-smoke (full) runs additionally measure the `n = 9` (362 880
+//! PEs) full-injection sweep and append it to the trajectory.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use sg_net::{EmbeddingRouting, Engine, GreedyRouting, Network, Workload};
@@ -176,11 +179,37 @@ fn engine_trajectory() {
         );
     }
 
+    // Full (non-smoke) mode only: the n = 9 measurement — 362 880
+    // PEs, ~363k packets of one full-injection round. Smoke keeps the
+    // n = 8 budget gate; this is the biggest materialized network the
+    // simulator supports and exists to track the trajectory.
+    let n9 = (!smoke()).then(|| {
+        let t = Instant::now();
+        let huge = Network::new(9);
+        let n9_build_ns = t.elapsed().as_nanos();
+        let w9 = Workload::bernoulli_uniform(9, 1, 100, 0xBEEF);
+        let t = Instant::now();
+        let s9 = huge.run(&w9, &GreedyRouting);
+        let n9_sweep_ns = t.elapsed().as_nanos();
+        assert_eq!(s9.delivered, s9.injected, "uniform traffic is lossless");
+        println!(
+            "n=9 full-injection sweep: {} packets, {} rounds, build {:.2}s, run {:.2}s",
+            s9.injected,
+            s9.makespan,
+            n9_build_ns as f64 / 1e9,
+            n9_sweep_ns as f64 / 1e9
+        );
+        (s9.injected, n9_build_ns, n9_sweep_ns)
+    });
+
     // One trajectory line per run, appended at the workspace root.
+    let n9_fields = n9
+        .map(|(p, b, s)| format!(",\"n9_packets\":{p},\"n9_build_ns\":{b},\"n9_sweep_ns\":{s}"))
+        .unwrap_or_default();
     let entry = format!(
         "{{\"bench\":\"traffic\",\"mode\":\"{}\",\"compare_n\":{n_cmp},\
          \"fast_ns\":{fast_ns},\"reference_ns\":{ref_ns},\"speedup\":{speedup:.3},\
-         \"n8_packets\":{},\"n8_build_ns\":{build_ns},\"n8_sweep_ns\":{sweep_ns}}}\n",
+         \"n8_packets\":{},\"n8_build_ns\":{build_ns},\"n8_sweep_ns\":{sweep_ns}{n9_fields}}}\n",
         if smoke() { "smoke" } else { "full" },
         stats.injected,
     );

@@ -1,7 +1,8 @@
 //! Offline stand-in for the `rayon` adapters this workspace uses:
 //! `(a..b).into_par_iter().map(f).collect::<C>()`, the same with
-//! `filter_map`, and the `fold(..).reduce(..)` pair for parallel
-//! aggregation. Work really is fanned out across OS threads
+//! `filter_map`, the `fold(..).reduce(..)` pair for parallel
+//! aggregation, and the [`ParallelSlice::par_chunks`] slice adapter.
+//! Work really is fanned out across OS threads
 //! (`std::thread::scope`, one chunk per available core), and results
 //! are recombined **in input order**, matching rayon's indexed-collect
 //! semantics. `fold` produces one partial accumulator per chunk
@@ -37,6 +38,29 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
     fn into_par_iter(self) -> ParIter<T> {
         ParIter { items: self }
+    }
+}
+
+/// Slices convertible into a parallel iterator over fixed-size
+/// chunks — rayon's `par_chunks` adapter. Each item is a `&[T]`
+/// sub-slice of at most `chunk_size` elements (the last chunk may be
+/// shorter), yielded in slice order, so
+/// `data.par_chunks(c).map(f).collect()` equals
+/// `data.chunks(c).map(f).collect()` for any pure `f`.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into contiguous chunks of at most `chunk_size` items.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is 0.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
     }
 }
 
@@ -205,7 +229,7 @@ where
 
 /// The conventional glob-import surface.
 pub mod prelude {
-    pub use crate::IntoParallelIterator;
+    pub use crate::{IntoParallelIterator, ParallelSlice};
 }
 
 #[cfg(test)]
@@ -297,6 +321,35 @@ mod tests {
             .fold(|| 0u32, |a, _| a + 1)
             .reduce(|| 0, |a, b| a + b);
         assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential_chunks() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let sums: Vec<u64> = data.par_chunks(97).map(|c| c.iter().sum::<u64>()).collect();
+        let expect: Vec<u64> = data.chunks(97).map(|c| c.iter().sum::<u64>()).collect();
+        assert_eq!(sums, expect);
+        // Chunk boundaries are preserved: re-concatenation round-trips.
+        let cat: Vec<u64> = data
+            .par_chunks(1000)
+            .map(<[u64]>::to_vec)
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(cat, data);
+    }
+
+    #[test]
+    fn par_chunks_edge_sizes() {
+        let data = [1u32, 2, 3];
+        // Oversized chunk: one slice with everything.
+        let whole: Vec<Vec<u32>> = data.par_chunks(64).map(<[u32]>::to_vec).collect();
+        assert_eq!(whole, vec![vec![1, 2, 3]]);
+        // Size 1: one slice per element.
+        let singles: Vec<u32> = data.par_chunks(1).map(|c| c[0]).collect();
+        assert_eq!(singles, vec![1, 2, 3]);
+        // Empty slice: no chunks at all.
+        let empty: Vec<Vec<u32>> = [].par_chunks(4).map(<[u32]>::to_vec).collect();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   validity behind Theorem 6) and static edge-congestion metrics;
 //! * [`embedding`] — the generic §3.1 embedding framework (vertex
 //!   maps, edge-to-path maps, expansion/dilation/congestion);
-//! * [`fig4`] — the worked example of Figure 4.
+//! * [`fig4`] — the worked example of Figure 4;
+//! * [`tenancy`] — the embedding relabeled into a sub-star of a
+//!   larger host (`D_m` onto an order-`m` sub-star of `S_n`), the
+//!   vertex mapping behind multi-tenant scheduling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod embedding;
 pub mod fig4;
 pub mod lemma3;
 pub mod paths;
+pub mod tenancy;
 
 pub use convert::{convert_d_s, convert_s_d};
 pub use embedding::{Embedding, EmbeddingMetrics};

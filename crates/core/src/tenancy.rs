@@ -1,0 +1,121 @@
+//! The paper's embedding, relabeled into a sub-star.
+//!
+//! `S_n` decomposes recursively into node-disjoint copies of smaller
+//! stars ([`sg_star::substar::SubStar`]), and each order-`m` copy is
+//! isomorphic to `S_m` through [`SubStar::project`]/[`SubStar::lift`].
+//! Composing that isomorphism with `CONVERT-D-S` embeds the mesh
+//! `D_m = 2 × 3 × ⋯ × m` into the sub-star with expansion 1 and the
+//! same dilation-3 edge paths as Theorem 6 — every tenant of a
+//! multi-job `S_n` gets the full paper embedding on its own slice of
+//! the machine, using only generators `g_1 … g_{m−1}`, which never
+//! leave the sub-star.
+
+use crate::convert::{convert_d_s, convert_s_d};
+use sg_mesh::dn::DnMesh;
+use sg_mesh::MeshPoint;
+use sg_perm::lehmer::{rank, unrank};
+use sg_perm::Perm;
+use sg_star::substar::SubStar;
+
+/// Maps a node of `D_m` onto the order-`m` sub-star: `CONVERT-D-S`
+/// in local coordinates, lifted to the host `S_n`.
+///
+/// # Panics
+/// Panics if `d` has the wrong number of dimensions for the
+/// sub-star's order.
+#[must_use]
+pub fn mesh_to_substar(sub: &SubStar, d: &MeshPoint) -> Perm {
+    assert_eq!(
+        d.dims() + 1,
+        sub.order(),
+        "mesh D_{} does not fill an order-{} sub-star",
+        d.dims() + 1,
+        sub.order()
+    );
+    sub.lift(&convert_d_s(d))
+}
+
+/// Inverse of [`mesh_to_substar`]: recovers the mesh coordinates of a
+/// sub-star node.
+///
+/// # Panics
+/// Panics unless `p` lies in the sub-star.
+#[must_use]
+pub fn substar_to_mesh(sub: &SubStar, p: &Perm) -> MeshPoint {
+    convert_s_d(&sub.project(p))
+}
+
+/// [`mesh_to_substar`] on indices: mesh index of `D_m` (row-major,
+/// [`DnMesh::point_at`] order) → global Lehmer rank in `S_n`.
+///
+/// # Panics
+/// Panics if `idx` is out of range for `D_m`.
+#[must_use]
+pub fn mesh_rank_to_substar(sub: &SubStar, idx: u64) -> u64 {
+    let dn = DnMesh::new(sub.order());
+    rank(&mesh_to_substar(sub, &dn.point_at(idx)))
+}
+
+/// [`substar_to_mesh`] on indices: global Lehmer rank → mesh index.
+///
+/// # Panics
+/// Panics unless the rank lies in the sub-star.
+#[must_use]
+pub fn substar_rank_to_mesh(sub: &SubStar, r: u64) -> u64 {
+    let dn = DnMesh::new(sub.order());
+    dn.index_of(&substar_to_mesh(
+        sub,
+        &unrank(r, sub.n()).expect("rank in range"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_perm::factorial::factorial;
+    use sg_star::distance::distance;
+    use sg_star::substar::substars_of_order;
+
+    #[test]
+    fn relabeled_embedding_is_a_bijection_onto_the_substar() {
+        let n = 5;
+        for m in 2..=4usize {
+            for sub in substars_of_order(n, m).iter().step_by(3) {
+                let mut seen = std::collections::HashSet::new();
+                for idx in 0..factorial(m) {
+                    let g = mesh_rank_to_substar(sub, idx);
+                    assert!(sub.contains_rank(g), "image must stay in the sub-star");
+                    assert!(seen.insert(g), "expansion 1 means injective");
+                    assert_eq!(substar_rank_to_mesh(sub, g), idx, "round trip");
+                }
+                assert_eq!(seen.len() as u64, sub.size(), "onto: expansion exactly 1");
+            }
+        }
+    }
+
+    #[test]
+    fn relabeled_embedding_preserves_dilation_3() {
+        // Mesh neighbors land at star distance ≤ 3 inside the
+        // sub-star (exactly 1 along dimension m−1) — Theorem 4,
+        // relabeled.
+        let n = 6;
+        let m = 4;
+        let dn = DnMesh::new(m);
+        for sub in substars_of_order(n, m).iter().step_by(7) {
+            for d in dn.points() {
+                let p = mesh_to_substar(sub, &d);
+                for k in 1..m {
+                    if d.d(k) < k as u32 {
+                        let q = mesh_to_substar(sub, &d.with_d(k, d.d(k) + 1));
+                        let dist = distance(&p, &q);
+                        let expect_max = if k == m - 1 { 1 } else { 3 };
+                        assert!(
+                            dist >= 1 && dist <= expect_max,
+                            "dimension {k}: distance {dist}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -55,7 +55,23 @@
 //! fault axis. Two scenario axes ride on the engines:
 //! [`AdaptiveRouting`] (contention-aware least-occupied shortest-path
 //! hops) and [`FlowControl::CreditBased`] (packets stall at the
-//! source instead of tail-dropping).
+//! source instead of tail-dropping). Routes live in one flat shared
+//! arena (offset + len per packet) rather than per-packet heap
+//! vectors.
+//!
+//! ## Multi-tenancy
+//!
+//! [`Workload::compose`] stably merges per-tenant workloads with
+//! round offsets and an owner map;
+//! [`Network::run_partitioned`] drives the merged traffic with **one
+//! routing policy per job** (so adaptivity is a per-job choice) and
+//! returns fully attributed per-job [`TrafficStats`] next to the
+//! global ones;
+//! [`Network::run_traced_partitioned`] adds per-packet hop traces for
+//! containment audits; [`TrafficStats::rebased`] shifts a tenant's
+//! slice onto its own clock for byte-level comparison against an
+//! isolated run. The `sg-sched` crate builds the sub-star scheduler
+//! on these primitives.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

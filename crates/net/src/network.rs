@@ -261,6 +261,67 @@ impl Network {
         self.run_with(workload, policy, Engine::Fast)
     }
 
+    /// Runs a multi-tenant `workload` and splits the statistics by
+    /// job: `owner[pid]` names the job each packet belongs to (see
+    /// [`Workload::compose`]) and `policies[j]` routes job `j`'s
+    /// packets — per-job routing (and so per-job adaptivity) over one
+    /// shared interconnect. Returns the whole-network stats plus one
+    /// **fully attributed** [`TrafficStats`] per job, tracked online
+    /// by the fast engine:
+    ///
+    /// * per-packet fields (outcomes, latencies, histogram) come from
+    ///   the job's own packet records;
+    /// * `total_wait_rounds` / `injection_stall_rounds` charge each
+    ///   queued or stalled flit to its owner;
+    /// * `forwarded_flits` counts the job's link traversals;
+    /// * `peak_edge_occupancy` / `peak_node_occupancy` are observed at
+    ///   the job's own enqueues — the depth of the queue (and PE) a
+    ///   flit of the job just joined, foreign flits included. On a
+    ///   sub-star the job has to itself they equal the isolated-run
+    ///   peaks; under cross-job sharing they measure interference.
+    ///
+    /// All rounds are global; [`TrafficStats::rebased`] shifts a
+    /// job's stats to its own clock for comparison against an
+    /// isolated run.
+    ///
+    /// # Panics
+    /// Panics if `owner` is not one entry per packet or names a job
+    /// `>= policies.len()`.
+    #[must_use]
+    pub fn run_partitioned(
+        &self,
+        workload: &Workload,
+        policies: &[&dyn RoutingPolicy],
+        owner: &[u32],
+    ) -> (TrafficStats, Vec<TrafficStats>) {
+        self.run_partitioned_inner(workload, policies, owner, None)
+    }
+
+    fn run_partitioned_inner(
+        &self,
+        workload: &Workload,
+        policies: &[&dyn RoutingPolicy],
+        owner: &[u32],
+        trace: Option<&mut Vec<Vec<HopRecord>>>,
+    ) -> (TrafficStats, Vec<TrafficStats>) {
+        let jobs = policies.len();
+        let (inj, routes, pkts) = self.prepare_multi(workload, policies, owner);
+        let mut sim = FastSim::new(self, inj, routes, pkts);
+        sim.attr = Some(JobAttribution::new(owner, jobs));
+        let (total, counters) = sim.run(trace);
+        let counters = counters.expect("attribution was installed");
+        let mut buckets: Vec<Vec<PacketRecord>> = vec![Vec::new(); jobs];
+        for (rec, &j) in total.packets.iter().zip(owner) {
+            buckets[j as usize].push(*rec);
+        }
+        let per_job = buckets
+            .into_iter()
+            .zip(counters)
+            .map(|(records, c)| TrafficStats::from_records(self.n, records, c))
+            .collect();
+        (total, per_job)
+    }
+
     /// Runs `workload` under `policy` on the chosen engine. Both
     /// engines produce byte-identical [`TrafficStats`]; the reference
     /// engine exists as the oracle for the differential suite (and
@@ -278,8 +339,8 @@ impl Network {
         match engine {
             Engine::Fast => self.run_fast(workload, policy, None),
             Engine::Reference => {
-                let (inj, routes, adaptive) = self.prepare(workload, policy);
-                ReferenceSim::new(self, inj, routes, adaptive).run()
+                let (inj, routes, pkts) = self.prepare(workload, policy);
+                ReferenceSim::new(self, inj, routes, pkts).run()
             }
         }
     }
@@ -302,24 +363,94 @@ impl Network {
         (stats, traces)
     }
 
+    /// [`Network::run_partitioned`] plus one hop trace per packet —
+    /// the containment-audit entry point: a tenant's isolation claim
+    /// is checkable hop by hop (`sg-sched` asserts embedding-routed
+    /// job traffic never leaves its sub-star) in the same run that
+    /// yields the per-job statistics.
+    ///
+    /// # Panics
+    /// As [`Network::run_partitioned`].
+    #[must_use]
+    pub fn run_traced_partitioned(
+        &self,
+        workload: &Workload,
+        policies: &[&dyn RoutingPolicy],
+        owner: &[u32],
+    ) -> (TrafficStats, Vec<TrafficStats>, Vec<Vec<HopRecord>>) {
+        let mut traces = vec![Vec::new(); workload.len()];
+        let (total, per_job) =
+            self.run_partitioned_inner(workload, policies, owner, Some(&mut traces));
+        (total, per_job, traces)
+    }
+
     fn run_fast(
         &self,
         workload: &Workload,
         policy: &dyn RoutingPolicy,
         trace: Option<&mut Vec<Vec<HopRecord>>>,
     ) -> TrafficStats {
-        let (inj, routes, adaptive) = self.prepare(workload, policy);
-        FastSim::new(self, inj, routes, adaptive).run(trace)
+        let (inj, routes, pkts) = self.prepare(workload, policy);
+        FastSim::new(self, inj, routes, pkts).run(trace).0
     }
 
-    /// Shared run setup: workload validation and parallel route
-    /// precomputation (skipped for adaptive policies, which pick hops
-    /// at enqueue time).
+    /// Shared run setup: workload validation, parallel route
+    /// precomputation into the shared [`RouteArena`], and the initial
+    /// packet table. Adaptive packets carry an empty span and pick
+    /// hops at enqueue time.
     fn prepare<'w>(
         &self,
         workload: &'w Workload,
         policy: &dyn RoutingPolicy,
-    ) -> (&'w [Injection], Vec<Vec<u8>>, bool) {
+    ) -> (&'w [Injection], RouteArena, Vec<SimPacket>) {
+        self.check_order(workload);
+        let inj = workload.injections();
+        let n = self.n;
+        let chunks: Vec<RouteChunk> = if inj.is_empty() {
+            Vec::new()
+        } else {
+            inj.par_chunks(ROUTE_CHUNK)
+                .map(|chunk| route_chunk(n, chunk, |_| policy))
+                .collect()
+        };
+        let (arena, pkts) = assemble_routes(inj, chunks);
+        (inj, arena, pkts)
+    }
+
+    /// [`Network::prepare`] with one routing policy per job:
+    /// packet `pid` routes under `policies[owner[pid]]`. Validates
+    /// the owner map for every partitioned entry point.
+    fn prepare_multi<'w>(
+        &self,
+        workload: &'w Workload,
+        policies: &[&dyn RoutingPolicy],
+        owner: &[u32],
+    ) -> (&'w [Injection], RouteArena, Vec<SimPacket>) {
+        self.check_order(workload);
+        assert_eq!(
+            owner.len(),
+            workload.len(),
+            "owner map must cover every packet"
+        );
+        assert!(
+            owner.iter().all(|&j| (j as usize) < policies.len()),
+            "owner names a job >= policies.len()"
+        );
+        let inj = workload.injections();
+        let n = self.n;
+        let pairs: Vec<(&[Injection], &[u32])> = inj
+            .chunks(ROUTE_CHUNK)
+            .zip(owner.chunks(ROUTE_CHUNK))
+            .collect();
+        let chunks: Vec<RouteChunk> = pairs
+            .into_par_iter()
+            .map(|(ic, oc)| route_chunk(n, ic, |k| policies[oc[k] as usize]))
+            .collect();
+        let (arena, pkts) = assemble_routes(inj, chunks);
+        (inj, arena, pkts)
+    }
+
+    fn check_order(&self, workload: &Workload) {
         assert_eq!(
             workload.n(),
             self.n,
@@ -327,59 +458,116 @@ impl Network {
             workload.n(),
             self.n
         );
-        let inj = workload.injections();
-        let adaptive = policy.is_adaptive();
-        let n = self.n;
-        let routes: Vec<Vec<u8>> = if adaptive {
-            vec![Vec::new(); inj.len()]
-        } else {
-            (0..inj.len())
-                .into_par_iter()
-                .map(|i| {
-                    let Injection { src, dst, .. } = inj[i];
-                    if src == dst {
-                        Vec::new()
-                    } else {
-                        let a = unrank(src, n).expect("rank in range");
-                        let b = unrank(dst, n).expect("rank in range");
-                        policy.route(&a, &b)
-                    }
-                })
-                .collect()
-        };
-        (inj, routes, adaptive)
     }
+}
+
+/// Parallel route-precompute granularity: big enough to amortize
+/// thread dispatch, small enough to balance uneven route lengths.
+const ROUTE_CHUNK: usize = 4096;
+
+/// One chunk's private slab of route bytes plus per-packet
+/// `(len, adaptive)` spans, ready to concatenate in input order.
+type RouteChunk = (Vec<u8>, Vec<(u32, bool)>);
+
+/// Routes one injection chunk; `policy_for(k)` names the policy of
+/// the chunk's `k`-th packet.
+fn route_chunk<'p>(
+    n: usize,
+    chunk: &[Injection],
+    policy_for: impl Fn(usize) -> &'p dyn RoutingPolicy,
+) -> RouteChunk {
+    let mut data = Vec::new();
+    let mut spans = Vec::with_capacity(chunk.len());
+    for (k, i) in chunk.iter().enumerate() {
+        let policy = policy_for(k);
+        let span = if i.src == i.dst {
+            (0u32, false)
+        } else if policy.is_adaptive() {
+            (0, true)
+        } else {
+            let a = unrank(i.src, n).expect("rank in range");
+            let b = unrank(i.dst, n).expect("rank in range");
+            let route = policy.route(&a, &b);
+            data.extend_from_slice(&route);
+            (route.len() as u32, false)
+        };
+        spans.push(span);
+    }
+    (data, spans)
+}
+
+/// Stitches the per-chunk slabs into the shared arena and the packet
+/// table, assigning each packet its `(offset, len)` span.
+fn assemble_routes(inj: &[Injection], chunks: Vec<RouteChunk>) -> (RouteArena, Vec<SimPacket>) {
+    let total_bytes = chunks.iter().map(|(d, _)| d.len()).sum();
+    let mut arena = RouteArena::with_capacity(total_bytes);
+    let mut pkts = Vec::with_capacity(inj.len());
+    let mut next = 0usize;
+    for (data, spans) in chunks {
+        let mut off = arena.data.len() as u32;
+        arena.data.extend_from_slice(&data);
+        for (len, adaptive) in spans {
+            let i = &inj[next];
+            next += 1;
+            pkts.push(SimPacket {
+                cur: i.src as u32,
+                dst: i.dst as u32,
+                route_off: off,
+                route_len: len,
+                route_pos: 0,
+                hops: 0,
+                adaptive,
+            });
+            off += len;
+        }
+    }
+    (arena, pkts)
 }
 
 // ---------------------------------------------------------------------
 // Logic shared verbatim by both engines.
 // ---------------------------------------------------------------------
 
-/// In-flight per-packet state.
+/// All precomputed routes packed into one flat byte arena; each
+/// packet names its route as an `(offset, len)` span. Replacing the
+/// per-packet `Vec<u8>` keeps the packet table a plain
+/// structure-of-arrays record and makes the route byte read in
+/// `enqueue_next` a dense-arena index instead of a pointer chase —
+/// the SoA headroom item noted in the ROADMAP after the fast-engine
+/// PR. Fault reroutes append their BFS detour and repoint the span;
+/// the stale bytes are never reclaimed (reroutes are rare and
+/// per-run).
+struct RouteArena {
+    data: Vec<u8>,
+}
+
+impl RouteArena {
+    fn with_capacity(bytes: usize) -> Self {
+        RouteArena {
+            data: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// Appends a route, returning its `(offset, len)` span.
+    fn push(&mut self, route: &[u8]) -> (u32, u32) {
+        let off = self.data.len() as u32;
+        self.data.extend_from_slice(route);
+        (off, route.len() as u32)
+    }
+}
+
+/// In-flight per-packet state. Routes live in the shared
+/// [`RouteArena`]; `route_off`/`route_len` span this packet's bytes.
 struct SimPacket {
     cur: u32,
     dst: u32,
-    route: Vec<u8>,
+    route_off: u32,
+    route_len: u32,
     route_pos: u32,
     hops: u32,
     /// Hop chosen at enqueue time; cleared when a fault pins the
     /// packet to a BFS detour route.
     adaptive: bool,
-}
-
-fn make_packets(inj: &[Injection], routes: Vec<Vec<u8>>, adaptive: bool) -> Vec<SimPacket> {
-    routes
-        .into_iter()
-        .zip(inj)
-        .map(|(route, i)| SimPacket {
-            cur: i.src as u32,
-            dst: i.dst as u32,
-            route,
-            route_pos: 0,
-            hops: 0,
-            adaptive: adaptive && i.src != i.dst,
-        })
-        .collect()
 }
 
 /// Outcome of one adaptive next-hop selection.
@@ -492,6 +680,7 @@ fn select_generator(
     net: &Network,
     faulty: bool,
     pkts: &mut [SimPacket],
+    routes: &mut RouteArena,
     memo: &mut HashMap<u32, Vec<u8>>,
     pid: PacketId,
     occ: &[u32],
@@ -503,12 +692,12 @@ fn select_generator(
             return Ok(g);
         }
     } else {
-        let pos = pkts[p].route_pos as usize;
+        let pos = pkts[p].route_pos;
         debug_assert!(
-            pos < pkts[p].route.len(),
+            pos < pkts[p].route_len,
             "route exhausted before destination"
         );
-        let g = pkts[p].route[pos] as usize;
+        let g = routes.data[(pkts[p].route_off + pos) as usize] as usize;
         let v = net.neighbor_of(u, g);
         if !(faulty && net.faults.is_link_dead(u64::from(u), u64::from(v), g)) {
             return Ok(g);
@@ -522,7 +711,9 @@ fn select_generator(
             match reroute_from(net, memo, u, dst) {
                 Some(route) => {
                     let g = route[0] as usize;
-                    pkts[p].route = route;
+                    let (off, len) = routes.push(&route);
+                    pkts[p].route_off = off;
+                    pkts[p].route_len = len;
                     pkts[p].route_pos = 0;
                     pkts[p].adaptive = false;
                     Ok(g)
@@ -619,6 +810,7 @@ struct ReferenceSim<'a> {
     lanes: usize,
     inj: &'a [Injection],
     pkts: Vec<SimPacket>,
+    routes: RouteArena,
     outcomes: Vec<Option<PacketOutcome>>,
     queues: Vec<VecDeque<PacketId>>,
     node_occ: Vec<u32>,
@@ -641,7 +833,12 @@ struct ReferenceSim<'a> {
 }
 
 impl<'a> ReferenceSim<'a> {
-    fn new(net: &'a Network, inj: &'a [Injection], routes: Vec<Vec<u8>>, adaptive: bool) -> Self {
+    fn new(
+        net: &'a Network,
+        inj: &'a [Injection],
+        routes: RouteArena,
+        pkts: Vec<SimPacket>,
+    ) -> Self {
         let gens = net.n - 1;
         let lanes = net.config.link_latency as usize + 1;
         ReferenceSim {
@@ -649,7 +846,8 @@ impl<'a> ReferenceSim<'a> {
             gens,
             lanes,
             inj,
-            pkts: make_packets(inj, routes, adaptive),
+            pkts,
+            routes,
             outcomes: vec![None; inj.len()],
             queues: vec![VecDeque::new(); net.node_count * gens],
             node_occ: vec![0; net.node_count],
@@ -696,6 +894,7 @@ impl<'a> ReferenceSim<'a> {
             self.net,
             self.faulty,
             &mut self.pkts,
+            &mut self.routes,
             &mut self.reroute_memo,
             pid,
             &occ[..self.gens],
@@ -952,6 +1151,30 @@ impl SlabQueues {
     }
 }
 
+/// Online per-job attribution for [`Network::run_partitioned`]: one
+/// [`RunCounters`] per job plus the live queued/stalled tallies the
+/// wait accounting needs. Peaks are observed at the owning job's own
+/// enqueues (see `run_partitioned` docs for the semantics).
+struct JobAttribution<'o> {
+    owner: &'o [u32],
+    counters: Vec<RunCounters>,
+    /// Currently queued flits per job.
+    queued: Vec<u64>,
+    /// Currently source-stalled packets per job (credit mode).
+    stalled: Vec<u64>,
+}
+
+impl<'o> JobAttribution<'o> {
+    fn new(owner: &'o [u32], jobs: usize) -> Self {
+        JobAttribution {
+            owner,
+            counters: vec![RunCounters::default(); jobs],
+            queued: vec![0; jobs],
+            stalled: vec![0; jobs],
+        }
+    }
+}
+
 /// One fast run's mutable state.
 struct FastSim<'a> {
     net: &'a Network,
@@ -959,6 +1182,10 @@ struct FastSim<'a> {
     lanes: usize,
     inj: &'a [Injection],
     pkts: Vec<SimPacket>,
+    routes: RouteArena,
+    /// Per-job attribution, installed only by
+    /// [`Network::run_partitioned`].
+    attr: Option<JobAttribution<'a>>,
     outcomes: Vec<Option<PacketOutcome>>,
     qs: SlabQueues,
     /// Occupancy-bitmap worklist: bit `qi` is set iff queue `qi` is
@@ -985,7 +1212,12 @@ struct FastSim<'a> {
 }
 
 impl<'a> FastSim<'a> {
-    fn new(net: &'a Network, inj: &'a [Injection], routes: Vec<Vec<u8>>, adaptive: bool) -> Self {
+    fn new(
+        net: &'a Network,
+        inj: &'a [Injection],
+        routes: RouteArena,
+        pkts: Vec<SimPacket>,
+    ) -> Self {
         let gens = net.n - 1;
         let lanes = net.config.link_latency as usize + 1;
         let queues = net.node_count * gens;
@@ -994,7 +1226,9 @@ impl<'a> FastSim<'a> {
             gens,
             lanes,
             inj,
-            pkts: make_packets(inj, routes, adaptive),
+            pkts,
+            routes,
+            attr: None,
             outcomes: vec![None; inj.len()],
             qs: SlabQueues::new(queues),
             active_bits: vec![0; queues.div_ceil(64)],
@@ -1018,6 +1252,10 @@ impl<'a> FastSim<'a> {
         self.outcomes[pid as usize] = Some(outcome);
         self.resolved += 1;
         self.counters.last_event = self.counters.last_event.max(round);
+        if let Some(a) = self.attr.as_mut() {
+            let j = a.owner[pid as usize] as usize;
+            a.counters[j].last_event = a.counters[j].last_event.max(round);
+        }
     }
 
     fn has_credit(&self, v: u32) -> bool {
@@ -1048,6 +1286,7 @@ impl<'a> FastSim<'a> {
             self.net,
             self.faulty,
             &mut self.pkts,
+            &mut self.routes,
             &mut self.reroute_memo,
             pid,
             &occ[..self.gens],
@@ -1079,9 +1318,20 @@ impl<'a> FastSim<'a> {
             .counters
             .peak_node
             .max(u64::from(self.node_occ[u as usize]));
+        if let Some(a) = self.attr.as_mut() {
+            let j = a.owner[p] as usize;
+            a.queued[j] += 1;
+            a.counters[j].peak_edge = a.counters[j].peak_edge.max(u64::from(self.qs.len(qi)));
+            a.counters[j].peak_node = a.counters[j]
+                .peak_node
+                .max(u64::from(self.node_occ[u as usize]));
+        }
     }
 
-    fn run(mut self, mut trace: Option<&mut Vec<Vec<HopRecord>>>) -> TrafficStats {
+    fn run(
+        mut self,
+        mut trace: Option<&mut Vec<Vec<HopRecord>>>,
+    ) -> (TrafficStats, Option<Vec<RunCounters>>) {
         let total = self.inj.len();
         let latency = self.net.config.link_latency as usize;
         let max_rounds = self.net.config.max_rounds;
@@ -1121,6 +1371,9 @@ impl<'a> FastSim<'a> {
                 let pid = self.stalled.pop_front().expect("len checked");
                 let src = self.pkts[pid as usize].cur;
                 if self.has_credit(src) {
+                    if let Some(a) = self.attr.as_mut() {
+                        a.stalled[a.owner[pid as usize] as usize] -= 1;
+                    }
                     self.enqueue_next(pid, round);
                     progress = true;
                 } else {
@@ -1138,6 +1391,9 @@ impl<'a> FastSim<'a> {
                     self.resolve(pid, round, PacketOutcome::Delivered { round, hops: 0 });
                     progress = true;
                 } else if !self.has_credit(i.src as u32) {
+                    if let Some(a) = self.attr.as_mut() {
+                        a.stalled[a.owner[pid as usize] as usize] += 1;
+                    }
                     self.stalled.push_back(pid);
                 } else {
                     self.enqueue_next(pid, round);
@@ -1176,6 +1432,11 @@ impl<'a> FastSim<'a> {
                     self.pkts[p].hops += 1;
                     self.pkts[p].route_pos += 1;
                     self.counters.forwarded += 1;
+                    if let Some(a) = self.attr.as_mut() {
+                        let j = a.owner[p] as usize;
+                        a.queued[j] -= 1;
+                        a.counters[j].forwarded += 1;
+                    }
                     progress = true;
                     if let Some(traces) = trace.as_deref_mut() {
                         traces[p].push(HopRecord {
@@ -1198,6 +1459,12 @@ impl<'a> FastSim<'a> {
             // 4. Wait + stall accounting, deadlock detection.
             self.counters.total_wait_rounds += self.total_queued;
             self.counters.injection_stall_rounds += self.stalled.len() as u64;
+            if let Some(a) = self.attr.as_mut() {
+                for (c, (&q, &s)) in a.counters.iter_mut().zip(a.queued.iter().zip(&a.stalled)) {
+                    c.total_wait_rounds += q;
+                    c.injection_stall_rounds += s;
+                }
+            }
             if !progress && self.in_flight == 0 && inj_ptr == total && self.resolved < total {
                 strand_remaining(&mut self.outcomes, &mut self.resolved);
                 break;
@@ -1223,7 +1490,11 @@ impl<'a> FastSim<'a> {
                 round + 1
             };
         }
-        finish(self.net, self.inj, &self.outcomes, self.counters)
+        let per_job = self.attr.take().map(|a| a.counters);
+        (
+            finish(self.net, self.inj, &self.outcomes, self.counters),
+            per_job,
+        )
     }
 }
 
@@ -1533,6 +1804,81 @@ mod tests {
                 assert!(pair[0].round < pair[1].round, "hops take time");
             }
         }
+    }
+
+    #[test]
+    fn partitioned_run_attributes_everything_exactly_once() {
+        // Two tenants composed onto one S_5: every additive counter
+        // splits exactly, per-packet records partition by owner.
+        let n = 5;
+        let net = Network::new(n);
+        let a = Workload::uniform_pairs(n, 40, 11);
+        let b = Workload::bernoulli_uniform(n, 3, 30, 22);
+        let (merged, owner) = Workload::compose("two-tenant", n, &[(&a, 0), (&b, 2)]);
+        assert_eq!(owner.len(), merged.len());
+        let (total, jobs) =
+            net.run_partitioned(&merged, &[&GreedyRouting as &dyn RoutingPolicy; 2], &owner);
+        assert_eq!(
+            total,
+            net.run(&merged, &GreedyRouting),
+            "attribution is free"
+        );
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].injected, a.len() as u64);
+        assert_eq!(jobs[1].injected, b.len() as u64);
+        for (f, sum) in [
+            (
+                total.forwarded_flits,
+                jobs[0].forwarded_flits + jobs[1].forwarded_flits,
+            ),
+            (
+                total.total_wait_rounds,
+                jobs[0].total_wait_rounds + jobs[1].total_wait_rounds,
+            ),
+            (total.delivered, jobs[0].delivered + jobs[1].delivered),
+        ] {
+            assert_eq!(f, sum, "additive counters must split exactly");
+        }
+        assert_eq!(total.makespan, jobs[0].makespan.max(jobs[1].makespan));
+        for j in &jobs {
+            assert_eq!(j.delivered + j.dropped() + j.stranded, j.injected);
+            assert!(j.peak_edge_occupancy <= total.peak_edge_occupancy);
+        }
+    }
+
+    #[test]
+    fn compose_is_stable_per_part() {
+        let n = 4;
+        let a = Workload::uniform_pairs(n, 10, 1);
+        let b = Workload::uniform_pairs(n, 10, 2);
+        let (merged, owner) = Workload::compose("m", n, &[(&a, 3), (&b, 3)]);
+        // Part packets, in merged order, are the part's own sequence
+        // shifted by its offset.
+        for (j, part) in [&a, &b].iter().enumerate() {
+            let mine: Vec<Injection> = merged
+                .injections()
+                .iter()
+                .zip(&owner)
+                .filter(|&(_, &o)| o == j as u32)
+                .map(|(i, _)| *i)
+                .collect();
+            assert_eq!(mine.len(), part.len());
+            for (got, want) in mine.iter().zip(part.injections()) {
+                assert_eq!(got.round, want.round + 3);
+                assert_eq!((got.src, got.dst), (want.src, want.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn rebased_shifts_rounds_only() {
+        let n = 4;
+        let net = Network::new(n);
+        let w = Workload::uniform_pairs(n, 20, 5);
+        let (merged, owner) = Workload::compose("solo", n, &[(&w, 7)]);
+        let (_, jobs) = net.run_partitioned(&merged, &[&GreedyRouting], &owner);
+        let alone = net.run(&w, &GreedyRouting);
+        assert_eq!(jobs[0].rebased(7), alone, "one tenant, shifted clock");
     }
 
     #[test]

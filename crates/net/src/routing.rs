@@ -45,7 +45,10 @@ pub trait RoutingPolicy: Sync {
     /// live queue occupancy instead of following a fixed source
     /// route. The engines then skip route precomputation and call
     /// their shared hop selector per hop; [`RoutingPolicy::route`] is
-    /// only a static description of the zero-contention path.
+    /// only a static description of the zero-contention path. In
+    /// multi-tenant runs ([`crate::Network::run_partitioned`]) each
+    /// job brings its own policy, so adaptivity is effectively
+    /// per packet.
     fn is_adaptive(&self) -> bool {
         false
     }

@@ -175,6 +175,41 @@ impl TrafficStats {
         self.dropped_fault + self.dropped_unreachable + self.dropped_overflow
     }
 
+    /// The same statistics on a clock shifted `offset` rounds
+    /// earlier: `makespan` and every per-packet round (injection and
+    /// outcome) drop by `offset`; latencies, waits, peaks and flit
+    /// counts are round-differences and stay untouched. This is how a
+    /// tenant's slice of a [`crate::Network::run_partitioned`] run is
+    /// compared **byte for byte** against the same job run in
+    /// isolation at round 0 — the executable form of the sub-star
+    /// isolation theorem. Rounds saturate at 0 rather than underflow
+    /// (relevant only to jobs with no events).
+    #[must_use]
+    pub fn rebased(&self, offset: u32) -> Self {
+        let mut out = self.clone();
+        out.makespan = out.makespan.saturating_sub(offset);
+        for rec in &mut out.packets {
+            rec.inject_round = rec.inject_round.saturating_sub(offset);
+            rec.outcome = match rec.outcome {
+                PacketOutcome::Delivered { round, hops } => PacketOutcome::Delivered {
+                    round: round.saturating_sub(offset),
+                    hops,
+                },
+                PacketOutcome::DroppedFault { round } => PacketOutcome::DroppedFault {
+                    round: round.saturating_sub(offset),
+                },
+                PacketOutcome::DroppedUnreachable { round } => PacketOutcome::DroppedUnreachable {
+                    round: round.saturating_sub(offset),
+                },
+                PacketOutcome::DroppedOverflow { round } => PacketOutcome::DroppedOverflow {
+                    round: round.saturating_sub(offset),
+                },
+                PacketOutcome::Stranded => PacketOutcome::Stranded,
+            };
+        }
+        out
+    }
+
     /// Mean delivered latency in rounds (`NaN` if nothing delivered).
     #[must_use]
     pub fn avg_latency(&self) -> f64 {

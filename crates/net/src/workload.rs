@@ -205,6 +205,42 @@ impl Workload {
         Workload::from_injections(&format!("pairs({pairs})"), n, injections)
     }
 
+    /// Stably merges per-tenant workloads into one shared-network
+    /// workload. Part `j`'s injections are offset by its start round
+    /// and tagged with owner `j`; the merge is **stable** — packets
+    /// of the same round keep part order, and packets of the same
+    /// part keep their own order — so each tenant sees exactly the
+    /// injection sequence it would see alone, shifted in time. The
+    /// returned owner map (one entry per packet of the merged
+    /// workload, aligned with [`Workload::injections`]) is what
+    /// [`crate::Network::run_partitioned`] attributes statistics by.
+    ///
+    /// # Panics
+    /// Panics if a part targets a different star order.
+    #[must_use]
+    pub fn compose(name: &str, n: usize, parts: &[(&Workload, u32)]) -> (Workload, Vec<u32>) {
+        let mut tagged: Vec<(Injection, u32)> = Vec::new();
+        for (j, (w, offset)) in parts.iter().enumerate() {
+            assert_eq!(w.n(), n, "part {j} targets S_{} not S_{n}", w.n());
+            tagged.extend(w.injections().iter().map(|i| {
+                (
+                    Injection {
+                        round: i.round + offset,
+                        src: i.src,
+                        dst: i.dst,
+                    },
+                    j as u32,
+                )
+            }));
+        }
+        tagged.sort_by_key(|(i, _)| i.round);
+        let owner = tagged.iter().map(|&(_, j)| j).collect();
+        let injections = tagged.into_iter().map(|(i, _)| i).collect();
+        // Already round-sorted; the constructor's stable sort is a
+        // no-op, so the owner map stays aligned.
+        (Workload::from_injections(name, n, injections), owner)
+    }
+
     /// Workload name (used in tables and reports).
     #[must_use]
     pub fn name(&self) -> &str {

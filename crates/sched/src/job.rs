@@ -1,0 +1,163 @@
+//! Jobs: what a tenant asks for and what traffic it runs.
+//!
+//! A [`JobSpec`] requests a mesh `D_k` — by Theorem 6 that is exactly
+//! an order-`k` sub-star of the shared `S_n` at expansion 1 — for a
+//! declared number of rounds, and names the traffic it will drive
+//! over its slice and the routing discipline it uses
+//! ([`TenantRouting`]).
+
+use sg_net::Workload;
+
+/// Dense job identifier (index into the job stream).
+pub type JobId = u32;
+
+/// How a tenant routes inside (and possibly outside) its sub-star.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantRouting {
+    /// Dimension-order routing of the job's own `D_k` embedding,
+    /// computed in **local** sub-star coordinates. Uses only
+    /// generators `g_1 … g_{k−1}`, so traffic provably never leaves
+    /// the sub-star — the isolated tenant class.
+    Embedding,
+    /// Global greedy shortest-path routing. Tenancy-oblivious by
+    /// construction — yet **measurably confined**: sub-stars are
+    /// geodesically closed, so every minimal route between sub-star
+    /// nodes stays inside (the containment suite audits this hop by
+    /// hop). Greedy tenants therefore also isolate perfectly.
+    Greedy,
+    /// Global contention-adaptive routing (least-occupied
+    /// shortest-path hop, chosen at enqueue time). Minimal per hop,
+    /// hence confined by the same convexity — but its hop choices
+    /// read live queue state, all of it sub-star-local.
+    Adaptive,
+    /// Dimension-order routing in the **machine's** mesh coordinates
+    /// (`D_n` of the host, not the tenant's own `D_k`): the
+    /// tenancy-oblivious discipline that really does trespass —
+    /// Lemma-2 paths wander through foreign sub-stars, lengthening
+    /// its own routes and perturbing its neighbors. This is the
+    /// interference class the scheduler quantifies.
+    GlobalEmbedding,
+}
+
+impl TenantRouting {
+    /// Table/report label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantRouting::Embedding => "embedding",
+            TenantRouting::Greedy => "greedy",
+            TenantRouting::Adaptive => "adaptive",
+            TenantRouting::GlobalEmbedding => "global-dor",
+        }
+    }
+
+    /// `true` for disciplines whose routes provably (embedding,
+    /// minimal-routing convexity) stay inside the tenant's sub-star.
+    #[must_use]
+    pub fn is_confined(self) -> bool {
+        !matches!(self, TenantRouting::GlobalEmbedding)
+    }
+}
+
+/// The traffic a job drives over its sub-star, generated in **local**
+/// `S_k` coordinates (Lehmer ranks of the order-`k` sub-star) and
+/// lifted to global PEs at composition time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficProfile {
+    /// The Lemma-5 workload: one mesh unit route along `dim`.
+    DimensionSweep {
+        /// Mesh dimension `1 ≤ dim < k`.
+        dim: usize,
+        /// Direction of the unit route.
+        plus: bool,
+    },
+    /// `pairs` uniform random `src → dst` packets at round 0.
+    UniformPairs {
+        /// Packet count.
+        pairs: usize,
+        /// Workload seed.
+        seed: u64,
+    },
+    /// Every PE sends to its inverse permutation.
+    Transpose,
+    /// Open-loop uniform traffic at `rate_pct`% injection for
+    /// `rounds` rounds.
+    Bernoulli {
+        /// Injection rounds.
+        rounds: u32,
+        /// Per-PE injection probability (percent).
+        rate_pct: u32,
+        /// Workload seed.
+        seed: u64,
+    },
+}
+
+impl TrafficProfile {
+    /// Materializes the profile on the local `S_order`.
+    ///
+    /// # Panics
+    /// Panics if the profile is invalid for `order` (e.g. a sweep
+    /// dimension `≥ order`).
+    #[must_use]
+    pub fn local_workload(&self, order: usize) -> Workload {
+        match *self {
+            TrafficProfile::DimensionSweep { dim, plus } => {
+                Workload::dimension_sweep(order, dim, plus)
+            }
+            TrafficProfile::UniformPairs { pairs, seed } => {
+                Workload::uniform_pairs(order, pairs, seed)
+            }
+            TrafficProfile::Transpose => Workload::transpose(order),
+            TrafficProfile::Bernoulli {
+                rounds,
+                rate_pct,
+                seed,
+            } => Workload::bernoulli_uniform(order, rounds, rate_pct, seed),
+        }
+    }
+
+    /// Table/report label.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficProfile::DimensionSweep { .. } => "sweep",
+            TrafficProfile::UniformPairs { .. } => "pairs",
+            TrafficProfile::Transpose => "transpose",
+            TrafficProfile::Bernoulli { .. } => "uniform",
+        }
+    }
+}
+
+/// One job of the stream: a mesh-shaped tenant request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Dense id (stream order).
+    pub id: JobId,
+    /// Requested mesh `D_order` ⇒ sub-star order (`2 ≤ order ≤ n`).
+    pub order: usize,
+    /// Round the job enters the arrival queue.
+    pub arrival: u32,
+    /// Declared walltime: the sub-star is held for this many rounds
+    /// from the start round (capacity release is driven by the
+    /// declaration, as in batch schedulers, not by traffic drain).
+    pub duration: u32,
+    /// Traffic the job injects, in local coordinates.
+    pub traffic: TrafficProfile,
+    /// Routing discipline of the tenant.
+    pub routing: TenantRouting,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_materialize_locally() {
+        assert!(!TrafficProfile::Transpose.local_workload(4).is_empty());
+        let w = TrafficProfile::UniformPairs { pairs: 9, seed: 3 }.local_workload(3);
+        assert_eq!(w.len(), 9);
+        assert_eq!(w.n(), 3);
+        let s = TrafficProfile::DimensionSweep { dim: 2, plus: true }.local_workload(4);
+        assert!(s.injections().iter().all(|i| i.round == 0));
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-tenant routing policies.
+//!
+//! [`sg_net::Network::run_partitioned`] routes every packet under its
+//! own job's policy, so each tenant gets exactly one
+//! [`RoutingPolicy`] object. Embedding tenants use
+//! [`SubstarEmbedding`]: dimension-order routing of the job's `D_k`
+//! computed in **local** sub-star coordinates — and because
+//! [`SubStar::project`] commutes with generators `g_1 … g_{k−1}`, the
+//! locally computed generator sequence is valid verbatim on the host
+//! and provably never leaves the sub-star. Greedy and adaptive
+//! tenants route globally yet stay confined too (minimal routes
+//! cannot leave a geodesically closed sub-star — measured by the
+//! containment suite); the discipline that really trespasses is
+//! [`TenantRouting::GlobalEmbedding`], dimension-order routing in
+//! machine coordinates — the measurable-interference side of the
+//! contrast.
+
+use crate::job::TenantRouting;
+use sg_net::{AdaptiveRouting, EmbeddingRouting, GreedyRouting, RoutingPolicy};
+use sg_perm::Perm;
+use sg_star::substar::SubStar;
+
+/// Dimension-order embedding routing **inside one sub-star**: both
+/// endpoints are projected to the local `S_k`, routed by
+/// [`EmbeddingRouting`], and the generator sequence is reused
+/// globally unchanged. Containment is structural: every generator it
+/// emits is `< k`, and those never touch the fixed slots.
+#[derive(Debug, Clone)]
+pub struct SubstarEmbedding {
+    sub: SubStar,
+}
+
+impl SubstarEmbedding {
+    /// Embedding routing confined to `sub`.
+    #[must_use]
+    pub fn new(sub: SubStar) -> Self {
+        SubstarEmbedding { sub }
+    }
+
+    /// The sub-star this policy is confined to.
+    #[must_use]
+    pub fn substar(&self) -> &SubStar {
+        &self.sub
+    }
+}
+
+impl RoutingPolicy for SubstarEmbedding {
+    fn name(&self) -> &'static str {
+        "substar-embedding"
+    }
+
+    fn route(&self, src: &Perm, dst: &Perm) -> Vec<u8> {
+        assert!(
+            self.sub.contains(src) && self.sub.contains(dst),
+            "sub-star embedding routing asked to route foreign traffic"
+        );
+        EmbeddingRouting.route(&self.sub.project(src), &self.sub.project(dst))
+    }
+}
+
+/// The policy object a tenant with the given discipline routes under.
+#[must_use]
+pub fn tenant_policy(routing: TenantRouting, sub: &SubStar) -> Box<dyn RoutingPolicy> {
+    match routing {
+        TenantRouting::Embedding => Box::new(SubstarEmbedding::new(sub.clone())),
+        TenantRouting::Greedy => Box::new(GreedyRouting),
+        TenantRouting::Adaptive => Box::new(AdaptiveRouting),
+        TenantRouting::GlobalEmbedding => Box::new(EmbeddingRouting),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_perm::lehmer::unrank;
+
+    #[test]
+    fn substar_embedding_routes_stay_inside_and_land() {
+        let n = 5;
+        let sub = SubStar::new(n, vec![2]);
+        let policy = SubstarEmbedding::new(sub.clone());
+        for ra in (0..sub.size()).step_by(3) {
+            for rb in (0..sub.size()).step_by(5) {
+                let a = sub.lift(&unrank(ra, 4).unwrap());
+                let b = sub.lift(&unrank(rb, 4).unwrap());
+                let route = policy.route(&a, &b);
+                assert_eq!(route.is_empty(), a == b);
+                let mut cur = a;
+                for &g in &route {
+                    assert!((g as usize) < sub.order(), "generator {g} is non-local");
+                    cur.swap_slots(0, g as usize);
+                    assert!(sub.contains(&cur), "hop {g} left the sub-star");
+                }
+                assert_eq!(cur, b, "route must land on dst");
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_policy_dispatch() {
+        let sub = SubStar::new(4, vec![1]);
+        assert!(!tenant_policy(TenantRouting::Embedding, &sub).is_adaptive());
+        assert!(!tenant_policy(TenantRouting::Greedy, &sub).is_adaptive());
+        assert!(tenant_policy(TenantRouting::Adaptive, &sub).is_adaptive());
+        assert!(!tenant_policy(TenantRouting::GlobalEmbedding, &sub).is_adaptive());
+        assert_eq!(
+            tenant_policy(TenantRouting::GlobalEmbedding, &sub).name(),
+            "embedding",
+            "oblivious tenants use the machine-coordinate router"
+        );
+    }
+}

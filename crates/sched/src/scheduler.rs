@@ -1,0 +1,592 @@
+//! The batch scheduler: admission, placement, composition, and the
+//! measured run.
+//!
+//! [`schedule`] replays a job stream against a pluggable
+//! [`SubstarAllocator`] in a deterministic event loop (FCFS with
+//! declared walltimes, releases before arrivals, admissions in
+//! arrival order), producing a [`Schedule`] of placements plus a
+//! fragmentation timeline. [`Schedule::tenant_run`] then lifts every
+//! job's local traffic onto its sub-star, composes one shared
+//! workload, and [`TenantRun::run`] drives it through a single
+//! [`Network`] with per-job routing and per-job statistics — the
+//! whole multi-tenant machine in one simulated run.
+
+use crate::alloc::{SubstarAllocator, MIN_ORDER};
+use crate::job::{JobId, JobSpec, TenantRouting};
+use crate::policy::tenant_policy;
+use rayon::prelude::*;
+use sg_net::{Injection, Network, RoutingPolicy, TrafficStats, Workload};
+use sg_star::substar::SubStar;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One admitted job: where it ran and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The job as specified.
+    pub job: JobSpec,
+    /// The disjoint slice of the machine it received.
+    pub substar: SubStar,
+    /// Round the allocation was granted (traffic starts here).
+    pub start: u32,
+    /// Round the allocation is returned (`start + duration`, min 1).
+    pub finish: u32,
+}
+
+impl Placement {
+    /// Rounds spent waiting in the arrival queue.
+    #[must_use]
+    pub fn queueing_delay(&self) -> u32 {
+        self.start - self.job.arrival
+    }
+}
+
+/// Allocator state observed after the admissions of one event round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragSample {
+    /// Event round.
+    pub round: u32,
+    /// PEs not allocated to anyone.
+    pub free_pes: u64,
+    /// Largest sub-star order still allocatable.
+    pub largest_free_order: usize,
+    /// Jobs waiting in the arrival queue.
+    pub pending: usize,
+}
+
+impl FragSample {
+    /// External fragmentation in `[0, 1]`: the share of free capacity
+    /// *not* reachable as one largest free sub-star (`0` when the
+    /// free space is one block or the machine is full).
+    #[must_use]
+    pub fn fragmentation(&self) -> f64 {
+        if self.free_pes == 0 {
+            return 0.0;
+        }
+        let largest = sg_perm::factorial::factorial(self.largest_free_order);
+        1.0 - largest as f64 / self.free_pes as f64
+    }
+}
+
+/// The outcome of replaying a job stream against one allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    n: usize,
+    placements: Vec<Placement>,
+    frag: Vec<FragSample>,
+    horizon: u32,
+}
+
+impl Schedule {
+    /// Host star order.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Placements in admission order.
+    #[must_use]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Fragmentation timeline, one sample per event round.
+    #[must_use]
+    pub fn frag_timeline(&self) -> &[FragSample] {
+        &self.frag
+    }
+
+    /// Round the last allocation is released — the schedule makespan.
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Mean queueing delay over all jobs, in rounds.
+    #[must_use]
+    pub fn mean_queueing_delay(&self) -> f64 {
+        if self.placements.is_empty() {
+            return 0.0;
+        }
+        self.placements
+            .iter()
+            .map(|p| f64::from(p.queueing_delay()))
+            .sum::<f64>()
+            / self.placements.len() as f64
+    }
+
+    /// Mean external fragmentation over the timeline.
+    #[must_use]
+    pub fn mean_fragmentation(&self) -> f64 {
+        if self.frag.is_empty() {
+            return 0.0;
+        }
+        self.frag.iter().map(FragSample::fragmentation).sum::<f64>() / self.frag.len() as f64
+    }
+
+    /// `true` iff every pair of placements with overlapping
+    /// `[start, finish)` residency holds disjoint sub-stars — the
+    /// allocator contract, checkable after the fact.
+    #[must_use]
+    pub fn concurrent_placements_disjoint(&self) -> bool {
+        for (i, a) in self.placements.iter().enumerate() {
+            for b in &self.placements[i + 1..] {
+                let overlap = a.start < b.finish && b.start < a.finish;
+                if overlap && !a.substar.is_disjoint(&b.substar) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds the composed multi-tenant run for this schedule.
+    #[must_use]
+    pub fn tenant_run(&self) -> TenantRun {
+        let parts: Vec<Workload> = self
+            .placements
+            .iter()
+            .map(|p| lift_workload(self.n, p))
+            .collect();
+        let with_offsets: Vec<(&Workload, u32)> = parts
+            .iter()
+            .zip(&self.placements)
+            .map(|(w, p)| (w, p.start))
+            .collect();
+        let (workload, owner) = Workload::compose("tenants", self.n, &with_offsets);
+        let policies = self
+            .placements
+            .iter()
+            .map(|p| tenant_policy(p.job.routing, &p.substar))
+            .collect();
+        TenantRun {
+            schedule: self.clone(),
+            parts,
+            workload,
+            owner,
+            policies,
+        }
+    }
+}
+
+/// A job's local traffic lifted onto its sub-star (rounds still
+/// job-local; [`Workload::compose`] applies the start offset).
+fn lift_workload(n: usize, p: &Placement) -> Workload {
+    let local = p.job.traffic.local_workload(p.job.order);
+    let map = p.substar.node_ranks();
+    let injections = local
+        .injections()
+        .iter()
+        .map(|i| Injection {
+            round: i.round,
+            src: map[i.src as usize],
+            dst: map[i.dst as usize],
+        })
+        .collect();
+    Workload::from_injections(&format!("job{}", p.job.id), n, injections)
+}
+
+/// Replays `jobs` (FCFS by arrival, stable on ties) against `alloc`.
+/// Deterministic: same stream + same policy ⇒ identical schedule.
+///
+/// Event loop per distinct round: releases first, then arrivals, then
+/// admissions from the queue head while they fit (strict FCFS — a
+/// blocked head blocks everyone behind it, the classic batch
+/// discipline).
+///
+/// # Panics
+/// Panics if a job requests an order outside
+/// [`MIN_ORDER`]`..=alloc.n()` (it could never be placed).
+#[must_use]
+pub fn schedule(jobs: &[JobSpec], alloc: &mut dyn SubstarAllocator) -> Schedule {
+    let n = alloc.n();
+    for j in jobs {
+        assert!(
+            (MIN_ORDER..=n).contains(&j.order),
+            "job {} requests order {} outside {MIN_ORDER}..={n}",
+            j.id,
+            j.order
+        );
+    }
+    let mut sorted: Vec<&JobSpec> = jobs.iter().collect();
+    sorted.sort_by_key(|j| j.arrival);
+    let mut placements: Vec<Placement> = Vec::with_capacity(jobs.len());
+    let mut frag = Vec::new();
+    let mut pending: VecDeque<&JobSpec> = VecDeque::new();
+    // Min-heap of (finish, placement index) for capacity releases.
+    let mut releases: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    let mut next_arrival = 0usize;
+    while next_arrival < sorted.len() || !pending.is_empty() {
+        let mut now = u32::MAX;
+        if let Some(j) = sorted.get(next_arrival) {
+            now = j.arrival;
+        }
+        if let Some(&Reverse((f, _))) = releases.peek() {
+            now = now.min(f);
+        }
+        debug_assert!(now != u32::MAX, "blocked queue with no future release");
+        while let Some(&Reverse((f, idx))) = releases.peek() {
+            if f > now {
+                break;
+            }
+            releases.pop();
+            alloc.release(&placements[idx].substar);
+        }
+        while sorted.get(next_arrival).is_some_and(|j| j.arrival <= now) {
+            pending.push_back(sorted[next_arrival]);
+            next_arrival += 1;
+        }
+        while let Some(&head) = pending.front() {
+            let Some(substar) = alloc.allocate(head.order) else {
+                break;
+            };
+            pending.pop_front();
+            let finish = now + head.duration.max(1);
+            releases.push(Reverse((finish, placements.len())));
+            placements.push(Placement {
+                job: *head,
+                substar,
+                start: now,
+                finish,
+            });
+        }
+        frag.push(FragSample {
+            round: now,
+            free_pes: alloc.free_pes(),
+            largest_free_order: alloc.largest_free_order(),
+            pending: pending.len(),
+        });
+    }
+    let horizon = placements.iter().map(|p| p.finish).max().unwrap_or(0);
+    Schedule {
+        n,
+        placements,
+        frag,
+        horizon,
+    }
+}
+
+/// A schedule compiled down to one shared-network run: the composed
+/// workload, the per-packet owner map, and one routing policy per
+/// tenant.
+pub struct TenantRun {
+    schedule: Schedule,
+    /// Per-job lifted workloads at job-local rounds — exactly what an
+    /// isolated run of the job injects.
+    parts: Vec<Workload>,
+    workload: Workload,
+    owner: Vec<u32>,
+    policies: Vec<Box<dyn RoutingPolicy>>,
+}
+
+impl TenantRun {
+    /// The schedule this run was compiled from.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The composed workload (all tenants, global PEs and rounds).
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Owner map: `owner()[pid]` = placement index of the packet.
+    #[must_use]
+    pub fn owner(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Job `i`'s traffic as an isolated run would inject it (local
+    /// clock, global PEs).
+    #[must_use]
+    pub fn part(&self, i: usize) -> &Workload {
+        &self.parts[i]
+    }
+
+    /// Per-tenant routing policies, by placement index.
+    #[must_use]
+    pub fn policies(&self) -> Vec<&dyn RoutingPolicy> {
+        self.policies.iter().map(Box::as_ref).collect()
+    }
+
+    /// Drives all tenants concurrently through `net` and splits the
+    /// statistics per job (each rebased to its own clock).
+    ///
+    /// # Panics
+    /// Panics if `net` is not an `S_n` of the schedule's order.
+    #[must_use]
+    pub fn run(&self, net: &Network) -> ScheduleReport {
+        assert_eq!(net.n(), self.schedule.n, "network order mismatch");
+        let (total, per_job) = net.run_partitioned(&self.workload, &self.policies(), &self.owner);
+        let jobs = self
+            .schedule
+            .placements
+            .iter()
+            .zip(per_job)
+            .map(|(p, stats)| JobReport {
+                id: p.job.id,
+                routing: p.job.routing,
+                placement: p.clone(),
+                stats: stats.rebased(p.start),
+            })
+            .collect();
+        ScheduleReport { total, jobs }
+    }
+
+    /// Runs every job **alone** on the same network (same policy
+    /// object, same sub-star, local clock) — the baseline the
+    /// isolation theorem compares against. Jobs are fanned out in
+    /// `par_chunks` lanes, each lane simulating its jobs serially on
+    /// one thread.
+    ///
+    /// # Panics
+    /// Panics if `net` is not an `S_n` of the schedule's order.
+    #[must_use]
+    pub fn isolated_stats(&self, net: &Network) -> Vec<TrafficStats> {
+        assert_eq!(net.n(), self.schedule.n, "network order mismatch");
+        let pairs: Vec<(&Workload, &Box<dyn RoutingPolicy>)> =
+            self.parts.iter().zip(&self.policies).collect();
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let lane = pairs.len().div_ceil(8).max(1);
+        let lanes: Vec<Vec<TrafficStats>> = pairs
+            .par_chunks(lane)
+            .map(|jobs| {
+                jobs.iter()
+                    .map(|(w, policy)| net.run(w, policy.as_ref()))
+                    .collect()
+            })
+            .collect();
+        lanes.concat()
+    }
+}
+
+/// One tenant's slice of the shared run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Job id.
+    pub id: JobId,
+    /// Routing discipline the tenant used.
+    pub routing: TenantRouting,
+    /// Where and when it ran.
+    pub placement: Placement,
+    /// The job's attributed statistics, rebased to its own clock
+    /// (round 0 = allocation grant) so they compare byte-for-byte
+    /// against an isolated run.
+    pub stats: TrafficStats,
+}
+
+/// The full measured outcome of a multi-tenant run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Whole-network statistics of the composed run.
+    pub total: TrafficStats,
+    /// Per-tenant reports, in admission order.
+    pub jobs: Vec<JobReport>,
+}
+
+impl ScheduleReport {
+    /// Ids of jobs whose per-tenant stats differ from their isolated
+    /// baseline — empty for embedding-routed tenants on disjoint
+    /// sub-stars (the isolation theorem), generally non-empty when
+    /// greedy/adaptive tenants trespass.
+    #[must_use]
+    pub fn perturbed_jobs(&self, isolated: &[TrafficStats]) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .zip(isolated)
+            .filter(|(j, iso)| j.stats != **iso)
+            .map(|(j, _)| j.id)
+            .collect()
+    }
+
+    /// Extra queue-wait rounds each job paid versus isolation
+    /// (cross-job interference, by job id).
+    #[must_use]
+    pub fn interference_wait(&self, isolated: &[TrafficStats]) -> Vec<(JobId, i64)> {
+        self.jobs
+            .iter()
+            .zip(isolated)
+            .map(|(j, iso)| {
+                (
+                    j.id,
+                    j.stats.total_wait_rounds as i64 - iso.total_wait_rounds as i64,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocPolicy;
+    use crate::job::TrafficProfile;
+    use crate::stream::{generate, StreamConfig};
+
+    fn tiny_jobs() -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                id: 0,
+                order: 3,
+                arrival: 0,
+                duration: 50,
+                traffic: TrafficProfile::DimensionSweep { dim: 1, plus: true },
+                routing: TenantRouting::Embedding,
+            },
+            JobSpec {
+                id: 1,
+                order: 3,
+                arrival: 0,
+                duration: 50,
+                traffic: TrafficProfile::Transpose,
+                routing: TenantRouting::Embedding,
+            },
+            JobSpec {
+                id: 2,
+                order: 4,
+                arrival: 5,
+                duration: 40,
+                traffic: TrafficProfile::UniformPairs { pairs: 30, seed: 9 },
+                routing: TenantRouting::Embedding,
+            },
+        ]
+    }
+
+    #[test]
+    fn schedule_is_fcfs_and_disjoint() {
+        for policy in AllocPolicy::ALL {
+            let mut alloc = policy.build(4);
+            let s = schedule(&tiny_jobs(), alloc.as_mut());
+            assert_eq!(s.placements().len(), 3, "{}", policy.name());
+            assert!(s.concurrent_placements_disjoint());
+            // Jobs 0 and 1 (order 3) fill S_4 half each; job 2 wants
+            // the whole S_4 and must wait for both releases.
+            assert_eq!(s.placements()[0].start, 0);
+            assert_eq!(s.placements()[1].start, 0);
+            assert_eq!(s.placements()[2].start, 50);
+            assert_eq!(s.placements()[2].queueing_delay(), 45);
+            assert_eq!(s.horizon(), 90);
+        }
+    }
+
+    #[test]
+    fn schedules_replay_identically() {
+        let cfg = StreamConfig {
+            greedy_pct: 25,
+            ..StreamConfig::isolated(5, 20, 77)
+        };
+        let jobs = generate(&cfg);
+        for policy in AllocPolicy::ALL {
+            let a = schedule(&jobs, policy.build(5).as_mut());
+            let b = schedule(&jobs, policy.build(5).as_mut());
+            assert_eq!(a, b, "{} must replay", policy.name());
+        }
+    }
+
+    #[test]
+    fn all_embedding_tenants_are_isolated_end_to_end() {
+        // The tentpole property at unit-test scale: S_5, every tenant
+        // embedding-routed, long enough walltimes that regions drain
+        // before reuse — per-job stats byte-equal isolated runs.
+        let net = Network::new(5);
+        let cfg = StreamConfig {
+            duration: (80, 120),
+            ..StreamConfig::isolated(5, 10, 3)
+        };
+        let jobs = generate(&cfg);
+        let mut alloc = AllocPolicy::FirstFit.build(5);
+        let s = schedule(&jobs, alloc.as_mut());
+        assert!(s.concurrent_placements_disjoint());
+        let run = s.tenant_run();
+        let report = run.run(&net);
+        let isolated = run.isolated_stats(&net);
+        assert_eq!(
+            report.perturbed_jobs(&isolated),
+            Vec::<JobId>::new(),
+            "embedding tenants must be byte-isolated"
+        );
+        // Conservation per job.
+        for j in &report.jobs {
+            assert_eq!(
+                j.stats.delivered + j.stats.dropped() + j.stats.stranded,
+                j.stats.injected
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_routing_tenants_are_isolated_too() {
+        // Convexity in action end-to-end: greedy and adaptive tenants
+        // route globally, yet minimal routes cannot leave a sub-star,
+        // so they byte-isolate exactly like embedding tenants.
+        let net = Network::new(5);
+        let cfg = StreamConfig {
+            duration: (80, 120),
+            greedy_pct: 50,
+            adaptive_pct: 30,
+            ..StreamConfig::isolated(5, 10, 5)
+        };
+        let jobs = generate(&cfg);
+        assert!(
+            jobs.iter().any(|j| j.routing != TenantRouting::Embedding),
+            "the mix must actually include minimal-routing tenants"
+        );
+        let mut alloc = AllocPolicy::BestFit.build(5);
+        let s = schedule(&jobs, alloc.as_mut());
+        let run = s.tenant_run();
+        let report = run.run(&net);
+        let isolated = run.isolated_stats(&net);
+        assert_eq!(report.perturbed_jobs(&isolated), Vec::<JobId>::new());
+    }
+
+    #[test]
+    fn oblivious_tenants_interfere_measurably() {
+        // Machine-coordinate dimension-order tenants trespass, so
+        // somebody's shared-run stats depart their isolated baseline.
+        let net = Network::new(5);
+        let cfg = StreamConfig {
+            duration: (80, 120),
+            oblivious_pct: 60,
+            pattern: crate::stream::ArrivalPattern::Bursty { burst: 4, gap: 30 },
+            ..StreamConfig::isolated(5, 8, 11)
+        };
+        let jobs = generate(&cfg);
+        assert!(jobs
+            .iter()
+            .any(|j| j.routing == TenantRouting::GlobalEmbedding));
+        let mut alloc = AllocPolicy::FirstFit.build(5);
+        let s = schedule(&jobs, alloc.as_mut());
+        let run = s.tenant_run();
+        let report = run.run(&net);
+        let isolated = run.isolated_stats(&net);
+        let perturbed = report.perturbed_jobs(&isolated);
+        assert!(
+            !perturbed.is_empty(),
+            "oblivious dimension-order tenants must interfere"
+        );
+        // Everything still conserves per job, interference or not.
+        for j in &report.jobs {
+            assert_eq!(
+                j.stats.delivered + j.stats.dropped() + j.stats.stranded,
+                j.stats.injected
+            );
+        }
+    }
+
+    #[test]
+    fn fragmentation_samples_are_sane() {
+        let mut alloc = AllocPolicy::Buddy.build(4);
+        let s = schedule(&tiny_jobs(), alloc.as_mut());
+        for f in s.frag_timeline() {
+            assert!(f.free_pes <= 24);
+            assert!((0.0..=1.0).contains(&f.fragmentation()));
+        }
+        // Once everything is released, the machine coalesces whole.
+        let last = s.frag_timeline().last().unwrap();
+        assert_eq!(last.pending, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property suite for the allocator and scheduler invariants:
+//! pairwise-disjoint placements, exact capacity accounting across
+//! release, full coalescing on drain, and seed-replayable schedules.
+
+use proptest::prelude::*;
+use sg_perm::factorial::factorial;
+use sg_sched::alloc::{AllocPolicy, SubstarAllocator};
+use sg_sched::scheduler::schedule;
+use sg_sched::stream::{generate, ArrivalPattern, StreamConfig};
+use sg_star::substar::SubStar;
+
+fn policy_for(which: u8) -> AllocPolicy {
+    AllocPolicy::ALL[which as usize % AllocPolicy::ALL.len()]
+}
+
+/// Drives a seeded alloc/release trace and checks every invariant at
+/// every step.
+fn drive(alloc: &mut dyn SubstarAllocator, n: usize, seed: u64, steps: u32) {
+    let mut x = seed | 1;
+    let mut next = move || {
+        // SplitMix64-ish local stream.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 27)
+    };
+    let mut live: Vec<SubStar> = Vec::new();
+    let mut free = factorial(n);
+    for _ in 0..steps {
+        let release = !live.is_empty() && next() % 3 == 0;
+        if release {
+            let idx = (next() % live.len() as u64) as usize;
+            let sub = live.swap_remove(idx);
+            alloc.release(&sub);
+            free += sub.size();
+        } else {
+            let order = 2 + (next() % (n as u64 - 1)) as usize;
+            if let Some(sub) = alloc.allocate(order) {
+                prop_assert!(sub.order() == order, "got the requested order");
+                free -= sub.size();
+                for other in &live {
+                    prop_assert!(
+                        sub.is_disjoint(other),
+                        "allocations must be pairwise disjoint"
+                    );
+                }
+                live.push(sub);
+            } else {
+                // A refusal is only legitimate if a whole free block
+                // of that order genuinely doesn't exist.
+                prop_assert!(
+                    alloc.largest_free_order() < order,
+                    "refused although an order-{order} block was free"
+                );
+            }
+        }
+        prop_assert_eq!(alloc.free_pes(), free, "capacity accounting is exact");
+        let mut reported = alloc.live_allocations();
+        let mut expect = live.clone();
+        reported.sort_by_key(|s| s.fixed_suffix().to_vec());
+        expect.sort_by_key(|s| s.fixed_suffix().to_vec());
+        prop_assert_eq!(reported, expect, "live set matches");
+    }
+    // Drain: releases return capacity exactly and coalesce whole.
+    for sub in live.drain(..) {
+        alloc.release(&sub);
+    }
+    prop_assert_eq!(alloc.free_pes(), factorial(n));
+    prop_assert_eq!(
+        alloc.largest_free_order(),
+        n,
+        "drained machine re-coalesces"
+    );
+}
+
+proptest! {
+    /// Random alloc/release traces keep every allocator invariant,
+    /// for every policy.
+    #[test]
+    fn prop_allocator_invariants(which in 0u8..3, n in 3usize..=5, seed in any::<u64>()) {
+        let mut alloc = policy_for(which).build(n);
+        drive(alloc.as_mut(), n, seed, 60);
+    }
+
+    /// Identical seeds replay identical schedules (and identical
+    /// composed workloads), for every policy and arrival pattern.
+    #[test]
+    fn prop_schedules_replay(which in 0u8..3, seed in any::<u64>(), pat in 0u8..3, greedy in 0u32..50) {
+        let n = 5;
+        let pattern = match pat {
+            0 => ArrivalPattern::Steady { gap: 3 },
+            1 => ArrivalPattern::Bursty { burst: 3, gap: 9 },
+            _ => ArrivalPattern::Random { mean_gap: 4 },
+        };
+        let cfg = StreamConfig {
+            pattern,
+            greedy_pct: greedy,
+            ..StreamConfig::isolated(n, 12, seed)
+        };
+        let jobs = generate(&cfg);
+        prop_assert_eq!(&jobs, &generate(&cfg), "stream replay");
+        let policy = policy_for(which);
+        let a = schedule(&jobs, policy.build(n).as_mut());
+        let b = schedule(&jobs, policy.build(n).as_mut());
+        prop_assert_eq!(&a, &b, "schedule replay");
+        prop_assert!(a.concurrent_placements_disjoint());
+        let ra = a.tenant_run();
+        let rb = b.tenant_run();
+        prop_assert_eq!(ra.workload(), rb.workload(), "composed workload replay");
+        prop_assert_eq!(ra.owner(), rb.owner());
+    }
+
+    /// Every admitted job is placed exactly once, FCFS order is kept,
+    /// and queueing delay is never negative (start ≥ arrival).
+    #[test]
+    fn prop_schedule_shape(which in 0u8..3, seed in any::<u64>()) {
+        let n = 5;
+        let cfg = StreamConfig {
+            pattern: ArrivalPattern::Bursty { burst: 4, gap: 2 },
+            ..StreamConfig::isolated(n, 15, seed)
+        };
+        let jobs = generate(&cfg);
+        let s = schedule(&jobs, policy_for(which).build(n).as_mut());
+        prop_assert_eq!(s.placements().len(), jobs.len(), "FCFS admits everyone eventually");
+        let mut seen = vec![false; jobs.len()];
+        for p in s.placements() {
+            prop_assert!(!seen[p.job.id as usize], "placed once");
+            seen[p.job.id as usize] = true;
+            prop_assert!(p.start >= p.job.arrival);
+            prop_assert!(p.finish > p.start);
+        }
+        // FCFS: same-arrival jobs start in id order.
+        for w in s.placements().windows(2) {
+            if w[0].job.arrival == w[1].job.arrival {
+                prop_assert!(w[0].start <= w[1].start, "FCFS within a burst");
+            }
+        }
+    }
+}

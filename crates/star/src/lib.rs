@@ -37,3 +37,4 @@ pub mod routing;
 pub mod substar;
 
 pub use graph::StarGraph;
+pub use substar::SubStar;

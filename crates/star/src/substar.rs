@@ -9,6 +9,8 @@
 //! tolerance.
 
 use crate::StarGraph;
+use sg_perm::factorial::factorial;
+use sg_perm::lehmer::{rank, unrank};
 use sg_perm::Perm;
 
 /// Label of the sub-star containing `p` when decomposing by slot
@@ -75,10 +77,265 @@ pub fn lift_from_substar(q: &Perm, fixed: u8) -> Perm {
     Perm::from_slice(&out).expect("lift is a valid permutation")
 }
 
+/// A sub-star of `S_n` identified by its fixed slot suffix: the
+/// induced copy of `S_m` on all nodes holding `fixed[i]` in slot
+/// `n−1−i` (outermost slot first). `fixed` empty means all of `S_n`;
+/// each additional fixed symbol descends one level of the recursive
+/// decomposition, so the sub-stars of `S_n` form a tree with
+/// branching factor equal to the current order — the processor
+/// allocation lattice `sg-sched` carves tenants from.
+///
+/// Only generators `g_1 … g_{m−1}` act on the first `m` slots, so a
+/// route using them never leaves the sub-star, and
+/// [`SubStar::project`]/[`SubStar::lift`] are graph isomorphisms onto
+/// `S_m` that commute with those generators — the structural fact
+/// behind tenant isolation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SubStar {
+    n: usize,
+    /// `fixed[i]` = symbol pinned in slot `n−1−i`.
+    fixed: Vec<u8>,
+}
+
+impl SubStar {
+    /// The whole of `S_n` (nothing fixed).
+    ///
+    /// # Panics
+    /// Panics for `n < 2`.
+    #[must_use]
+    pub fn whole(n: usize) -> Self {
+        assert!(n >= 2, "S_n needs n >= 2");
+        SubStar {
+            n,
+            fixed: Vec::new(),
+        }
+    }
+
+    /// Builds a sub-star from an explicit fixed suffix (`fixed[i]` in
+    /// slot `n−1−i`).
+    ///
+    /// # Panics
+    /// Panics if a symbol repeats, is out of range, or the suffix
+    /// leaves order `< 1`.
+    #[must_use]
+    pub fn new(n: usize, fixed: Vec<u8>) -> Self {
+        assert!(n >= 2, "S_n needs n >= 2");
+        assert!(
+            fixed.len() < n,
+            "fixing {} slots of S_{n} leaves no star",
+            fixed.len()
+        );
+        let mut seen = vec![false; n];
+        for &s in &fixed {
+            assert!((s as usize) < n, "symbol {s} out of range for S_{n}");
+            assert!(!seen[s as usize], "symbol {s} fixed twice");
+            seen[s as usize] = true;
+        }
+        SubStar { n, fixed }
+    }
+
+    /// Host star order `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Order `m` of the sub-star (`n −` fixed slots).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.n - self.fixed.len()
+    }
+
+    /// Nodes in the sub-star (`order()!`).
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        factorial(self.order())
+    }
+
+    /// The fixed suffix, outermost slot first.
+    #[must_use]
+    pub fn fixed_suffix(&self) -> &[u8] {
+        &self.fixed
+    }
+
+    /// Symbols still free inside the sub-star, ascending. The local
+    /// symbol `v` of the projected `S_m` corresponds to global symbol
+    /// `free_symbols()[v]`.
+    #[must_use]
+    pub fn free_symbols(&self) -> Vec<u8> {
+        let mut pinned = vec![false; self.n];
+        for &s in &self.fixed {
+            pinned[s as usize] = true;
+        }
+        (0..self.n as u8).filter(|&s| !pinned[s as usize]).collect()
+    }
+
+    /// Descends one level: fixes slot `order()−1` to `symbol`.
+    ///
+    /// # Panics
+    /// Panics if `symbol` is already fixed or the result would drop
+    /// below order 1.
+    #[must_use]
+    pub fn child(&self, symbol: u8) -> Self {
+        assert!(self.order() >= 2, "an S_1 sub-star has no children");
+        let mut fixed = self.fixed.clone();
+        fixed.push(symbol);
+        SubStar::new(self.n, fixed)
+    }
+
+    /// All `order()` children (one per free symbol, ascending) — the
+    /// canonical split of the allocation tree.
+    #[must_use]
+    pub fn children(&self) -> Vec<Self> {
+        self.free_symbols()
+            .into_iter()
+            .map(|s| self.child(s))
+            .collect()
+    }
+
+    /// `true` iff `p` is a node of this sub-star.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a permutation of `0..n`.
+    #[must_use]
+    pub fn contains(&self, p: &Perm) -> bool {
+        assert_eq!(p.len(), self.n, "node of the wrong star order");
+        self.fixed
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| p.symbol_at(self.n - 1 - i) == s)
+    }
+
+    /// [`SubStar::contains`] by Lehmer rank.
+    #[must_use]
+    pub fn contains_rank(&self, r: u64) -> bool {
+        self.contains(&unrank(r, self.n).expect("rank in range"))
+    }
+
+    /// Embeds a node `q` of the local `S_m` into the host `S_n`:
+    /// local symbols are renamed order-preservingly onto
+    /// [`SubStar::free_symbols`] and the fixed suffix is appended.
+    /// Inverse of [`SubStar::project`]; commutes with generators
+    /// `g_1 … g_{m−1}`.
+    ///
+    /// # Panics
+    /// Panics unless `q.len() == order()`.
+    #[must_use]
+    pub fn lift(&self, q: &Perm) -> Perm {
+        let m = self.order();
+        assert_eq!(q.len(), m, "local node of the wrong order");
+        let free = self.free_symbols();
+        let mut out = Vec::with_capacity(self.n);
+        for i in 0..m {
+            out.push(free[q.symbol_at(i) as usize]);
+        }
+        for i in (0..self.fixed.len()).rev() {
+            out.push(self.fixed[i]);
+        }
+        Perm::from_slice(&out).expect("lift is a valid permutation")
+    }
+
+    /// Projects a node of this sub-star to the local `S_m` by
+    /// deleting the fixed suffix and compressing the free symbols to
+    /// `0..m` order-preservingly. Inverse of [`SubStar::lift`].
+    ///
+    /// # Panics
+    /// Panics unless [`SubStar::contains`]`(p)`.
+    #[must_use]
+    pub fn project(&self, p: &Perm) -> Perm {
+        assert!(self.contains(p), "node {p} outside sub-star");
+        let m = self.order();
+        let free = self.free_symbols();
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let s = p.symbol_at(i);
+            let v = free.binary_search(&s).expect("free symbol by containment");
+            out.push(v as u8);
+        }
+        Perm::from_slice(&out).expect("projection is a valid permutation")
+    }
+
+    /// [`SubStar::lift`] on Lehmer ranks: local rank in `S_m` → global
+    /// rank in `S_n`.
+    #[must_use]
+    pub fn lift_rank(&self, r: u64) -> u64 {
+        rank(&self.lift(&unrank(r, self.order()).expect("rank in range")))
+    }
+
+    /// [`SubStar::project`] on Lehmer ranks.
+    #[must_use]
+    pub fn project_rank(&self, r: u64) -> u64 {
+        rank(&self.project(&unrank(r, self.n).expect("rank in range")))
+    }
+
+    /// All global node ranks of the sub-star, in local-rank order.
+    #[must_use]
+    pub fn node_ranks(&self) -> Vec<u64> {
+        (0..self.size()).map(|r| self.lift_rank(r)).collect()
+    }
+
+    /// `true` iff this sub-star is `other` or contains it (i.e. our
+    /// fixed suffix is a prefix of theirs).
+    #[must_use]
+    pub fn contains_substar(&self, other: &Self) -> bool {
+        self.n == other.n
+            && other.fixed.len() >= self.fixed.len()
+            && other.fixed[..self.fixed.len()] == self.fixed[..]
+    }
+
+    /// `true` iff the two sub-stars share no node. Two fixed-suffix
+    /// sub-stars either nest or are disjoint: they overlap exactly
+    /// when they agree on the slots both fix.
+    ///
+    /// # Panics
+    /// Panics if the host orders differ.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        assert_eq!(self.n, other.n, "sub-stars of different hosts");
+        let k = self.fixed.len().min(other.fixed.len());
+        self.fixed[..k] != other.fixed[..k]
+    }
+}
+
+impl std::fmt::Display for SubStar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S_{}[", self.order())?;
+        for (i, s) in self.fixed.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Enumerates every order-`m` sub-star of `S_n` (`n!/m!` of them), in
+/// allocation-tree DFS order (children by ascending fixed symbol).
+///
+/// # Panics
+/// Panics unless `1 ≤ m ≤ n` and `n ≥ 2`.
+#[must_use]
+pub fn substars_of_order(n: usize, m: usize) -> Vec<SubStar> {
+    assert!(m >= 1 && m <= n, "order out of range");
+    let mut out = Vec::new();
+    let mut stack = vec![SubStar::whole(n)];
+    while let Some(sub) = stack.pop() {
+        if sub.order() == m {
+            out.push(sub);
+        } else {
+            // Reverse so the ascending-symbol child pops first.
+            let mut kids = sub.children();
+            kids.reverse();
+            stack.extend(kids);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sg_perm::factorial::factorial;
 
     #[test]
     fn partition_sizes() {
@@ -141,6 +398,109 @@ mod tests {
             assert_eq!(p.len(), 4);
             assert_eq!(p.symbol_at(3), fixed);
             assert_eq!(project_to_substar(&p), q);
+        }
+    }
+
+    #[test]
+    fn substar_single_level_matches_legacy_helpers() {
+        // A one-deep SubStar is exactly the project/lift pair above.
+        let n = 5;
+        for fixed in 0..n as u8 {
+            let sub = SubStar::whole(n).child(fixed);
+            for r in (0..factorial(n)).step_by(13) {
+                let p = unrank(r, n).unwrap();
+                if p.symbol_at(n - 1) != fixed {
+                    assert!(!sub.contains(&p));
+                    continue;
+                }
+                assert!(sub.contains(&p));
+                let q = project_to_substar(&p);
+                assert_eq!(sub.project(&p), q);
+                assert_eq!(sub.lift(&q), p);
+            }
+        }
+    }
+
+    #[test]
+    fn substar_rank_roundtrip_and_sizes() {
+        let n = 5;
+        for m in 1..=n {
+            let subs = substars_of_order(n, m);
+            assert_eq!(subs.len() as u64, factorial(n) / factorial(m));
+            for sub in subs.iter().take(8) {
+                assert_eq!(sub.order(), m);
+                assert_eq!(sub.size(), factorial(m));
+                for r in 0..sub.size() {
+                    let g = sub.lift_rank(r);
+                    assert!(sub.contains_rank(g));
+                    assert_eq!(sub.project_rank(g), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn substar_partition_covers_host_exactly() {
+        // Order-m sub-stars partition the n! nodes.
+        let n = 5;
+        for m in [2usize, 3] {
+            let mut seen = vec![false; factorial(n) as usize];
+            for sub in substars_of_order(n, m) {
+                for g in sub.node_ranks() {
+                    assert!(!seen[g as usize], "rank {g} covered twice");
+                    seen[g as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "partition must cover S_{n}");
+        }
+    }
+
+    #[test]
+    fn substar_disjointness_is_suffix_disagreement() {
+        let n = 5;
+        let subs = substars_of_order(n, 3);
+        for a in &subs {
+            for b in &subs {
+                let disjoint = a.is_disjoint(b);
+                assert_eq!(
+                    disjoint,
+                    a != b,
+                    "equal-order sub-stars nest only trivially"
+                );
+                // Semantics check on the node sets themselves.
+                let bn: std::collections::HashSet<u64> = b.node_ranks().into_iter().collect();
+                let overlap = a.node_ranks().iter().any(|g| bn.contains(g));
+                assert_eq!(overlap, !disjoint);
+            }
+        }
+        // Nesting: a child is contained, never disjoint.
+        let parent = SubStar::whole(n).child(2);
+        for kid in parent.children() {
+            assert!(parent.contains_substar(&kid));
+            assert!(!parent.is_disjoint(&kid));
+            assert!(!kid.contains_substar(&parent));
+        }
+    }
+
+    #[test]
+    fn lift_commutes_with_small_generators() {
+        // The isolation fact: for g < order, lift(q g) = lift(q) g —
+        // sub-star-internal routes stay internal.
+        let n = 6;
+        let sub = SubStar::new(n, vec![4, 1]);
+        let m = sub.order();
+        for r in 0..factorial(m) {
+            let q = unrank(r, m).unwrap();
+            let p = sub.lift(&q);
+            for g in 1..m {
+                assert_eq!(
+                    sub.lift(&q.with_slots_swapped(0, g)),
+                    p.with_slots_swapped(0, g),
+                    "generator {g} must commute with the lift"
+                );
+            }
+            // The first non-local generator leaves the sub-star.
+            assert!(!sub.contains(&p.with_slots_swapped(0, m)));
         }
     }
 }

@@ -21,7 +21,7 @@
 //!
 //! See the crate-level docs of each member crate for the details:
 //! [`sg_perm`], [`sg_graph`], [`sg_star`], [`sg_mesh`], [`sg_core`],
-//! [`sg_simd`], [`sg_algo`], [`sg_net`].
+//! [`sg_simd`], [`sg_algo`], [`sg_net`], [`sg_sched`].
 
 #![forbid(unsafe_code)]
 
@@ -31,6 +31,7 @@ pub use sg_graph as graph;
 pub use sg_mesh as mesh;
 pub use sg_net as net;
 pub use sg_perm as perm;
+pub use sg_sched as sched;
 pub use sg_simd as simd;
 pub use sg_star as star;
 
@@ -49,6 +50,7 @@ pub mod prelude {
         GreedyRouting, NetConfig, Network, RoutingPolicy, TrafficStats, Workload,
     };
     pub use sg_perm::{Perm, PermIter};
+    pub use sg_sched::{AllocPolicy, JobSpec, StreamConfig, TenantRouting, TrafficProfile};
     pub use sg_simd::embedded::EmbeddedMeshMachine;
     pub use sg_simd::machine::{MeshSimd, RouteStats};
     pub use sg_simd::mesh_machine::MeshMachine;
