@@ -17,7 +17,7 @@
 //! PEs) full-injection sweep and append it to the trajectory.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use sg_net::{EmbeddingRouting, Engine, GreedyRouting, Network, Workload};
+use sg_net::{EmbeddingRouting, Engine, FlowControl, GreedyRouting, NetConfig, Network, Workload};
 use std::time::Instant;
 
 fn smoke() -> bool {
@@ -71,6 +71,37 @@ fn bench_engine_comparison(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
             b.iter(|| net.run_with(&w, &GreedyRouting, Engine::Reference));
+        });
+    }
+    group.finish();
+}
+
+/// The flow-control axis under contention: unbounded tail-drop
+/// baseline vs credit-based stalling vs the escape channel. Escape
+/// pays for its bank scans and diversions only when credits starve;
+/// this group keeps that overhead visible, and the engine pair shows
+/// the fast engine's dual-channel worklist holding its margin.
+fn bench_flow_control(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_flow_control");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let orders: &[usize] = if smoke() { &[4] } else { &[5, 6] };
+    for &n in orders {
+        let w = Workload::bernoulli_uniform(n, 10, 100, 0xBEEF);
+        let cfg = |fc| NetConfig {
+            queue_capacity: Some(2),
+            flow_control: fc,
+            ..NetConfig::default()
+        };
+        let credit = Network::new(n).with_config(cfg(FlowControl::CreditBased));
+        let escape = Network::new(n).with_config(cfg(FlowControl::EscapeChannel));
+        group.bench_with_input(BenchmarkId::new("credit-cap2", n), &n, |b, _| {
+            b.iter(|| credit.run(&w, &GreedyRouting));
+        });
+        group.bench_with_input(BenchmarkId::new("escape-cap2", n), &n, |b, _| {
+            b.iter(|| escape.run(&w, &GreedyRouting));
+        });
+        group.bench_with_input(BenchmarkId::new("escape-cap2-reference", n), &n, |b, _| {
+            b.iter(|| escape.run_with(&w, &GreedyRouting, Engine::Reference));
         });
     }
     group.finish();
@@ -233,6 +264,7 @@ criterion_group!(
     bench_dimension_sweep,
     bench_uniform_traffic,
     bench_engine_comparison,
+    bench_flow_control,
     bench_network_construction
 );
 

@@ -438,6 +438,7 @@ fn sched(n: usize) {
         duration,
         traffic: sweep,
         routing: e,
+        escape: false,
     };
     // One short-lived S_{n-1} + (n-2) long fillers + a small job
     // splitting the last S_{n-1}; then a probe and a big request.

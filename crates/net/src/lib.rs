@@ -52,12 +52,18 @@
 //! full-injection sweeps at `n = 8` (40 320 PEs) finish in seconds.
 //! `tests/differential.rs` proves them observationally identical:
 //! byte-equal [`TrafficStats`] across every workload × routing ×
-//! fault axis. Two scenario axes ride on the engines:
+//! fault axis. Three scenario axes ride on the engines:
 //! [`AdaptiveRouting`] (contention-aware least-occupied shortest-path
-//! hops) and [`FlowControl::CreditBased`] (packets stall at the
-//! source instead of tail-dropping). Routes live in one flat shared
-//! arena (offset + len per packet) rather than per-packet heap
-//! vectors.
+//! hops), [`FlowControl::CreditBased`] (packets stall at the source
+//! instead of tail-dropping — and can deadlock at tiny pools, as real
+//! blocking flow control does), and [`FlowControl::EscapeChannel`]
+//! (the deadlock-free refinement: starved heads divert onto a per-PE
+//! escape bank graded by residual hops and drained lowest-class-first
+//! along the canonical embedding routes; `tests/deadlock.rs` proves
+//! zero [`PacketOutcome::Stranded`] over an exhaustive tiny-pool
+//! sweep whose credit runs demonstrably wedge). Routes live in one
+//! flat shared arena (offset + len per packet) rather than per-packet
+//! heap vectors.
 //!
 //! ## Multi-tenancy
 //!

@@ -85,6 +85,25 @@ pub enum FlowControl {
     /// source** and retries every round, FIFO. Nothing is ever
     /// tail-dropped; `queue_capacity = None` means infinite credits.
     CreditBased,
+    /// [`FlowControl::CreditBased`] plus a deadlock-free **escape
+    /// partition** per PE. The adaptive partition is the identical
+    /// credit pool; on top of it every PE reserves one escape buffer
+    /// slot per *residual-hop class* (Gopal's structured buffer pool,
+    /// graded by hops left on the packet's pinned escape route). A
+    /// head flit stalled for adaptive credit may **divert**: it claims
+    /// the escape slot of its residual class, is re-routed onto the
+    /// canonical dimension-order embedding path (BFS over the
+    /// surviving subgraph when faults are installed) and from then on
+    /// travels the escape channel, which has priority on every link
+    /// and forwards lowest residual class first. A class-`k` flit
+    /// moving to the next PE needs only the class-`k−1` slot there, so
+    /// the slot-dependency relation is strictly decreasing — acyclic —
+    /// and on a fault-free network **no packet is ever
+    /// [`crate::PacketOutcome::Stranded`]**: the configurations where
+    /// `CreditBased` deadlocks drain to completion (the tiny-pool
+    /// sweep in `tests/deadlock.rs` proves the contrast). Diversions
+    /// are counted in [`crate::TrafficStats::escape_diversions`].
+    EscapeChannel,
 }
 
 /// Which simulation engine executes the run.
@@ -240,7 +259,10 @@ impl Network {
     fn credit_pool(&self) -> Option<u64> {
         match self.config.flow_control {
             FlowControl::TailDrop => None,
-            FlowControl::CreditBased => self
+            // The escape mode's adaptive partition is *exactly* the
+            // credit-based pool, so deadlock-prone configurations stay
+            // comparable between the two modes.
+            FlowControl::CreditBased | FlowControl::EscapeChannel => self
                 .config
                 .queue_capacity
                 .map(|cap| u64::from(cap) * (self.n as u64 - 1)),
@@ -294,7 +316,34 @@ impl Network {
         policies: &[&dyn RoutingPolicy],
         owner: &[u32],
     ) -> (TrafficStats, Vec<TrafficStats>) {
-        self.run_partitioned_inner(workload, policies, owner, None)
+        self.run_partitioned_inner(workload, policies, owner, None, None)
+    }
+
+    /// [`Network::run_partitioned`] with per-job escape eligibility:
+    /// under [`FlowControl::EscapeChannel`], only packets of jobs with
+    /// `escape[j] == true` may divert onto the escape channel; opted-
+    /// out jobs behave exactly as under [`FlowControl::CreditBased`]
+    /// (and can therefore still deadlock and strand — mixing opt-ins
+    /// trades the global deadlock-freedom guarantee for per-tenant
+    /// control). Under any other flow control the flags are inert.
+    ///
+    /// # Panics
+    /// As [`Network::run_partitioned`], plus if `escape` is not one
+    /// flag per job.
+    #[must_use]
+    pub fn run_partitioned_with_escape(
+        &self,
+        workload: &Workload,
+        policies: &[&dyn RoutingPolicy],
+        owner: &[u32],
+        escape: &[bool],
+    ) -> (TrafficStats, Vec<TrafficStats>) {
+        assert_eq!(
+            escape.len(),
+            policies.len(),
+            "escape eligibility must name every job"
+        );
+        self.run_partitioned_inner(workload, policies, owner, Some(escape), None)
     }
 
     fn run_partitioned_inner(
@@ -302,10 +351,16 @@ impl Network {
         workload: &Workload,
         policies: &[&dyn RoutingPolicy],
         owner: &[u32],
+        escape: Option<&[bool]>,
         trace: Option<&mut Vec<Vec<HopRecord>>>,
     ) -> (TrafficStats, Vec<TrafficStats>) {
         let jobs = policies.len();
-        let (inj, routes, pkts) = self.prepare_multi(workload, policies, owner);
+        let (inj, routes, mut pkts) = self.prepare_multi(workload, policies, owner);
+        if let Some(esc) = escape {
+            for (pkt, &j) in pkts.iter_mut().zip(owner) {
+                pkt.may_escape = esc[j as usize];
+            }
+        }
         let mut sim = FastSim::new(self, inj, routes, pkts);
         sim.attr = Some(JobAttribution::new(owner, jobs));
         let (total, counters) = sim.run(trace);
@@ -380,7 +435,7 @@ impl Network {
     ) -> (TrafficStats, Vec<TrafficStats>, Vec<Vec<HopRecord>>) {
         let mut traces = vec![Vec::new(); workload.len()];
         let (total, per_job) =
-            self.run_partitioned_inner(workload, policies, owner, Some(&mut traces));
+            self.run_partitioned_inner(workload, policies, owner, None, Some(&mut traces));
         (total, per_job, traces)
     }
 
@@ -517,6 +572,9 @@ fn assemble_routes(inj: &[Injection], chunks: Vec<RouteChunk>) -> (RouteArena, V
                 route_pos: 0,
                 hops: 0,
                 adaptive,
+                escaped: false,
+                may_escape: true,
+                esc_class: 0,
             });
             off += len;
         }
@@ -568,6 +626,16 @@ struct SimPacket {
     /// Hop chosen at enqueue time; cleared when a fault pins the
     /// packet to a BFS detour route.
     adaptive: bool,
+    /// The packet diverted onto the escape channel (escape mode only;
+    /// a one-way transition — escaped packets stay escape-routed).
+    escaped: bool,
+    /// Whether the packet may divert at all: per-job opt-in under
+    /// [`Network::run_partitioned_with_escape`], `true` elsewhere.
+    may_escape: bool,
+    /// The residual-hop class whose escape slot the packet currently
+    /// holds (occupied while buffered, reserved while in flight).
+    /// Meaningful only while `escaped`.
+    esc_class: u32,
 }
 
 /// Outcome of one adaptive next-hop selection.
@@ -767,6 +835,87 @@ fn reroute_from(
     Some(route)
 }
 
+/// An empty escape slot.
+const ESC_FREE: u32 = u32::MAX;
+/// Tag bit on a slot holder that is still in flight toward the PE
+/// (the slot is *reserved*, not yet occupied); cleared on arrival.
+const ESC_RESV: u32 = 1 << 31;
+
+/// The escape partition: Gopal's structured buffer pool, graded by
+/// residual hops. `classes[c][u]` is the single class-`c` escape slot
+/// of PE `u` — [`ESC_FREE`], the resident packet id, or the id tagged
+/// [`ESC_RESV`] while the holder is in flight toward `u`. A class-`c`
+/// flit forwarding to the next PE needs only that PE's class-`c−1`
+/// slot (final hops need none), so slot dependencies strictly descend
+/// the grading and can never cycle. Class arrays are grown lazily:
+/// only classes some packet actually reaches are ever allocated
+/// (bounded by the longest pinned escape route).
+struct EscapeBank {
+    node_count: usize,
+    classes: Vec<Vec<u32>>,
+}
+
+impl EscapeBank {
+    fn new(node_count: usize) -> Self {
+        EscapeBank {
+            node_count,
+            classes: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn holder(&self, c: usize, u: usize) -> u32 {
+        self.classes.get(c).map_or(ESC_FREE, |slots| slots[u])
+    }
+
+    #[inline]
+    fn is_free(&self, c: usize, u: usize) -> bool {
+        self.holder(c, u) == ESC_FREE
+    }
+
+    fn set(&mut self, c: usize, u: usize, val: u32) {
+        if self.classes.len() <= c {
+            self.classes
+                .resize_with(c + 1, || vec![ESC_FREE; self.node_count]);
+        }
+        self.classes[c][u] = val;
+    }
+
+    fn clear(&mut self, c: usize, u: usize) {
+        self.classes[c][u] = ESC_FREE;
+    }
+}
+
+/// The pinned escape route `u → dst`, as a memoized arena span: the
+/// canonical dimension-order embedding path on a clean network, the
+/// BFS route over the surviving subgraph when faults are installed
+/// (`None` only if `dst` is unreachable — the diversion then simply
+/// fails and the head keeps waiting for adaptive credit). Either way
+/// the route is pinned and every hop shortens it, which is what the
+/// residual-hop grading needs.
+fn escape_span(
+    net: &Network,
+    routes: &mut RouteArena,
+    memo: &mut HashMap<(u32, u32), Option<(u32, u32)>>,
+    reroute_memo: &mut HashMap<u32, Vec<u8>>,
+    u: u32,
+    dst: u32,
+) -> Option<(u32, u32)> {
+    if let Some(&span) = memo.get(&(u, dst)) {
+        return span;
+    }
+    let route = if net.faults.is_empty() {
+        let a = unrank(u64::from(u), net.n).expect("rank in range");
+        let b = unrank(u64::from(dst), net.n).expect("rank in range");
+        Some(crate::routing::EmbeddingRouting.route(&a, &b))
+    } else {
+        reroute_from(net, reroute_memo, u, dst)
+    };
+    let span = route.map(|r| routes.push(&r));
+    memo.insert((u, dst), span);
+    span
+}
+
 /// Resolves every still-open packet as [`PacketOutcome::Stranded`]
 /// (round cap or credit deadlock).
 fn strand_remaining(outcomes: &mut [Option<PacketOutcome>], resolved: &mut usize) {
@@ -829,6 +978,18 @@ struct ReferenceSim<'a> {
     /// Cached `!faults.is_empty()`: skips the per-hop fault lookups
     /// entirely on a clean network.
     faulty: bool,
+    /// The escape partition — `Some` only under
+    /// [`FlowControl::EscapeChannel`].
+    esc: Option<EscapeBank>,
+    /// Escape residents per PE (adaptive occupancy stays in
+    /// `node_occ`, so the credit math is untouched by escape traffic).
+    esc_node: Vec<u32>,
+    /// Memoized escape-route spans per `(PE, dst)`.
+    esc_memo: HashMap<(u32, u32), Option<(u32, u32)>>,
+    /// Diversion attempts staged during the arbitration scan, applied
+    /// after it in scan order (so a diversion can never alter the
+    /// scan it was decided in).
+    divert: Vec<(usize, PacketId)>,
     counters: RunCounters,
 }
 
@@ -841,6 +1002,7 @@ impl<'a> ReferenceSim<'a> {
     ) -> Self {
         let gens = net.n - 1;
         let lanes = net.config.link_latency as usize + 1;
+        let esc_mode = net.config.flow_control == FlowControl::EscapeChannel;
         ReferenceSim {
             net,
             gens,
@@ -860,6 +1022,10 @@ impl<'a> ReferenceSim<'a> {
             total_queued: 0,
             pool: net.credit_pool(),
             faulty: !net.faults.is_empty(),
+            esc: esc_mode.then(|| EscapeBank::new(net.node_count)),
+            esc_node: vec![0; net.node_count],
+            esc_memo: HashMap::new(),
+            divert: Vec::new(),
             counters: RunCounters::default(),
         }
     }
@@ -900,15 +1066,26 @@ impl<'a> ReferenceSim<'a> {
             &occ[..self.gens],
         ) {
             Ok(g) => g,
-            Err(HopFail::Fault) => {
-                self.resolve(pid, round, PacketOutcome::DroppedFault { round });
-                return;
-            }
-            Err(HopFail::Unreachable) => {
-                self.resolve(pid, round, PacketOutcome::DroppedUnreachable { round });
+            Err(fail) => {
+                if self.pkts[p].escaped {
+                    // The class slot reserved at forward time is
+                    // surrendered along with the packet.
+                    let c = self.pkts[p].esc_class as usize;
+                    let bank = self.esc.as_mut().expect("escaped packet implies bank");
+                    bank.clear(c, u as usize);
+                }
+                let outcome = match fail {
+                    HopFail::Fault => PacketOutcome::DroppedFault { round },
+                    HopFail::Unreachable => PacketOutcome::DroppedUnreachable { round },
+                };
+                self.resolve(pid, round, outcome);
                 return;
             }
         };
+        if self.pkts[p].escaped {
+            self.place_escape(pid);
+            return;
+        }
         let qi = u as usize * self.gens + (g - 1);
         if self.net.config.flow_control == FlowControl::TailDrop {
             if let Some(cap) = self.net.config.queue_capacity {
@@ -922,10 +1099,133 @@ impl<'a> ReferenceSim<'a> {
         self.total_queued += 1;
         self.counters.peak_edge = self.counters.peak_edge.max(self.queues[qi].len() as u64);
         self.node_occ[u as usize] += 1;
-        self.counters.peak_node = self
+        let at_pe = u64::from(self.node_occ[u as usize]) + u64::from(self.esc_node[u as usize]);
+        self.counters.peak_node = self.counters.peak_node.max(at_pe);
+    }
+
+    /// An escaped packet lands: its forward-time slot reservation
+    /// becomes occupancy and the packet sits in the escape bank (not
+    /// in any FIFO) until link arbitration forwards it.
+    fn place_escape(&mut self, pid: PacketId) {
+        let p = pid as usize;
+        let u = self.pkts[p].cur as usize;
+        let remaining = self.pkts[p].route_len - self.pkts[p].route_pos;
+        let mut c = self.pkts[p].esc_class;
+        let bank = self.esc.as_mut().expect("escaped packet implies bank");
+        // A fault fallback can repin the route mid-flight and change
+        // the residual length; re-grade to the new class when its slot
+        // is free (pinned escape routes never hit the static fault
+        // plan, so this is defensive — the grading invariant is only
+        // claimed fault-free anyway).
+        if remaining != c && bank.is_free(remaining as usize, u) {
+            bank.clear(c as usize, u);
+            c = remaining;
+            self.pkts[p].esc_class = c;
+        }
+        bank.set(c as usize, u, pid);
+        self.esc_node[u] += 1;
+        self.total_queued += 1;
+        self.counters.peak_escape = self.counters.peak_escape.max(u64::from(self.esc_node[u]));
+        let at_pe = u64::from(self.node_occ[u]) + u64::from(self.esc_node[u]);
+        self.counters.peak_node = self.counters.peak_node.max(at_pe);
+    }
+
+    /// Escape-channel arbitration for link `li`: forward the resident
+    /// of the **lowest** residual class bound for this link whose
+    /// downstream slot is free (final hops need none). Returns whether
+    /// the link was used. Lowest-class-first service is what the
+    /// deadlock-freedom argument leans on: the globally minimal class
+    /// always finds its next slot empty.
+    fn try_escape_forward(&mut self, li: usize, land: usize) -> bool {
+        let u = li / self.gens;
+        if self.esc_node[u] == 0 {
+            return false;
+        }
+        let g = (li % self.gens + 1) as u8;
+        let v = self.net.neighbor[li];
+        let nclasses = self.esc.as_ref().expect("escape mode").classes.len();
+        for c in 1..nclasses {
+            let slot = self.esc.as_ref().expect("escape mode").holder(c, u);
+            if slot == ESC_FREE || slot & ESC_RESV != 0 {
+                continue;
+            }
+            let pid = slot;
+            let p = pid as usize;
+            let next = self.routes.data[(self.pkts[p].route_off + self.pkts[p].route_pos) as usize];
+            if next != g {
+                continue;
+            }
+            debug_assert_eq!(self.pkts[p].esc_class as usize, c, "bank/class drift");
+            let remaining = self.pkts[p].route_len - self.pkts[p].route_pos;
+            let bank = self.esc.as_mut().expect("escape mode");
+            if v == self.pkts[p].dst {
+                // Final hop — delivered on arrival even when the
+                // pinned route only *passes through* dst (dilation-3
+                // transpositions revisit lattice points), so no
+                // downstream slot is needed.
+            } else {
+                let c_next = (remaining - 1) as usize;
+                if !bank.is_free(c_next, v as usize) {
+                    continue; // this class stalls; a higher one may still go
+                }
+                bank.set(c_next, v as usize, pid | ESC_RESV);
+                self.pkts[p].esc_class = c_next as u32;
+            }
+            bank.clear(c, u);
+            self.esc_node[u] -= 1;
+            self.total_queued -= 1;
+            self.pkts[p].cur = v;
+            self.pkts[p].hops += 1;
+            self.pkts[p].route_pos += 1;
+            self.counters.forwarded += 1;
+            self.counters.escape_forwarded += 1;
+            self.arrivals[land].push(pid);
+            self.in_flight += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Applies one staged diversion: the (still-)head of adaptive
+    /// queue `li` moves onto the escape channel if its residual-class
+    /// slot at this PE is free and an escape route exists. Frees one
+    /// adaptive pool slot at the PE; the flit stays buffered (and
+    /// charged wait rounds) throughout.
+    fn apply_diversion(&mut self, li: usize, pid: PacketId) -> bool {
+        let p = pid as usize;
+        let u = (li / self.gens) as u32;
+        let dst = self.pkts[p].dst;
+        let Some((off, len)) = escape_span(
+            self.net,
+            &mut self.routes,
+            &mut self.esc_memo,
+            &mut self.reroute_memo,
+            u,
+            dst,
+        ) else {
+            return false;
+        };
+        let bank = self.esc.as_mut().expect("escape mode");
+        if !bank.is_free(len as usize, u as usize) {
+            return false;
+        }
+        bank.set(len as usize, u as usize, pid);
+        let popped = self.queues[li].pop_front();
+        debug_assert_eq!(popped, Some(pid), "staged head moved before apply");
+        self.pkts[p].route_off = off;
+        self.pkts[p].route_len = len;
+        self.pkts[p].route_pos = 0;
+        self.pkts[p].adaptive = false;
+        self.pkts[p].escaped = true;
+        self.pkts[p].esc_class = len;
+        self.node_occ[u as usize] -= 1;
+        self.esc_node[u as usize] += 1;
+        self.counters.escape_diversions += 1;
+        self.counters.peak_escape = self
             .counters
-            .peak_node
-            .max(u64::from(self.node_occ[u as usize]));
+            .peak_escape
+            .max(u64::from(self.esc_node[u as usize]));
+        true
     }
 
     fn run(mut self) -> TrafficStats {
@@ -950,10 +1250,11 @@ impl<'a> ReferenceSim<'a> {
                     let hops = self.pkts[p].hops;
                     self.resolve(pid, round, PacketOutcome::Delivered { round, hops });
                 } else {
-                    if self.pool.is_some() {
+                    if self.pool.is_some() && !self.pkts[p].escaped {
                         // The reservation taken at forward time turns
                         // into real occupancy (or is released if the
-                        // enqueue drops on a fault).
+                        // enqueue drops on a fault). Escaped packets
+                        // reserve class slots instead of pool credits.
                         self.reserved[self.pkts[p].cur as usize] -= 1;
                     }
                     self.enqueue_next(pid, round);
@@ -989,8 +1290,18 @@ impl<'a> ReferenceSim<'a> {
                 }
             }
             // 3. Arbitration: one flit per link per round, scanning
-            // every queue in index order.
+            // every link in index order. Under escape flow control the
+            // escape channel has priority on each link; an adaptive
+            // head that fails its credit check stages a diversion
+            // attempt instead, applied after the scan so the scan
+            // itself never observes its own diversions.
+            let esc_mode = self.esc.is_some();
+            let land = (round as usize + latency) % self.lanes;
             for qi in 0..self.queues.len() {
+                if esc_mode && self.try_escape_forward(qi, land) {
+                    progress = true;
+                    continue; // the escape flit consumed the link
+                }
                 let Some(&pid) = self.queues[qi].front() else {
                     continue;
                 };
@@ -1002,6 +1313,9 @@ impl<'a> ReferenceSim<'a> {
                     let final_hop = self.pkts[p].dst == v;
                     if !final_hop {
                         if !self.has_credit(v) {
+                            if esc_mode && self.pkts[p].may_escape {
+                                self.divert.push((qi, pid));
+                            }
                             continue; // head stalls for credit
                         }
                         self.reserved[v as usize] += 1;
@@ -1016,10 +1330,14 @@ impl<'a> ReferenceSim<'a> {
                 self.pkts[p].route_pos += 1;
                 self.counters.forwarded += 1;
                 progress = true;
-                let land = (round as usize + latency) % self.lanes;
                 self.arrivals[land].push(pid);
                 self.in_flight += 1;
             }
+            for i in 0..self.divert.len() {
+                let (li, pid) = self.divert[i];
+                progress |= self.apply_diversion(li, pid);
+            }
+            self.divert.clear();
             // 4. Wait + stall accounting.
             self.counters.total_wait_rounds += self.total_queued;
             self.counters.injection_stall_rounds += self.stalled.len() as u64;
@@ -1208,6 +1526,20 @@ struct FastSim<'a> {
     /// Cached `!faults.is_empty()`: skips the per-hop fault lookups
     /// entirely on a clean network.
     faulty: bool,
+    /// The escape partition — `Some` only under
+    /// [`FlowControl::EscapeChannel`]. In escape mode a worklist bit
+    /// covers **both** channels of its link: set while the adaptive
+    /// queue is non-empty *or* some escape resident wants the link.
+    esc: Option<EscapeBank>,
+    /// Escape residents per PE (adaptive occupancy stays in
+    /// `node_occ`, so the credit math is untouched by escape traffic).
+    esc_node: Vec<u32>,
+    /// Memoized escape-route spans per `(PE, dst)`.
+    esc_memo: HashMap<(u32, u32), Option<(u32, u32)>>,
+    /// Diversion attempts staged during the arbitration scan, applied
+    /// after it in scan order — which also keeps every worklist-bit
+    /// mutation out of the word currently being iterated.
+    divert: Vec<(usize, PacketId)>,
     counters: RunCounters,
 }
 
@@ -1221,6 +1553,7 @@ impl<'a> FastSim<'a> {
         let gens = net.n - 1;
         let lanes = net.config.link_latency as usize + 1;
         let queues = net.node_count * gens;
+        let esc_mode = net.config.flow_control == FlowControl::EscapeChannel;
         FastSim {
             net,
             gens,
@@ -1243,6 +1576,10 @@ impl<'a> FastSim<'a> {
             total_queued: 0,
             pool: net.credit_pool(),
             faulty: !net.faults.is_empty(),
+            esc: esc_mode.then(|| EscapeBank::new(net.node_count)),
+            esc_node: vec![0; net.node_count],
+            esc_memo: HashMap::new(),
+            divert: Vec::new(),
             counters: RunCounters::default(),
         }
     }
@@ -1292,15 +1629,26 @@ impl<'a> FastSim<'a> {
             &occ[..self.gens],
         ) {
             Ok(g) => g,
-            Err(HopFail::Fault) => {
-                self.resolve(pid, round, PacketOutcome::DroppedFault { round });
-                return;
-            }
-            Err(HopFail::Unreachable) => {
-                self.resolve(pid, round, PacketOutcome::DroppedUnreachable { round });
+            Err(fail) => {
+                if self.pkts[p].escaped {
+                    // The class slot reserved at forward time is
+                    // surrendered along with the packet.
+                    let c = self.pkts[p].esc_class as usize;
+                    let bank = self.esc.as_mut().expect("escaped packet implies bank");
+                    bank.clear(c, u as usize);
+                }
+                let outcome = match fail {
+                    HopFail::Fault => PacketOutcome::DroppedFault { round },
+                    HopFail::Unreachable => PacketOutcome::DroppedUnreachable { round },
+                };
+                self.resolve(pid, round, outcome);
                 return;
             }
         };
+        if self.pkts[p].escaped {
+            self.place_escape(pid, g);
+            return;
+        }
         let qi = u as usize * self.gens + (g - 1);
         if self.net.config.flow_control == FlowControl::TailDrop {
             if let Some(cap) = self.net.config.queue_capacity {
@@ -1314,18 +1662,192 @@ impl<'a> FastSim<'a> {
         self.total_queued += 1;
         self.counters.peak_edge = self.counters.peak_edge.max(u64::from(self.qs.len(qi)));
         self.node_occ[u as usize] += 1;
-        self.counters.peak_node = self
-            .counters
-            .peak_node
-            .max(u64::from(self.node_occ[u as usize]));
+        let at_pe = u64::from(self.node_occ[u as usize]) + u64::from(self.esc_node[u as usize]);
+        self.counters.peak_node = self.counters.peak_node.max(at_pe);
         if let Some(a) = self.attr.as_mut() {
             let j = a.owner[p] as usize;
             a.queued[j] += 1;
             a.counters[j].peak_edge = a.counters[j].peak_edge.max(u64::from(self.qs.len(qi)));
-            a.counters[j].peak_node = a.counters[j]
-                .peak_node
-                .max(u64::from(self.node_occ[u as usize]));
+            a.counters[j].peak_node = a.counters[j].peak_node.max(at_pe);
         }
+    }
+
+    /// Mirror of [`ReferenceSim::place_escape`], plus the worklist bit
+    /// for the link the resident wants and per-job attribution.
+    fn place_escape(&mut self, pid: PacketId, g: usize) {
+        let p = pid as usize;
+        let u = self.pkts[p].cur as usize;
+        let remaining = self.pkts[p].route_len - self.pkts[p].route_pos;
+        let mut c = self.pkts[p].esc_class;
+        let bank = self.esc.as_mut().expect("escaped packet implies bank");
+        if remaining != c && bank.is_free(remaining as usize, u) {
+            bank.clear(c as usize, u);
+            c = remaining;
+            self.pkts[p].esc_class = c;
+        }
+        bank.set(c as usize, u, pid);
+        self.esc_node[u] += 1;
+        self.total_queued += 1;
+        let li = u * self.gens + (g - 1);
+        self.active_bits[li / 64] |= 1u64 << (li % 64);
+        self.counters.peak_escape = self.counters.peak_escape.max(u64::from(self.esc_node[u]));
+        let at_pe = u64::from(self.node_occ[u]) + u64::from(self.esc_node[u]);
+        self.counters.peak_node = self.counters.peak_node.max(at_pe);
+        if let Some(a) = self.attr.as_mut() {
+            let j = a.owner[p] as usize;
+            a.queued[j] += 1;
+            a.counters[j].peak_escape = a.counters[j].peak_escape.max(u64::from(self.esc_node[u]));
+            a.counters[j].peak_node = a.counters[j].peak_node.max(at_pe);
+        }
+    }
+
+    /// `true` iff some escape resident's next hop uses link `li` —
+    /// the escape half of the worklist-bit invariant.
+    fn escape_wants(&self, li: usize) -> bool {
+        let u = li / self.gens;
+        if self.esc_node[u] == 0 {
+            return false;
+        }
+        let g = (li % self.gens + 1) as u8;
+        let bank = self.esc.as_ref().expect("escape mode");
+        for c in 1..bank.classes.len() {
+            let slot = bank.classes[c][u];
+            if slot == ESC_FREE || slot & ESC_RESV != 0 {
+                continue;
+            }
+            let p = slot as usize;
+            let next = self.routes.data[(self.pkts[p].route_off + self.pkts[p].route_pos) as usize];
+            if next == g {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Mirror of [`ReferenceSim::try_escape_forward`], plus hop
+    /// tracing and per-job attribution. Worklist-bit upkeep stays with
+    /// the caller.
+    fn try_escape_forward(
+        &mut self,
+        li: usize,
+        round: u32,
+        land: usize,
+        trace: &mut Option<&mut Vec<Vec<HopRecord>>>,
+    ) -> bool {
+        let u = li / self.gens;
+        if self.esc_node[u] == 0 {
+            return false;
+        }
+        let g = (li % self.gens + 1) as u8;
+        let v = self.net.neighbor[li];
+        let nclasses = self.esc.as_ref().expect("escape mode").classes.len();
+        for c in 1..nclasses {
+            let slot = self.esc.as_ref().expect("escape mode").holder(c, u);
+            if slot == ESC_FREE || slot & ESC_RESV != 0 {
+                continue;
+            }
+            let pid = slot;
+            let p = pid as usize;
+            let next = self.routes.data[(self.pkts[p].route_off + self.pkts[p].route_pos) as usize];
+            if next != g {
+                continue;
+            }
+            debug_assert_eq!(self.pkts[p].esc_class as usize, c, "bank/class drift");
+            let remaining = self.pkts[p].route_len - self.pkts[p].route_pos;
+            let bank = self.esc.as_mut().expect("escape mode");
+            if v == self.pkts[p].dst {
+                // Final hop — delivered on arrival even when the
+                // pinned route only passes through dst mid-route.
+            } else {
+                let c_next = (remaining - 1) as usize;
+                if !bank.is_free(c_next, v as usize) {
+                    continue; // this class stalls; a higher one may still go
+                }
+                bank.set(c_next, v as usize, pid | ESC_RESV);
+                self.pkts[p].esc_class = c_next as u32;
+            }
+            bank.clear(c, u);
+            self.esc_node[u] -= 1;
+            self.total_queued -= 1;
+            self.pkts[p].cur = v;
+            self.pkts[p].hops += 1;
+            self.pkts[p].route_pos += 1;
+            self.counters.forwarded += 1;
+            self.counters.escape_forwarded += 1;
+            if let Some(a) = self.attr.as_mut() {
+                let j = a.owner[p] as usize;
+                a.queued[j] -= 1;
+                a.counters[j].forwarded += 1;
+                a.counters[j].escape_forwarded += 1;
+            }
+            if let Some(traces) = trace.as_deref_mut() {
+                traces[p].push(HopRecord {
+                    from: u as u64,
+                    gen: g,
+                    to: u64::from(v),
+                    round,
+                });
+            }
+            self.arrivals[land].push(pid);
+            self.in_flight += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Mirror of [`ReferenceSim::apply_diversion`], plus worklist-bit
+    /// upkeep (runs post-scan, so setting bits is safe) and per-job
+    /// attribution.
+    fn apply_diversion(&mut self, li: usize, pid: PacketId) -> bool {
+        let p = pid as usize;
+        let u = (li / self.gens) as u32;
+        let dst = self.pkts[p].dst;
+        let Some((off, len)) = escape_span(
+            self.net,
+            &mut self.routes,
+            &mut self.esc_memo,
+            &mut self.reroute_memo,
+            u,
+            dst,
+        ) else {
+            return false;
+        };
+        let bank = self.esc.as_mut().expect("escape mode");
+        if !bank.is_free(len as usize, u as usize) {
+            return false;
+        }
+        bank.set(len as usize, u as usize, pid);
+        let popped = self.qs.pop(li);
+        debug_assert_eq!(popped, pid, "staged head moved before apply");
+        self.pkts[p].route_off = off;
+        self.pkts[p].route_len = len;
+        self.pkts[p].route_pos = 0;
+        self.pkts[p].adaptive = false;
+        self.pkts[p].escaped = true;
+        self.pkts[p].esc_class = len;
+        self.node_occ[u as usize] -= 1;
+        self.esc_node[u as usize] += 1;
+        self.counters.escape_diversions += 1;
+        self.counters.peak_escape = self
+            .counters
+            .peak_escape
+            .max(u64::from(self.esc_node[u as usize]));
+        if let Some(a) = self.attr.as_mut() {
+            let j = a.owner[p] as usize;
+            a.counters[j].escape_diversions += 1;
+            a.counters[j].peak_escape = a.counters[j]
+                .peak_escape
+                .max(u64::from(self.esc_node[u as usize]));
+        }
+        // The resident now wants the first link of its escape route;
+        // the source link's bit may or may not still be needed.
+        let g_e = self.routes.data[off as usize] as usize;
+        let le = u as usize * self.gens + (g_e - 1);
+        self.active_bits[le / 64] |= 1u64 << (le % 64);
+        if self.qs.len(li) == 0 && !self.escape_wants(li) {
+            self.active_bits[li / 64] &= !(1u64 << (li % 64));
+        }
+        true
     }
 
     fn run(
@@ -1358,7 +1880,7 @@ impl<'a> FastSim<'a> {
                         let hops = self.pkts[p].hops;
                         self.resolve(pid, round, PacketOutcome::Delivered { round, hops });
                     } else {
-                        if self.pool.is_some() {
+                        if self.pool.is_some() && !self.pkts[p].escaped {
                             self.reserved[self.pkts[p].cur as usize] -= 1;
                         }
                         self.enqueue_next(pid, round);
@@ -1401,10 +1923,14 @@ impl<'a> FastSim<'a> {
                 }
             }
             // 3. Arbitration over the occupancy bitmap: visit exactly
-            // the non-empty queues in ascending index order (the
-            // reference scan order). Enqueues only happen in phases
-            // 1–2, so no bit is set during this pass; a queue that
-            // drains clears its bit, a credit-stalled head keeps it.
+            // the live links in ascending index order (the reference
+            // scan order). In escape mode a set bit means "adaptive
+            // queue non-empty OR an escape resident wants this link";
+            // the escape channel is served first on each link, exactly
+            // as in the reference scan. Enqueues only happen in phases
+            // 1–2 and diversions are staged and applied post-scan, so
+            // no bit is set during this pass.
+            let esc_mode = self.esc.is_some();
             let land = (round as usize + latency) % self.lanes;
             for wi in 0..self.active_bits.len() {
                 let mut word = self.active_bits[wi];
@@ -1412,13 +1938,30 @@ impl<'a> FastSim<'a> {
                     let bit = word.trailing_zeros() as usize;
                     word &= word - 1;
                     let qi = wi * 64 + bit;
-                    let pid = self.qs.front(qi).expect("worklist queues are non-empty");
+                    if esc_mode && self.try_escape_forward(qi, round, land, &mut trace) {
+                        progress = true;
+                        if self.qs.len(qi) == 0 && !self.escape_wants(qi) {
+                            self.active_bits[wi] &= !(1u64 << bit);
+                        }
+                        continue;
+                    }
+                    let Some(pid) = self.qs.front(qi) else {
+                        // Escape-only bit whose resident couldn't move
+                        // (or just left): keep it iff still wanted.
+                        if !(esc_mode && self.escape_wants(qi)) {
+                            self.active_bits[wi] &= !(1u64 << bit);
+                        }
+                        continue;
+                    };
                     let v = self.net.neighbor[qi];
                     let p = pid as usize;
                     if self.pool.is_some() {
                         let final_hop = self.pkts[p].dst == v;
                         if !final_hop {
                             if !self.has_credit(v) {
+                                if esc_mode && self.pkts[p].may_escape {
+                                    self.divert.push((qi, pid));
+                                }
                                 continue; // head stalls for credit, bit stays
                             }
                             self.reserved[v as usize] += 1;
@@ -1448,11 +1991,19 @@ impl<'a> FastSim<'a> {
                     }
                     self.arrivals[land].push(pid);
                     self.in_flight += 1;
-                    if self.qs.len(qi) == 0 {
+                    if self.qs.len(qi) == 0 && !(esc_mode && self.escape_wants(qi)) {
                         self.active_bits[wi] &= !(1u64 << bit);
                     }
                 }
             }
+            // Staged escape diversions, applied in scan order — after
+            // the bitmap walk so the bit mutations they perform can't
+            // race the iterated word.
+            for i in 0..self.divert.len() {
+                let (li, pid) = self.divert[i];
+                progress |= self.apply_diversion(li, pid);
+            }
+            self.divert.clear();
             if !self.arrivals[land].is_empty() {
                 self.arrival_round[land] = round + latency as u32;
             }

@@ -78,6 +78,13 @@ impl RoutingPolicy for GreedyRouting {
 /// on the Lemma-3 symbol pair, i.e. every hop sequence is exactly the
 /// path [`sg_core::paths::dilation3_path`] would take for that mesh
 /// edge.
+///
+/// These are also the canonical escape routes: when a packet diverts
+/// onto [`crate::FlowControl::EscapeChannel`]'s escape bank on a
+/// fault-free network, the route pinned for it is exactly this
+/// policy's dimension-order path from the diversion point (dilation-3
+/// walks can *pass through* the destination mid-route, in which case
+/// the packet simply delivers early).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EmbeddingRouting;
 

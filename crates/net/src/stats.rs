@@ -51,6 +51,18 @@ pub struct TrafficStats {
     pub peak_node_occupancy: u64,
     /// Star links traversed in total.
     pub forwarded_flits: u64,
+    /// Packets diverted from the adaptive partition onto the escape
+    /// channel (always 0 outside
+    /// [`crate::FlowControl::EscapeChannel`]). Each packet is counted
+    /// at most once — a diversion is one-way.
+    pub escape_diversions: u64,
+    /// Links traversed on the escape channel (a subset of
+    /// [`TrafficStats::forwarded_flits`]).
+    pub escape_forwarded_flits: u64,
+    /// Peak escape-channel residents at any single PE. Bounded by the
+    /// network diameter: the escape partition holds one slot per
+    /// residual-hop class.
+    pub peak_escape_occupancy: u64,
     /// `latency_histogram[l]` counts delivered packets with latency
     /// `l` rounds.
     pub latency_histogram: Vec<u64>,
@@ -131,6 +143,12 @@ pub(crate) struct RunCounters {
     pub peak_node: u64,
     /// Links traversed.
     pub forwarded: u64,
+    /// Adaptive→escape diversions (escape mode only).
+    pub escape_diversions: u64,
+    /// Links traversed on the escape channel.
+    pub escape_forwarded: u64,
+    /// Peak per-PE escape residents.
+    pub peak_escape: u64,
 }
 
 impl TrafficStats {
@@ -162,6 +180,9 @@ impl TrafficStats {
             peak_edge_occupancy: counters.peak_edge,
             peak_node_occupancy: counters.peak_node,
             forwarded_flits: counters.forwarded,
+            escape_diversions: counters.escape_diversions,
+            escape_forwarded_flits: counters.escape_forwarded,
+            peak_escape_occupancy: counters.peak_escape,
             latency_histogram: agg.histogram,
             sum_latency: agg.sum,
             max_latency: agg.max,
@@ -320,6 +341,7 @@ mod tests {
                 peak_edge: 2,
                 peak_node: 3,
                 forwarded: 11,
+                ..RunCounters::default()
             },
         );
         assert_eq!(s.injected, 5);
@@ -352,6 +374,7 @@ mod tests {
                 peak_edge: 1,
                 peak_node: 1,
                 forwarded: 3,
+                ..RunCounters::default()
             },
         );
         assert!(s.is_contention_free());

@@ -1,12 +1,14 @@
 //! Property suite for the simulator: packet conservation, the
-//! latency-vs-distance lower bound, seed determinism, and the
+//! latency-vs-distance lower bound, seed determinism, the
 //! credit-based flow-control contract (no drops; stalling only ever
-//! costs time at moderate load).
+//! costs time at moderate load), and the escape-channel deadlock-
+//! freedom invariant (no `Stranded` outcome exists under
+//! `FlowControl::EscapeChannel`, ever).
 
 use proptest::prelude::*;
 use sg_net::{
-    EmbeddingRouting, FaultPlan, FaultPolicy, FlowControl, GreedyRouting, NetConfig, Network,
-    PacketOutcome, RoutingPolicy, Workload,
+    EmbeddingRouting, Engine, FaultPlan, FaultPolicy, FlowControl, GreedyRouting, NetConfig,
+    Network, PacketOutcome, RoutingPolicy, Workload,
 };
 use sg_perm::lehmer::unrank;
 use sg_star::distance::distance;
@@ -182,6 +184,58 @@ proptest! {
             }
         }
     }
+
+    /// The deadlock-freedom invariant, as a property: under
+    /// `EscapeChannel` no fault-free run ever strands a packet — not
+    /// at pool size 1, not at full injection, not for any seed or
+    /// order up to n = 6. Conservation sharpens to "all delivered,
+    /// exactly once".
+    #[test]
+    fn prop_escape_never_strands(n in 2usize..=6, seed in any::<u64>(), cap in 1u32..=2, rate in 1u32..=100, flip in any::<bool>()) {
+        let net = Network::new(n).with_config(NetConfig {
+            queue_capacity: Some(cap),
+            flow_control: FlowControl::EscapeChannel,
+            ..NetConfig::default()
+        });
+        let w = Workload::bernoulli_uniform(n, 2, rate, seed);
+        let stats = net.run(&w, policy_for(flip));
+        prop_assert_eq!(stats.stranded, 0, "escape mode must never deadlock");
+        prop_assert_eq!(stats.dropped(), 0, "escape mode must never drop");
+        prop_assert_eq!(stats.delivered, stats.injected);
+        prop_assert_eq!(stats.packets.len() as u64, stats.injected);
+        prop_assert!(stats.packets.iter().all(|r| r.outcome.is_delivered()));
+        prop_assert_eq!(stats.latency_histogram.iter().sum::<u64>(), stats.delivered);
+        // Escape traffic is a sub-ledger of the main one.
+        prop_assert!(stats.escape_forwarded_flits <= stats.forwarded_flits);
+        prop_assert!(stats.escape_diversions <= stats.injected);
+    }
+
+    /// Escape diversions reroute but never teleport: every delivered
+    /// packet still pays at least the star metric, at any link
+    /// latency, even after hopping channels mid-flight.
+    #[test]
+    fn prop_escape_latency_at_least_star_distance(n in 3usize..=5, seed in any::<u64>(), latency in 1u32..=3, flip in any::<bool>()) {
+        let net = Network::new(n).with_config(NetConfig {
+            link_latency: latency,
+            queue_capacity: Some(1),
+            flow_control: FlowControl::EscapeChannel,
+            ..NetConfig::default()
+        });
+        let w = Workload::random_permutation(n, seed);
+        let stats = net.run(&w, policy_for(flip));
+        prop_assert_eq!(stats.stranded, 0);
+        prop_assert_eq!(stats.delivered, stats.injected);
+        for rec in &stats.packets {
+            if let PacketOutcome::Delivered { hops, .. } = rec.outcome {
+                let a = unrank(rec.src, n).unwrap();
+                let b = unrank(rec.dst, n).unwrap();
+                let d = distance(&a, &b);
+                prop_assert!(hops >= d, "hops {} < distance {}", hops, d);
+                let lat = rec.latency().unwrap();
+                prop_assert!(lat >= d * latency, "latency {} < {}", lat, d * latency);
+            }
+        }
+    }
 }
 
 /// The documented edge of the domination property: at full injection
@@ -215,4 +269,59 @@ fn credit_latency_domination_fails_at_saturation() {
         early > 0,
         "expected at least one packet to beat the infinite-queue run at saturation"
     );
+}
+
+/// The counterexample above, promoted to a deadlock-freedom
+/// regression. Same workload, both tiny pool sizes: at cap 2 (the
+/// pinned scenario verbatim) credits reorder arbitration but still
+/// drain; at cap 1 the very same traffic wedges the credit run at its
+/// fixed point and strands survivors. Under `EscapeChannel` **both**
+/// runs must fully drain — every packet delivered, zero stranded,
+/// exact conservation, engines in byte agreement — and at cap 1 the
+/// escape channel must demonstrably do the work (diversions > 0).
+#[test]
+fn escape_channel_drains_the_saturation_counterexample() {
+    let n = 4;
+    let w = Workload::bernoulli_uniform(n, 3, 100, 596);
+    for cap in [1u32, 2] {
+        let credit = Network::new(n)
+            .with_config(NetConfig {
+                queue_capacity: Some(cap),
+                flow_control: FlowControl::CreditBased,
+                ..NetConfig::default()
+            })
+            .run(&w, &GreedyRouting);
+        if cap == 1 {
+            assert!(
+                credit.stranded > 0,
+                "the pinned traffic must still deadlock credits at cap 1, \
+                 else this regression guards nothing"
+            );
+        }
+        let escape_net = Network::new(n).with_config(NetConfig {
+            queue_capacity: Some(cap),
+            flow_control: FlowControl::EscapeChannel,
+            ..NetConfig::default()
+        });
+        let fast = escape_net.run_with(&w, &GreedyRouting, Engine::Fast);
+        let reference = escape_net.run_with(&w, &GreedyRouting, Engine::Reference);
+        assert_eq!(fast, reference, "engines diverged at cap {cap}");
+        assert_eq!(
+            fast.stranded, 0,
+            "escape mode must break the cap-{cap} deadlock"
+        );
+        assert_eq!(fast.dropped(), 0);
+        assert_eq!(fast.delivered, fast.injected, "every packet delivered");
+        assert_eq!(
+            fast.delivered + fast.dropped() + fast.stranded,
+            fast.injected,
+            "conservation"
+        );
+        if cap == 1 {
+            assert!(
+                fast.escape_diversions > 0,
+                "the escape channel did the work"
+            );
+        }
+    }
 }

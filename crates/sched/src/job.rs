@@ -145,6 +145,13 @@ pub struct JobSpec {
     pub traffic: TrafficProfile,
     /// Routing discipline of the tenant.
     pub routing: TenantRouting,
+    /// Opt-in to the escape channel: when the host network runs
+    /// [`sg_net::FlowControl::EscapeChannel`], this job's packets may
+    /// divert onto the deadlock-free escape partition when starved
+    /// for credit. Opted-out tenants keep pure credit semantics (and
+    /// keep the deadlock risk that comes with them); the flag is
+    /// ignored under every other flow-control mode.
+    pub escape: bool,
 }
 
 #[cfg(test)]

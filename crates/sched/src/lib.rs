@@ -8,8 +8,11 @@
 //! observation into a batch scheduler for a shared interconnect:
 //!
 //! * [`job`] — mesh-shaped job specs: order, arrival, declared
-//!   walltime, a seeded [`job::TrafficProfile`], and a per-tenant
-//!   routing discipline ([`job::TenantRouting`]);
+//!   walltime, a seeded [`job::TrafficProfile`], a per-tenant
+//!   routing discipline ([`job::TenantRouting`]), and a per-job
+//!   escape-channel opt-in ([`job::JobSpec::escape`], honored when
+//!   the host network runs
+//!   [`sg_net::FlowControl::EscapeChannel`]);
 //! * [`stream`] — deterministic seeded job streams (steady / bursty /
 //!   random arrivals, order and routing mixes);
 //! * [`alloc`] — the allocation lattice with three pluggable

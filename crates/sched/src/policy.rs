@@ -14,6 +14,15 @@
 //! [`TenantRouting::GlobalEmbedding`], dimension-order routing in
 //! machine coordinates — the measurable-interference side of the
 //! contrast.
+//!
+//! One caveat rides on top of the policy axis: a tenant opted into
+//! the escape channel ([`crate::job::JobSpec::escape`]) whose packet
+//! actually diverts abandons its tenant policy mid-flight for the
+//! machine-coordinate dimension-order escape route — which, like
+//! `GlobalEmbedding`, may traverse foreign sub-stars. Deadlock
+//! freedom is bought at the price of confinement for exactly the
+//! packets that would otherwise have wedged; tenants that need the
+//! byte-isolation guarantee should stay opted out.
 
 use crate::job::TenantRouting;
 use sg_net::{AdaptiveRouting, EmbeddingRouting, GreedyRouting, RoutingPolicy};

@@ -314,12 +314,29 @@ impl TenantRun {
     /// Drives all tenants concurrently through `net` and splits the
     /// statistics per job (each rebased to its own clock).
     ///
+    /// Each job's [`JobSpec::escape`] opt-in is threaded through to
+    /// the network: on a [`sg_net::FlowControl::EscapeChannel`] host,
+    /// opted-in tenants may divert starved packets onto the
+    /// deadlock-free escape partition while opted-out tenants keep
+    /// pure credit semantics. (On every other flow-control mode the
+    /// flags are inert, so this is byte-identical to the pre-escape
+    /// behavior.) Note a *mixed* tenancy — some jobs opted out — can
+    /// still deadlock through the opted-out packets; only an
+    /// all-opted-in run carries the zero-`Stranded` guarantee.
+    ///
     /// # Panics
     /// Panics if `net` is not an `S_n` of the schedule's order.
     #[must_use]
     pub fn run(&self, net: &Network) -> ScheduleReport {
         assert_eq!(net.n(), self.schedule.n, "network order mismatch");
-        let (total, per_job) = net.run_partitioned(&self.workload, &self.policies(), &self.owner);
+        let escape: Vec<bool> = self
+            .schedule
+            .placements
+            .iter()
+            .map(|p| p.job.escape)
+            .collect();
+        let (total, per_job) =
+            net.run_partitioned_with_escape(&self.workload, &self.policies(), &self.owner, &escape);
         let jobs = self
             .schedule
             .placements
@@ -436,6 +453,7 @@ mod tests {
                 duration: 50,
                 traffic: TrafficProfile::DimensionSweep { dim: 1, plus: true },
                 routing: TenantRouting::Embedding,
+                escape: false,
             },
             JobSpec {
                 id: 1,
@@ -444,6 +462,7 @@ mod tests {
                 duration: 50,
                 traffic: TrafficProfile::Transpose,
                 routing: TenantRouting::Embedding,
+                escape: false,
             },
             JobSpec {
                 id: 2,
@@ -452,6 +471,7 @@ mod tests {
                 duration: 40,
                 traffic: TrafficProfile::UniformPairs { pairs: 30, seed: 9 },
                 routing: TenantRouting::Embedding,
+                escape: false,
             },
         ]
     }
@@ -575,6 +595,53 @@ mod tests {
                 j.stats.injected
             );
         }
+    }
+
+    #[test]
+    fn escape_optin_threads_through_tenant_run() {
+        // One whole-machine tenant pushing saturating traffic through
+        // a 1-slot credit pool: opted out it wedges at the credit
+        // fixed point (stranded survivors), opted in the escape
+        // channel drains every packet — the per-job flag reaching the
+        // network is exactly the difference.
+        let n = 4;
+        let net = Network::new(n).with_config(sg_net::NetConfig {
+            queue_capacity: Some(1),
+            flow_control: sg_net::FlowControl::EscapeChannel,
+            ..sg_net::NetConfig::default()
+        });
+        let mk = |escape| {
+            vec![JobSpec {
+                id: 0,
+                order: n,
+                arrival: 0,
+                duration: 400,
+                traffic: TrafficProfile::Bernoulli {
+                    rounds: 40,
+                    rate_pct: 100,
+                    seed: 1,
+                },
+                routing: TenantRouting::Greedy,
+                escape,
+            }]
+        };
+        let run_with = |jobs: &[JobSpec]| {
+            let mut alloc = AllocPolicy::FirstFit.build(n);
+            let s = schedule(jobs, alloc.as_mut());
+            assert_eq!(s.placements().len(), 1, "whole machine placed");
+            s.tenant_run().run(&net)
+        };
+        let out = run_with(&mk(false));
+        assert!(
+            out.total.stranded > 0,
+            "opted-out tenant must still hit the credit deadlock"
+        );
+        assert_eq!(out.total.escape_diversions, 0, "flag off ⇒ channel idle");
+        let inn = run_with(&mk(true));
+        assert_eq!(inn.total.stranded, 0, "opted-in tenant must drain");
+        assert_eq!(inn.total.delivered, inn.total.injected);
+        assert!(inn.total.escape_diversions > 0, "the channel did the work");
+        assert!(inn.jobs[0].stats.escape_diversions > 0, "per-job stats too");
     }
 
     #[test]

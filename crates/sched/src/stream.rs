@@ -69,6 +69,12 @@ pub struct StreamConfig {
     /// routing ([`TenantRouting::GlobalEmbedding`]) — the trespassing
     /// class; the remainder are embedding-routed (isolated).
     pub oblivious_pct: u32,
+    /// Percent of tenants opting into the escape channel
+    /// ([`JobSpec::escape`]); relevant only when the host network runs
+    /// [`sg_net::FlowControl::EscapeChannel`]. At `0` no extra random
+    /// draw is made, so streams generated before this axis existed
+    /// replay byte-identically.
+    pub escape_pct: u32,
     /// Stream seed.
     pub seed: u64,
 }
@@ -88,6 +94,7 @@ impl StreamConfig {
             greedy_pct: 0,
             adaptive_pct: 0,
             oblivious_pct: 0,
+            escape_pct: 0,
             seed,
         }
     }
@@ -148,6 +155,9 @@ pub fn generate(cfg: &StreamConfig) -> Vec<JobSpec> {
         } else {
             TenantRouting::Embedding
         };
+        // Short-circuit keeps the rng stream untouched at 0%, so
+        // pre-escape configs replay byte-identically.
+        let escape = cfg.escape_pct > 0 && rng.gen_range(0u32..100) < cfg.escape_pct;
         jobs.push(JobSpec {
             id: id as u32,
             order,
@@ -155,6 +165,7 @@ pub fn generate(cfg: &StreamConfig) -> Vec<JobSpec> {
             duration,
             traffic,
             routing,
+            escape,
         });
         arrival += match cfg.pattern {
             ArrivalPattern::Steady { gap } => gap,
@@ -210,6 +221,32 @@ mod tests {
             assert!((cfg.duration.0..=cfg.duration.1).contains(&j.duration));
             assert_eq!(j.routing, TenantRouting::Embedding, "isolated stream");
         }
+    }
+
+    #[test]
+    fn escape_pct_bounds_and_zero_is_silent() {
+        let base = StreamConfig::isolated(6, 30, 9);
+        let none = generate(&base);
+        assert!(none.iter().all(|j| !j.escape), "0% opts nobody in");
+        let all = generate(&StreamConfig {
+            escape_pct: 100,
+            ..base
+        });
+        assert!(all.iter().all(|j| j.escape), "100% opts everybody in");
+        assert_eq!(
+            all,
+            generate(&StreamConfig {
+                escape_pct: 100,
+                ..base
+            })
+        );
+        // The first job's pre-escape draws are shared with the 0%
+        // stream (its escape draw comes last), pinning that 0% makes
+        // no draw at all rather than a discarded one.
+        assert_eq!(
+            (none[0].order, none[0].duration, none[0].routing),
+            (all[0].order, all[0].duration, all[0].routing),
+        );
     }
 
     #[test]

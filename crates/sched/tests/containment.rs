@@ -61,6 +61,7 @@ fn embedding_traffic_never_leaves_its_substar_exhaustive() {
                         duration: 400,
                         traffic: profile,
                         routing: TenantRouting::Embedding,
+                        escape: false,
                     };
                     // Schedule just this job through first-fit — but
                     // pin the placement to `sub` by scheduling on a
@@ -99,6 +100,7 @@ fn minimal_routing_is_confined_by_convexity() {
                             seed: s as u64,
                         },
                         routing,
+                        escape: false,
                     };
                     let run = pinned_run(n, &[(job, sub.clone())]);
                     let (_, _, traces) = net.run_traced_partitioned(&run.0, &run.2, &run.1);
@@ -132,6 +134,7 @@ fn containment_holds_next_to_a_trespassing_neighbor() {
                     duration: 400,
                     traffic: TrafficProfile::Transpose,
                     routing: TenantRouting::Embedding,
+                    escape: false,
                 };
                 let noisy = JobSpec {
                     id: 1,
@@ -144,6 +147,7 @@ fn containment_holds_next_to_a_trespassing_neighbor() {
                         seed: 0xBAD,
                     },
                     routing: TenantRouting::GlobalEmbedding,
+                    escape: false,
                 };
                 let run = pinned_run(n, &[(quiet, a.clone()), (noisy, b.clone())]);
                 let (_, _, traces) = net.run_traced_partitioned(&run.0, &run.2, &run.1);
@@ -180,6 +184,7 @@ fn scheduler_built_runs_are_contained_too() {
                 seed: id as u64,
             },
             routing: TenantRouting::Embedding,
+            escape: false,
         })
         .collect();
     for policy in AllocPolicy::ALL {

@@ -50,6 +50,7 @@ fn job(
         duration,
         traffic,
         routing,
+        escape: false,
     }
 }
 
