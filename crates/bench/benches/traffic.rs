@@ -18,6 +18,7 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use sg_net::{EmbeddingRouting, Engine, FlowControl, GreedyRouting, NetConfig, Network, Workload};
+use sg_obs::NullProbe;
 use std::time::Instant;
 
 fn smoke() -> bool {
@@ -151,13 +152,19 @@ fn engine_trajectory() {
     // engines converge to parity — per-hop work dominates and both
     // engines share it — which the criterion group above reports but
     // CI does not gate on.
+    // The fast side runs through `run_probed` with a `NullProbe`:
+    // the smoke gate below therefore also guards sg-obs's
+    // zero-overhead-when-disabled claim — if the disabled probe hooks
+    // cost anything measurable, the fast engine falls out of its
+    // margin and CI fails.
     let n_cmp = 7;
     let net = Network::new(n_cmp);
     let w = Workload::bernoulli_uniform(n_cmp, 10, 20, 0xBEEF);
     let (fast_ns, ref_ns) = best_of_interleaved(
         3,
         || {
-            let _ = net.run_with(&w, &GreedyRouting, Engine::Fast);
+            let mut probe = NullProbe;
+            let _ = net.run_probed(&w, &GreedyRouting, Engine::Fast, &mut probe);
         },
         || {
             let _ = net.run_with(&w, &GreedyRouting, Engine::Reference);
@@ -170,6 +177,11 @@ fn engine_trajectory() {
         "  reference {:>12.3} ms   (speedup {speedup:.2}x)",
         ref_ns as f64 / 1e6
     );
+
+    // Where the fast engine's time goes: the sg-obs self-profiler on
+    // the same workload, phase by phase.
+    let (_, profile) = net.run_profiled(&w, &GreedyRouting);
+    print!("{}", profile.render());
 
     // Claim 2: the n = 8 full-injection uniform sweep (40 320 PEs,
     // ~80k packets over 2 injection rounds) finishes in seconds on

@@ -27,12 +27,14 @@ use sg_mesh::uniform::{
     thm7_slowdown, thm8_slowdown, thm9_approx_log2, thm9_slowdown_log2, UniformMesh,
 };
 use sg_net::{
-    AdaptiveRouting, EmbeddingRouting, FaultPlan, FaultPolicy, FlowControl, GreedyRouting,
+    AdaptiveRouting, EmbeddingRouting, Engine, FaultPlan, FaultPolicy, FlowControl, GreedyRouting,
     NetConfig, Network, RoutingPolicy, Workload,
 };
+use sg_obs::{NetProbe, SchedProbe};
 use sg_perm::factorial::factorial;
 use sg_sched::job::{JobSpec, TenantRouting, TrafficProfile};
 use sg_sched::scheduler::schedule as sched_schedule;
+use sg_sched::scheduler::schedule_probed as sched_schedule_probed;
 use sg_sched::stream::{generate, ArrivalPattern, StreamConfig};
 use sg_sched::AllocPolicy;
 use sg_simd::machine::MeshSimd;
@@ -64,6 +66,7 @@ fn main() {
         "congestion" => congestion(parse_flag(&args, "--max-n", 6)),
         "traffic" => traffic(parse_flag(&args, "--n", 5)),
         "sched" => sched(parse_flag(&args, "--n", 6)),
+        "obs" => obs(parse_flag(&args, "--n", 6)),
         "starprops" => starprops(),
         "thm9" => thm9(),
         "appendix" => appendix(),
@@ -82,6 +85,7 @@ fn main() {
             congestion(6);
             traffic(5);
             sched(6);
+            obs(6);
             starprops();
             thm9();
             appendix();
@@ -91,8 +95,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: tables <table1|fig2|fig3|fig4|fig7|lemma1|lemma3|dilation|thm6|\
-                 congestion|traffic|sched|starprops|thm9|appendix|sorting|starvshypercube|all> \
-                 [--n N] [--max-n N]"
+                 congestion|traffic|sched|obs|starprops|thm9|appendix|sorting|\
+                 starvshypercube|all> [--n N] [--max-n N]"
             );
             std::process::exit(2);
         }
@@ -463,6 +467,52 @@ fn sched(n: usize) {
     print!("{}", t2.render());
     println!("(embedding tenants isolate byte-for-byte; placement policy alone");
     println!(" decides whether the late full-size job queues — see multi_tenant.rs)");
+}
+
+/// Extension — observability: probe dashboards and the self-profiler
+/// (sg-obs).
+fn obs(n: usize) {
+    banner(&format!("Extension — observability on S_{n} (sg-obs)"));
+
+    // 1. The interconnect dashboard: a NetProbe riding saturated
+    // uniform traffic, with the statistics asserted byte-identical to
+    // the bare run — the probe is a pure observer.
+    let net = Network::new(n);
+    let w = Workload::bernoulli_uniform(n, 20, 100, 0xBEEF);
+    let bare = net.run(&w, &GreedyRouting);
+    let mut probe = NetProbe::new(net.node_count(), net.n() - 1);
+    let probed = net.run_probed(&w, &GreedyRouting, Engine::Fast, &mut probe);
+    assert_eq!(probed, bare, "probes never perturb the run");
+    println!(
+        "uniform full injection, {} packets over {} rounds:\n",
+        bare.injected, bare.makespan
+    );
+    print!("{}", probe.render(5));
+
+    // 2. The tenant Gantt: the scheduler's probed event stream,
+    // assembled into per-job spans and drawn as a timeline.
+    let cfg = StreamConfig {
+        pattern: ArrivalPattern::Bursty { burst: 4, gap: 30 },
+        min_order: 3,
+        max_order: n,
+        duration: (40, 110),
+        ..StreamConfig::isolated(n, 12, 0x5EED)
+    };
+    let jobs = generate(&cfg);
+    let mut alloc = AllocPolicy::BestFit.build(n);
+    let mut sp = SchedProbe::new();
+    let s = sched_schedule_probed(&jobs, alloc.as_mut(), &mut sp);
+    assert_eq!(sp.spans().len(), s.placements().len());
+    assert_eq!(sp.horizon(), s.horizon());
+    println!();
+    print!("{}", sp.gantt(64));
+
+    // 3. The fast engine's self-profile: per-phase time under the same
+    // saturated run, via the monotonic clock injected at construction.
+    let (stats, profile) = net.run_profiled(&w, &GreedyRouting);
+    assert_eq!(stats, bare, "profiling never perturbs the run");
+    println!();
+    print!("{}", profile.render());
 }
 
 /// E10 — §2 star-graph properties.

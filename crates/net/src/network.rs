@@ -52,6 +52,26 @@
 //! enforced at enqueue time (tail drop) or as stalling buffer credits
 //! (see [`FlowControl`]); faults are consulted whenever a flit is
 //! about to take a link (see [`crate::FaultPlan`]).
+//!
+//! ## Observability
+//!
+//! Both engines are generic over an [`sg_obs::Probe`] and emit typed
+//! [`sg_obs::Event`]s at every state transition (enqueues, forwards,
+//! stalls, diversions, drops, deliveries), in reference-scan order —
+//! the differential suite asserts the two engines produce *identical
+//! event streams*, not just identical stats. Round brackets are lazy:
+//! `RoundBegin` precedes a round's first event and `RoundEnd` closes
+//! it at accounting time, so a round in which nothing observable
+//! happens (only in-flight flits crossing a multi-round link) emits
+//! nothing — which is exactly what keeps the fast engine's idle-round
+//! skipping invisible to probes. The default path runs with
+//! [`sg_obs::NullProbe`], whose `ENABLED = false` constant folds
+//! every emission site out of the monomorphized loop: attach nothing,
+//! pay nothing. Attach probes via [`Network::run_probed`] /
+//! [`Network::run_partitioned_probed`]; profile the fast engine's
+//! phases via [`Network::run_profiled`] (with a clock injected at
+//! construction through [`Network::with_clock`], so profiled runs
+//! stay deterministic and testable).
 
 use crate::fault::{FaultPlan, FaultPolicy};
 use crate::packet::{HopRecord, PacketId, PacketOutcome, PacketRecord};
@@ -62,6 +82,7 @@ use rayon::prelude::*;
 use sg_core::convert::convert_s_d;
 use sg_core::lemma3::{minus_swap_symbols, plus_swap_symbols};
 use sg_core::paths::transposition_generators;
+use sg_obs::{DropReason, Event, NullProbe, PhaseProfile, Probe, StallKind};
 use sg_perm::factorial::factorial;
 use sg_perm::lehmer::unrank;
 use sg_perm::Perm;
@@ -169,6 +190,9 @@ pub struct Network {
     faults: FaultPlan,
     /// `neighbor[u·(n−1) + (g−1)]` = rank of `u`'s neighbor via `g`.
     neighbor: Vec<u32>,
+    /// Monotonic counter for [`Network::run_profiled`]; `None` means
+    /// wall-clock nanoseconds. Never consulted outside profiled runs.
+    clock: Option<fn() -> u64>,
 }
 
 impl Network {
@@ -206,6 +230,7 @@ impl Network {
             config: NetConfig::default(),
             faults: FaultPlan::none(),
             neighbor,
+            clock: None,
         }
     }
 
@@ -221,6 +246,19 @@ impl Network {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Installs the monotonic counter [`Network::run_profiled`]
+    /// samples around the fast engine's phases. Defaults to
+    /// [`sg_obs::wall_clock`] (nanoseconds); inject
+    /// [`sg_obs::tick_clock`] for a deterministic counting clock
+    /// (every phase delta becomes exactly 1, so profile totals are
+    /// exact round counts — testable). The clock never influences the
+    /// simulation itself: profiled stats stay byte-identical.
+    #[must_use]
+    pub fn with_clock(mut self, clock: fn() -> u64) -> Self {
+        self.clock = Some(clock);
         self
     }
 
@@ -316,7 +354,26 @@ impl Network {
         policies: &[&dyn RoutingPolicy],
         owner: &[u32],
     ) -> (TrafficStats, Vec<TrafficStats>) {
-        self.run_partitioned_inner(workload, policies, owner, None, None)
+        self.run_partitioned_inner(workload, policies, owner, None, None, &mut NullProbe)
+    }
+
+    /// [`Network::run_partitioned`] with a probe attached: the probe
+    /// sees the run's full event stream (use e.g.
+    /// [`sg_obs::NetProbe::with_tenants`] with the same owner map for
+    /// per-tenant in-flight gauges). Per-job and total statistics are
+    /// byte-identical to the unprobed run.
+    ///
+    /// # Panics
+    /// As [`Network::run_partitioned`].
+    #[must_use]
+    pub fn run_partitioned_probed<P: Probe>(
+        &self,
+        workload: &Workload,
+        policies: &[&dyn RoutingPolicy],
+        owner: &[u32],
+        probe: &mut P,
+    ) -> (TrafficStats, Vec<TrafficStats>) {
+        self.run_partitioned_inner(workload, policies, owner, None, None, probe)
     }
 
     /// [`Network::run_partitioned`] with per-job escape eligibility:
@@ -343,16 +400,24 @@ impl Network {
             policies.len(),
             "escape eligibility must name every job"
         );
-        self.run_partitioned_inner(workload, policies, owner, Some(escape), None)
+        self.run_partitioned_inner(
+            workload,
+            policies,
+            owner,
+            Some(escape),
+            None,
+            &mut NullProbe,
+        )
     }
 
-    fn run_partitioned_inner(
+    fn run_partitioned_inner<P: Probe>(
         &self,
         workload: &Workload,
         policies: &[&dyn RoutingPolicy],
         owner: &[u32],
         escape: Option<&[bool]>,
         trace: Option<&mut Vec<Vec<HopRecord>>>,
+        probe: &mut P,
     ) -> (TrafficStats, Vec<TrafficStats>) {
         let jobs = policies.len();
         let (inj, routes, mut pkts) = self.prepare_multi(workload, policies, owner);
@@ -361,9 +426,9 @@ impl Network {
                 pkt.may_escape = esc[j as usize];
             }
         }
-        let mut sim = FastSim::new(self, inj, routes, pkts);
+        let mut sim = FastSim::new(self, inj, routes, pkts, probe);
         sim.attr = Some(JobAttribution::new(owner, jobs));
-        let (total, counters) = sim.run(trace);
+        let (total, counters, _) = sim.run(trace);
         let counters = counters.expect("attribution was installed");
         let mut buckets: Vec<Vec<PacketRecord>> = vec![Vec::new(); jobs];
         for (rec, &j) in total.packets.iter().zip(owner) {
@@ -391,13 +456,61 @@ impl Network {
         policy: &dyn RoutingPolicy,
         engine: Engine,
     ) -> TrafficStats {
+        self.run_probed(workload, policy, engine, &mut NullProbe)
+    }
+
+    /// Runs `workload` under `policy` on the chosen engine with a
+    /// probe attached: `probe` receives the run's full
+    /// [`sg_obs::Event`] stream in deterministic reference-scan order
+    /// — both engines deliver the *same* stream. The returned
+    /// statistics are byte-identical to the unprobed run (asserted by
+    /// the differential suite); the default [`NullProbe`] costs
+    /// nothing at all.
+    ///
+    /// # Panics
+    /// Panics if the workload targets a different star order.
+    #[must_use]
+    pub fn run_probed<P: Probe>(
+        &self,
+        workload: &Workload,
+        policy: &dyn RoutingPolicy,
+        engine: Engine,
+        probe: &mut P,
+    ) -> TrafficStats {
         match engine {
-            Engine::Fast => self.run_fast(workload, policy, None),
+            Engine::Fast => self.run_fast(workload, policy, None, probe),
             Engine::Reference => {
                 let (inj, routes, pkts) = self.prepare(workload, policy);
-                ReferenceSim::new(self, inj, routes, pkts).run()
+                ReferenceSim::new(self, inj, routes, pkts, probe).run()
             }
         }
+    }
+
+    /// Runs `workload` on the fast engine with the self-profiler
+    /// armed: returns the usual statistics plus a [`PhaseProfile`]
+    /// splitting each executed round into its arrivals / injections /
+    /// arbitration / accounting phases, measured with the clock from
+    /// [`Network::with_clock`] (wall-clock nanoseconds by default).
+    /// The clock feeds only the profile — the statistics are
+    /// byte-identical to an unprofiled run.
+    ///
+    /// # Panics
+    /// Panics if the workload targets a different star order.
+    #[must_use]
+    pub fn run_profiled(
+        &self,
+        workload: &Workload,
+        policy: &dyn RoutingPolicy,
+    ) -> (TrafficStats, PhaseProfile) {
+        let (inj, routes, pkts) = self.prepare(workload, policy);
+        let mut probe = NullProbe;
+        let mut sim = FastSim::new(self, inj, routes, pkts, &mut probe);
+        sim.profile = Some((
+            self.clock.unwrap_or(sg_obs::wall_clock),
+            PhaseProfile::default(),
+        ));
+        let (stats, _, profile) = sim.run(None);
+        (stats, profile.expect("profiler was armed"))
     }
 
     /// Like [`Network::run`], but additionally returns one hop trace
@@ -414,7 +527,7 @@ impl Network {
         policy: &dyn RoutingPolicy,
     ) -> (TrafficStats, Vec<Vec<HopRecord>>) {
         let mut traces = vec![Vec::new(); workload.len()];
-        let stats = self.run_fast(workload, policy, Some(&mut traces));
+        let stats = self.run_fast(workload, policy, Some(&mut traces), &mut NullProbe);
         (stats, traces)
     }
 
@@ -434,19 +547,26 @@ impl Network {
         owner: &[u32],
     ) -> (TrafficStats, Vec<TrafficStats>, Vec<Vec<HopRecord>>) {
         let mut traces = vec![Vec::new(); workload.len()];
-        let (total, per_job) =
-            self.run_partitioned_inner(workload, policies, owner, None, Some(&mut traces));
+        let (total, per_job) = self.run_partitioned_inner(
+            workload,
+            policies,
+            owner,
+            None,
+            Some(&mut traces),
+            &mut NullProbe,
+        );
         (total, per_job, traces)
     }
 
-    fn run_fast(
+    fn run_fast<P: Probe>(
         &self,
         workload: &Workload,
         policy: &dyn RoutingPolicy,
         trace: Option<&mut Vec<Vec<HopRecord>>>,
+        probe: &mut P,
     ) -> TrafficStats {
         let (inj, routes, pkts) = self.prepare(workload, policy);
-        FastSim::new(self, inj, routes, pkts).run(trace).0
+        FastSim::new(self, inj, routes, pkts, probe).run(trace).0
     }
 
     /// Shared run setup: workload validation, parallel route
@@ -953,7 +1073,7 @@ fn finish(
 /// One reference run's mutable state. A `VecDeque` per queue, every
 /// queue scanned every round — the simplest faithful implementation
 /// of the phase semantics, kept as the differential oracle.
-struct ReferenceSim<'a> {
+struct ReferenceSim<'a, P: Probe> {
     net: &'a Network,
     gens: usize,
     lanes: usize,
@@ -991,14 +1111,21 @@ struct ReferenceSim<'a> {
     /// scan it was decided in).
     divert: Vec<(usize, PacketId)>,
     counters: RunCounters,
+    /// Event sink; [`NullProbe`] (the default) disables every
+    /// emission site at compile time.
+    probe: &'a mut P,
+    /// Lazy round bracket: set by the first [`Event`] of a round, so
+    /// eventless rounds emit neither `RoundBegin` nor `RoundEnd`.
+    round_open: bool,
 }
 
-impl<'a> ReferenceSim<'a> {
+impl<'a, P: Probe> ReferenceSim<'a, P> {
     fn new(
         net: &'a Network,
         inj: &'a [Injection],
         routes: RouteArena,
         pkts: Vec<SimPacket>,
+        probe: &'a mut P,
     ) -> Self {
         let gens = net.n - 1;
         let lanes = net.config.link_latency as usize + 1;
@@ -1027,6 +1154,8 @@ impl<'a> ReferenceSim<'a> {
             esc_memo: HashMap::new(),
             divert: Vec::new(),
             counters: RunCounters::default(),
+            probe,
+            round_open: false,
         }
     }
 
@@ -1035,6 +1164,45 @@ impl<'a> ReferenceSim<'a> {
         self.outcomes[pid as usize] = Some(outcome);
         self.resolved += 1;
         self.counters.last_event = self.counters.last_event.max(round);
+    }
+
+    /// Emits `ev`, opening the round bracket first when this is the
+    /// round's first event. Call sites are guarded by `P::ENABLED`.
+    fn emit(&mut self, round: u32, ev: Event) {
+        if !self.round_open {
+            self.round_open = true;
+            self.probe.event(&Event::RoundBegin { round });
+        }
+        self.probe.event(&ev);
+    }
+
+    /// Emits a `Dropped { Stranded }` for every unresolved packet (in
+    /// pid order), then closes the round bracket. Called just before
+    /// `strand_remaining` on both strand paths (round cap, deadlock).
+    fn emit_strand(&mut self, round: u32) {
+        for pid in 0..self.outcomes.len() {
+            if self.outcomes[pid].is_none() {
+                let pe = self.pkts[pid].cur;
+                self.emit(
+                    round,
+                    Event::Dropped {
+                        round,
+                        pid: pid as PacketId,
+                        pe,
+                        reason: DropReason::Stranded,
+                    },
+                );
+            }
+        }
+        if self.round_open {
+            self.round_open = false;
+            self.probe.event(&Event::RoundEnd {
+                round,
+                queued: self.total_queued,
+                in_flight: self.in_flight as u64,
+                stalled: self.stalled.len() as u64,
+            });
+        }
     }
 
     fn has_credit(&self, v: u32) -> bool {
@@ -1074,16 +1242,30 @@ impl<'a> ReferenceSim<'a> {
                     let bank = self.esc.as_mut().expect("escaped packet implies bank");
                     bank.clear(c, u as usize);
                 }
-                let outcome = match fail {
-                    HopFail::Fault => PacketOutcome::DroppedFault { round },
-                    HopFail::Unreachable => PacketOutcome::DroppedUnreachable { round },
+                let (outcome, reason) = match fail {
+                    HopFail::Fault => (PacketOutcome::DroppedFault { round }, DropReason::Fault),
+                    HopFail::Unreachable => (
+                        PacketOutcome::DroppedUnreachable { round },
+                        DropReason::Unreachable,
+                    ),
                 };
                 self.resolve(pid, round, outcome);
+                if P::ENABLED {
+                    self.emit(
+                        round,
+                        Event::Dropped {
+                            round,
+                            pid,
+                            pe: u,
+                            reason,
+                        },
+                    );
+                }
                 return;
             }
         };
         if self.pkts[p].escaped {
-            self.place_escape(pid);
+            self.place_escape(pid, g, round);
             return;
         }
         let qi = u as usize * self.gens + (g - 1);
@@ -1091,6 +1273,17 @@ impl<'a> ReferenceSim<'a> {
             if let Some(cap) = self.net.config.queue_capacity {
                 if self.queues[qi].len() >= cap as usize {
                     self.resolve(pid, round, PacketOutcome::DroppedOverflow { round });
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Dropped {
+                                round,
+                                pid,
+                                pe: u,
+                                reason: DropReason::Overflow,
+                            },
+                        );
+                    }
                     return;
                 }
             }
@@ -1101,12 +1294,26 @@ impl<'a> ReferenceSim<'a> {
         self.node_occ[u as usize] += 1;
         let at_pe = u64::from(self.node_occ[u as usize]) + u64::from(self.esc_node[u as usize]);
         self.counters.peak_node = self.counters.peak_node.max(at_pe);
+        if P::ENABLED {
+            let depth = self.queues[qi].len() as u32;
+            self.emit(
+                round,
+                Event::Queued {
+                    round,
+                    pid,
+                    pe: u,
+                    gen: g as u8,
+                    depth,
+                    escape: false,
+                },
+            );
+        }
     }
 
     /// An escaped packet lands: its forward-time slot reservation
     /// becomes occupancy and the packet sits in the escape bank (not
     /// in any FIFO) until link arbitration forwards it.
-    fn place_escape(&mut self, pid: PacketId) {
+    fn place_escape(&mut self, pid: PacketId, g: usize, round: u32) {
         let p = pid as usize;
         let u = self.pkts[p].cur as usize;
         let remaining = self.pkts[p].route_len - self.pkts[p].route_pos;
@@ -1128,6 +1335,20 @@ impl<'a> ReferenceSim<'a> {
         self.counters.peak_escape = self.counters.peak_escape.max(u64::from(self.esc_node[u]));
         let at_pe = u64::from(self.node_occ[u]) + u64::from(self.esc_node[u]);
         self.counters.peak_node = self.counters.peak_node.max(at_pe);
+        if P::ENABLED {
+            let depth = self.esc_node[u];
+            self.emit(
+                round,
+                Event::Queued {
+                    round,
+                    pid,
+                    pe: u as u32,
+                    gen: g as u8,
+                    depth,
+                    escape: true,
+                },
+            );
+        }
     }
 
     /// Escape-channel arbitration for link `li`: forward the resident
@@ -1136,7 +1357,7 @@ impl<'a> ReferenceSim<'a> {
     /// the link was used. Lowest-class-first service is what the
     /// deadlock-freedom argument leans on: the globally minimal class
     /// always finds its next slot empty.
-    fn try_escape_forward(&mut self, li: usize, land: usize) -> bool {
+    fn try_escape_forward(&mut self, li: usize, round: u32, land: usize) -> bool {
         let u = li / self.gens;
         if self.esc_node[u] == 0 {
             return false;
@@ -1181,6 +1402,19 @@ impl<'a> ReferenceSim<'a> {
             self.counters.escape_forwarded += 1;
             self.arrivals[land].push(pid);
             self.in_flight += 1;
+            if P::ENABLED {
+                self.emit(
+                    round,
+                    Event::Forwarded {
+                        round,
+                        pid,
+                        from: u as u32,
+                        to: v,
+                        gen: g,
+                        escape: true,
+                    },
+                );
+            }
             return true;
         }
         false
@@ -1191,7 +1425,7 @@ impl<'a> ReferenceSim<'a> {
     /// slot at this PE is free and an escape route exists. Frees one
     /// adaptive pool slot at the PE; the flit stays buffered (and
     /// charged wait rounds) throughout.
-    fn apply_diversion(&mut self, li: usize, pid: PacketId) -> bool {
+    fn apply_diversion(&mut self, li: usize, pid: PacketId, round: u32) -> bool {
         let p = pid as usize;
         let u = (li / self.gens) as u32;
         let dst = self.pkts[p].dst;
@@ -1225,6 +1459,17 @@ impl<'a> ReferenceSim<'a> {
             .counters
             .peak_escape
             .max(u64::from(self.esc_node[u as usize]));
+        if P::ENABLED {
+            self.emit(
+                round,
+                Event::Diverted {
+                    round,
+                    pid,
+                    pe: u,
+                    class: len,
+                },
+            );
+        }
         true
     }
 
@@ -1235,6 +1480,9 @@ impl<'a> ReferenceSim<'a> {
         let mut round: u32 = 0;
         while self.resolved < total {
             if round >= self.net.config.max_rounds {
+                if P::ENABLED {
+                    self.emit_strand(round);
+                }
                 strand_remaining(&mut self.outcomes, &mut self.resolved);
                 break;
             }
@@ -1249,6 +1497,18 @@ impl<'a> ReferenceSim<'a> {
                 if self.pkts[p].cur == self.pkts[p].dst {
                     let hops = self.pkts[p].hops;
                     self.resolve(pid, round, PacketOutcome::Delivered { round, hops });
+                    if P::ENABLED {
+                        let pe = self.pkts[p].cur;
+                        self.emit(
+                            round,
+                            Event::Delivered {
+                                round,
+                                pid,
+                                pe,
+                                hops,
+                            },
+                        );
+                    }
                 } else {
                     if self.pool.is_some() && !self.pkts[p].escaped {
                         // The reservation taken at forward time turns
@@ -1269,20 +1529,64 @@ impl<'a> ReferenceSim<'a> {
                     self.enqueue_next(pid, round);
                     progress = true;
                 } else {
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Stalled {
+                                round,
+                                pid,
+                                pe: src,
+                                kind: StallKind::Injection,
+                            },
+                        );
+                    }
                     self.stalled.push_back(pid);
                 }
             }
             while inj_ptr < total && self.inj[inj_ptr].round <= round {
                 let pid = inj_ptr as PacketId;
-                let i = &self.inj[inj_ptr];
+                let (src, dst) = (self.inj[inj_ptr].src, self.inj[inj_ptr].dst);
                 inj_ptr += 1;
-                if self.faulty && self.net.faults.is_node_dead(i.src) {
+                if self.faulty && self.net.faults.is_node_dead(src) {
                     self.resolve(pid, round, PacketOutcome::DroppedFault { round });
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Dropped {
+                                round,
+                                pid,
+                                pe: src as u32,
+                                reason: DropReason::Fault,
+                            },
+                        );
+                    }
                     progress = true;
-                } else if i.src == i.dst {
+                } else if src == dst {
                     self.resolve(pid, round, PacketOutcome::Delivered { round, hops: 0 });
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Delivered {
+                                round,
+                                pid,
+                                pe: dst as u32,
+                                hops: 0,
+                            },
+                        );
+                    }
                     progress = true;
-                } else if !self.has_credit(i.src as u32) {
+                } else if !self.has_credit(src as u32) {
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Stalled {
+                                round,
+                                pid,
+                                pe: src as u32,
+                                kind: StallKind::Injection,
+                            },
+                        );
+                    }
                     self.stalled.push_back(pid);
                 } else {
                     self.enqueue_next(pid, round);
@@ -1298,7 +1602,7 @@ impl<'a> ReferenceSim<'a> {
             let esc_mode = self.esc.is_some();
             let land = (round as usize + latency) % self.lanes;
             for qi in 0..self.queues.len() {
-                if esc_mode && self.try_escape_forward(qi, land) {
+                if esc_mode && self.try_escape_forward(qi, round, land) {
                     progress = true;
                     continue; // the escape flit consumed the link
                 }
@@ -1313,6 +1617,18 @@ impl<'a> ReferenceSim<'a> {
                     let final_hop = self.pkts[p].dst == v;
                     if !final_hop {
                         if !self.has_credit(v) {
+                            if P::ENABLED {
+                                let pe = (qi / self.gens) as u32;
+                                self.emit(
+                                    round,
+                                    Event::Stalled {
+                                        round,
+                                        pid,
+                                        pe,
+                                        kind: StallKind::CreditHead,
+                                    },
+                                );
+                            }
                             if esc_mode && self.pkts[p].may_escape {
                                 self.divert.push((qi, pid));
                             }
@@ -1332,10 +1648,24 @@ impl<'a> ReferenceSim<'a> {
                 progress = true;
                 self.arrivals[land].push(pid);
                 self.in_flight += 1;
+                if P::ENABLED {
+                    let gen = (qi % self.gens + 1) as u8;
+                    self.emit(
+                        round,
+                        Event::Forwarded {
+                            round,
+                            pid,
+                            from: u as u32,
+                            to: v,
+                            gen,
+                            escape: false,
+                        },
+                    );
+                }
             }
             for i in 0..self.divert.len() {
                 let (li, pid) = self.divert[i];
-                progress |= self.apply_diversion(li, pid);
+                progress |= self.apply_diversion(li, pid, round);
             }
             self.divert.clear();
             // 4. Wait + stall accounting.
@@ -1345,8 +1675,20 @@ impl<'a> ReferenceSim<'a> {
             // workload left — the state is a fixed point, so the
             // survivors can never move again.
             if !progress && self.in_flight == 0 && inj_ptr == total && self.resolved < total {
+                if P::ENABLED {
+                    self.emit_strand(round);
+                }
                 strand_remaining(&mut self.outcomes, &mut self.resolved);
                 break;
+            }
+            if P::ENABLED && self.round_open {
+                self.round_open = false;
+                self.probe.event(&Event::RoundEnd {
+                    round,
+                    queued: self.total_queued,
+                    in_flight: self.in_flight as u64,
+                    stalled: self.stalled.len() as u64,
+                });
             }
             round += 1;
         }
@@ -1494,7 +1836,7 @@ impl<'o> JobAttribution<'o> {
 }
 
 /// One fast run's mutable state.
-struct FastSim<'a> {
+struct FastSim<'a, P: Probe> {
     net: &'a Network,
     gens: usize,
     lanes: usize,
@@ -1541,14 +1883,23 @@ struct FastSim<'a> {
     /// mutation out of the word currently being iterated.
     divert: Vec<(usize, PacketId)>,
     counters: RunCounters,
+    /// Event sink; [`NullProbe`]'s `ENABLED = false` folds every
+    /// emission site out of this monomorphization.
+    probe: &'a mut P,
+    /// Whether the current round's `RoundBegin` has been emitted.
+    round_open: bool,
+    /// Armed only by [`Network::run_profiled`]: the injected phase
+    /// clock plus the accumulating profile.
+    profile: Option<(fn() -> u64, PhaseProfile)>,
 }
 
-impl<'a> FastSim<'a> {
+impl<'a, P: Probe> FastSim<'a, P> {
     fn new(
         net: &'a Network,
         inj: &'a [Injection],
         routes: RouteArena,
         pkts: Vec<SimPacket>,
+        probe: &'a mut P,
     ) -> Self {
         let gens = net.n - 1;
         let lanes = net.config.link_latency as usize + 1;
@@ -1581,6 +1932,9 @@ impl<'a> FastSim<'a> {
             esc_memo: HashMap::new(),
             divert: Vec::new(),
             counters: RunCounters::default(),
+            probe,
+            round_open: false,
+            profile: None,
         }
     }
 
@@ -1592,6 +1946,63 @@ impl<'a> FastSim<'a> {
         if let Some(a) = self.attr.as_mut() {
             let j = a.owner[pid as usize] as usize;
             a.counters[j].last_event = a.counters[j].last_event.max(round);
+        }
+    }
+
+    /// Mirror of [`ReferenceSim::emit`]: opens the round bracket on
+    /// the round's first event. Call sites are guarded by `P::ENABLED`.
+    fn emit(&mut self, round: u32, ev: Event) {
+        if !self.round_open {
+            self.round_open = true;
+            self.probe.event(&Event::RoundBegin { round });
+        }
+        self.probe.event(&ev);
+    }
+
+    /// Mirror of [`ReferenceSim::emit_strand`]: a `Dropped { Stranded }`
+    /// per unresolved packet in pid order, then the round bracket
+    /// closes.
+    fn emit_strand(&mut self, round: u32) {
+        for pid in 0..self.outcomes.len() {
+            if self.outcomes[pid].is_none() {
+                let pe = self.pkts[pid].cur;
+                self.emit(
+                    round,
+                    Event::Dropped {
+                        round,
+                        pid: pid as PacketId,
+                        pe,
+                        reason: DropReason::Stranded,
+                    },
+                );
+            }
+        }
+        if self.round_open {
+            self.round_open = false;
+            self.probe.event(&Event::RoundEnd {
+                round,
+                queued: self.total_queued,
+                in_flight: self.in_flight as u64,
+                stalled: self.stalled.len() as u64,
+            });
+        }
+    }
+
+    /// Profiler sampling: charges the delta since `mark` to phase
+    /// accumulator `phase` (0 = arrivals … 3 = accounting) and
+    /// advances `mark`. No-op (and `mark` stays `None`) when the
+    /// profiler is unarmed.
+    fn sample(&mut self, mark: &mut Option<u64>, phase: usize) {
+        if let Some((clock, prof)) = self.profile.as_mut() {
+            let now = clock();
+            let delta = now - mark.unwrap_or(now);
+            match phase {
+                0 => prof.arrivals_ticks += delta,
+                1 => prof.injections_ticks += delta,
+                2 => prof.arbitration_ticks += delta,
+                _ => prof.accounting_ticks += delta,
+            }
+            *mark = Some(now);
         }
     }
 
@@ -1637,16 +2048,30 @@ impl<'a> FastSim<'a> {
                     let bank = self.esc.as_mut().expect("escaped packet implies bank");
                     bank.clear(c, u as usize);
                 }
-                let outcome = match fail {
-                    HopFail::Fault => PacketOutcome::DroppedFault { round },
-                    HopFail::Unreachable => PacketOutcome::DroppedUnreachable { round },
+                let (outcome, reason) = match fail {
+                    HopFail::Fault => (PacketOutcome::DroppedFault { round }, DropReason::Fault),
+                    HopFail::Unreachable => (
+                        PacketOutcome::DroppedUnreachable { round },
+                        DropReason::Unreachable,
+                    ),
                 };
                 self.resolve(pid, round, outcome);
+                if P::ENABLED {
+                    self.emit(
+                        round,
+                        Event::Dropped {
+                            round,
+                            pid,
+                            pe: u,
+                            reason,
+                        },
+                    );
+                }
                 return;
             }
         };
         if self.pkts[p].escaped {
-            self.place_escape(pid, g);
+            self.place_escape(pid, g, round);
             return;
         }
         let qi = u as usize * self.gens + (g - 1);
@@ -1654,6 +2079,17 @@ impl<'a> FastSim<'a> {
             if let Some(cap) = self.net.config.queue_capacity {
                 if self.qs.len(qi) >= cap {
                     self.resolve(pid, round, PacketOutcome::DroppedOverflow { round });
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Dropped {
+                                round,
+                                pid,
+                                pe: u,
+                                reason: DropReason::Overflow,
+                            },
+                        );
+                    }
                     return;
                 }
             }
@@ -1670,11 +2106,25 @@ impl<'a> FastSim<'a> {
             a.counters[j].peak_edge = a.counters[j].peak_edge.max(u64::from(self.qs.len(qi)));
             a.counters[j].peak_node = a.counters[j].peak_node.max(at_pe);
         }
+        if P::ENABLED {
+            let depth = self.qs.len(qi);
+            self.emit(
+                round,
+                Event::Queued {
+                    round,
+                    pid,
+                    pe: u,
+                    gen: g as u8,
+                    depth,
+                    escape: false,
+                },
+            );
+        }
     }
 
     /// Mirror of [`ReferenceSim::place_escape`], plus the worklist bit
     /// for the link the resident wants and per-job attribution.
-    fn place_escape(&mut self, pid: PacketId, g: usize) {
+    fn place_escape(&mut self, pid: PacketId, g: usize, round: u32) {
         let p = pid as usize;
         let u = self.pkts[p].cur as usize;
         let remaining = self.pkts[p].route_len - self.pkts[p].route_pos;
@@ -1698,6 +2148,20 @@ impl<'a> FastSim<'a> {
             a.queued[j] += 1;
             a.counters[j].peak_escape = a.counters[j].peak_escape.max(u64::from(self.esc_node[u]));
             a.counters[j].peak_node = a.counters[j].peak_node.max(at_pe);
+        }
+        if P::ENABLED {
+            let depth = self.esc_node[u];
+            self.emit(
+                round,
+                Event::Queued {
+                    round,
+                    pid,
+                    pe: u as u32,
+                    gen: g as u8,
+                    depth,
+                    escape: true,
+                },
+            );
         }
     }
 
@@ -1790,6 +2254,19 @@ impl<'a> FastSim<'a> {
             }
             self.arrivals[land].push(pid);
             self.in_flight += 1;
+            if P::ENABLED {
+                self.emit(
+                    round,
+                    Event::Forwarded {
+                        round,
+                        pid,
+                        from: u as u32,
+                        to: v,
+                        gen: g,
+                        escape: true,
+                    },
+                );
+            }
             return true;
         }
         false
@@ -1798,7 +2275,7 @@ impl<'a> FastSim<'a> {
     /// Mirror of [`ReferenceSim::apply_diversion`], plus worklist-bit
     /// upkeep (runs post-scan, so setting bits is safe) and per-job
     /// attribution.
-    fn apply_diversion(&mut self, li: usize, pid: PacketId) -> bool {
+    fn apply_diversion(&mut self, li: usize, pid: PacketId, round: u32) -> bool {
         let p = pid as usize;
         let u = (li / self.gens) as u32;
         let dst = self.pkts[p].dst;
@@ -1839,6 +2316,17 @@ impl<'a> FastSim<'a> {
                 .peak_escape
                 .max(u64::from(self.esc_node[u as usize]));
         }
+        if P::ENABLED {
+            self.emit(
+                round,
+                Event::Diverted {
+                    round,
+                    pid,
+                    pe: u,
+                    class: len,
+                },
+            );
+        }
         // The resident now wants the first link of its escape route;
         // the source link's bit may or may not still be needed.
         let g_e = self.routes.data[off as usize] as usize;
@@ -1853,7 +2341,7 @@ impl<'a> FastSim<'a> {
     fn run(
         mut self,
         mut trace: Option<&mut Vec<Vec<HopRecord>>>,
-    ) -> (TrafficStats, Option<Vec<RunCounters>>) {
+    ) -> (TrafficStats, Option<Vec<RunCounters>>, Option<PhaseProfile>) {
         let total = self.inj.len();
         let latency = self.net.config.link_latency as usize;
         let max_rounds = self.net.config.max_rounds;
@@ -1861,8 +2349,16 @@ impl<'a> FastSim<'a> {
         let mut round: u32 = 0;
         while self.resolved < total {
             if round >= max_rounds {
+                if P::ENABLED {
+                    self.emit_strand(round);
+                }
                 strand_remaining(&mut self.outcomes, &mut self.resolved);
                 break;
+            }
+            let mut mark = None;
+            if let Some((clock, prof)) = self.profile.as_mut() {
+                prof.rounds += 1;
+                mark = Some(clock());
             }
             let mut progress = false;
             // 1. Arrivals: drain this round's batch. The batch was
@@ -1879,6 +2375,18 @@ impl<'a> FastSim<'a> {
                     if self.pkts[p].cur == self.pkts[p].dst {
                         let hops = self.pkts[p].hops;
                         self.resolve(pid, round, PacketOutcome::Delivered { round, hops });
+                        if P::ENABLED {
+                            let pe = self.pkts[p].cur;
+                            self.emit(
+                                round,
+                                Event::Delivered {
+                                    round,
+                                    pid,
+                                    pe,
+                                    hops,
+                                },
+                            );
+                        }
                     } else {
                         if self.pool.is_some() && !self.pkts[p].escaped {
                             self.reserved[self.pkts[p].cur as usize] -= 1;
@@ -1887,6 +2395,7 @@ impl<'a> FastSim<'a> {
                     }
                 }
             }
+            self.sample(&mut mark, 0);
             // 2. Injections: stalled retries first (FIFO), then this
             // round's workload.
             for _ in 0..self.stalled.len() {
@@ -1899,20 +2408,64 @@ impl<'a> FastSim<'a> {
                     self.enqueue_next(pid, round);
                     progress = true;
                 } else {
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Stalled {
+                                round,
+                                pid,
+                                pe: src,
+                                kind: StallKind::Injection,
+                            },
+                        );
+                    }
                     self.stalled.push_back(pid);
                 }
             }
             while inj_ptr < total && self.inj[inj_ptr].round <= round {
                 let pid = inj_ptr as PacketId;
-                let i = &self.inj[inj_ptr];
+                let (src, dst) = (self.inj[inj_ptr].src, self.inj[inj_ptr].dst);
                 inj_ptr += 1;
-                if self.faulty && self.net.faults.is_node_dead(i.src) {
+                if self.faulty && self.net.faults.is_node_dead(src) {
                     self.resolve(pid, round, PacketOutcome::DroppedFault { round });
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Dropped {
+                                round,
+                                pid,
+                                pe: src as u32,
+                                reason: DropReason::Fault,
+                            },
+                        );
+                    }
                     progress = true;
-                } else if i.src == i.dst {
+                } else if src == dst {
                     self.resolve(pid, round, PacketOutcome::Delivered { round, hops: 0 });
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Delivered {
+                                round,
+                                pid,
+                                pe: dst as u32,
+                                hops: 0,
+                            },
+                        );
+                    }
                     progress = true;
-                } else if !self.has_credit(i.src as u32) {
+                } else if !self.has_credit(src as u32) {
+                    if P::ENABLED {
+                        self.emit(
+                            round,
+                            Event::Stalled {
+                                round,
+                                pid,
+                                pe: src as u32,
+                                kind: StallKind::Injection,
+                            },
+                        );
+                    }
                     if let Some(a) = self.attr.as_mut() {
                         a.stalled[a.owner[pid as usize] as usize] += 1;
                     }
@@ -1922,6 +2475,7 @@ impl<'a> FastSim<'a> {
                     progress = true;
                 }
             }
+            self.sample(&mut mark, 1);
             // 3. Arbitration over the occupancy bitmap: visit exactly
             // the live links in ascending index order (the reference
             // scan order). In escape mode a set bit means "adaptive
@@ -1959,6 +2513,18 @@ impl<'a> FastSim<'a> {
                         let final_hop = self.pkts[p].dst == v;
                         if !final_hop {
                             if !self.has_credit(v) {
+                                if P::ENABLED {
+                                    let pe = (qi / self.gens) as u32;
+                                    self.emit(
+                                        round,
+                                        Event::Stalled {
+                                            round,
+                                            pid,
+                                            pe,
+                                            kind: StallKind::CreditHead,
+                                        },
+                                    );
+                                }
                                 if esc_mode && self.pkts[p].may_escape {
                                     self.divert.push((qi, pid));
                                 }
@@ -1991,6 +2557,20 @@ impl<'a> FastSim<'a> {
                     }
                     self.arrivals[land].push(pid);
                     self.in_flight += 1;
+                    if P::ENABLED {
+                        let gen = (qi % self.gens + 1) as u8;
+                        self.emit(
+                            round,
+                            Event::Forwarded {
+                                round,
+                                pid,
+                                from: u as u32,
+                                to: v,
+                                gen,
+                                escape: false,
+                            },
+                        );
+                    }
                     if self.qs.len(qi) == 0 && !(esc_mode && self.escape_wants(qi)) {
                         self.active_bits[wi] &= !(1u64 << bit);
                     }
@@ -2001,12 +2581,13 @@ impl<'a> FastSim<'a> {
             // race the iterated word.
             for i in 0..self.divert.len() {
                 let (li, pid) = self.divert[i];
-                progress |= self.apply_diversion(li, pid);
+                progress |= self.apply_diversion(li, pid, round);
             }
             self.divert.clear();
             if !self.arrivals[land].is_empty() {
                 self.arrival_round[land] = round + latency as u32;
             }
+            self.sample(&mut mark, 2);
             // 4. Wait + stall accounting, deadlock detection.
             self.counters.total_wait_rounds += self.total_queued;
             self.counters.injection_stall_rounds += self.stalled.len() as u64;
@@ -2016,9 +2597,22 @@ impl<'a> FastSim<'a> {
                     c.injection_stall_rounds += s;
                 }
             }
+            self.sample(&mut mark, 3);
             if !progress && self.in_flight == 0 && inj_ptr == total && self.resolved < total {
+                if P::ENABLED {
+                    self.emit_strand(round);
+                }
                 strand_remaining(&mut self.outcomes, &mut self.resolved);
                 break;
+            }
+            if P::ENABLED && self.round_open {
+                self.round_open = false;
+                self.probe.event(&Event::RoundEnd {
+                    round,
+                    queued: self.total_queued,
+                    in_flight: self.in_flight as u64,
+                    stalled: self.stalled.len() as u64,
+                });
             }
             // Idle skip: with nothing queued and nothing stalled,
             // rounds pass eventlessly until the next injection or
@@ -2042,9 +2636,11 @@ impl<'a> FastSim<'a> {
             };
         }
         let per_job = self.attr.take().map(|a| a.counters);
+        let profile = self.profile.take().map(|(_, prof)| prof);
         (
             finish(self.net, self.inj, &self.outcomes, self.counters),
             per_job,
+            profile,
         )
     }
 }

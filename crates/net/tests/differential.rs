@@ -14,11 +14,19 @@
 //! The full cross product runs at `n ∈ {3, 4, 5}`; `n = 6` (720 PEs)
 //! runs a narrower but still multi-axis slice to keep the suite's
 //! debug-profile runtime in check.
+//!
+//! The **probed column** re-runs the `n ≤ 5` axes with an
+//! [`EventLog`] attached to both engines and tightens the contract in
+//! two directions at once: attaching a probe must leave the stats
+//! byte-identical to the unprobed run, and the two engines must emit
+//! the **same event stream**, event for event, in the same order —
+//! not just agree on the aggregates.
 
 use sg_net::{
     AdaptiveRouting, EmbeddingRouting, Engine, FaultPlan, FaultPolicy, FlowControl, GreedyRouting,
     NetConfig, Network, RoutingPolicy, TrafficStats, Workload,
 };
+use sg_obs::EventLog;
 
 const SEEDS: u64 = 8;
 
@@ -155,6 +163,28 @@ fn assert_engines_agree(
     fast
 }
 
+/// The probed column: both engines run with an [`EventLog`] attached;
+/// the probed stats must match the unprobed fast baseline on both
+/// engines, and the two event streams must be identical.
+fn assert_probed_column(net: &Network, w: &Workload, policy: &dyn RoutingPolicy, context: &str) {
+    let baseline = net.run_with(w, policy, Engine::Fast);
+    let mut fast_log = EventLog::new();
+    let mut reference_log = EventLog::new();
+    let fast = net.run_probed(w, policy, Engine::Fast, &mut fast_log);
+    let reference = net.run_probed(w, policy, Engine::Reference, &mut reference_log);
+    assert_eq!(fast, baseline, "probe perturbed the fast engine: {context}");
+    assert_eq!(
+        reference, baseline,
+        "probed reference diverged from fast: {context}"
+    );
+    assert_eq!(fast_log.dropped(), 0, "unbounded log dropped: {context}");
+    assert_eq!(
+        fast_log.events(),
+        reference_log.events(),
+        "event streams diverged between engines: {context}"
+    );
+}
+
 /// The full cross product at n ∈ {3, 4, 5}: every workload × policy ×
 /// fault plan, ≥ 8 seeds each, under the default configuration.
 #[test]
@@ -208,6 +238,63 @@ fn config_axis_small_n() {
                                 ),
                             );
                         }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Probed column over the fault axis at n ∈ {3, 4, 5}: every workload
+/// × policy × fault plan, all seeds, with event-stream equality on top
+/// of stats equality.
+#[test]
+fn probed_full_cross_product_small_n() {
+    for n in 3..=5usize {
+        for seed in 0..SEEDS {
+            for (fault_name, plan) in fault_plans(n, 0xFA17 ^ seed) {
+                let net = Network::new(n).with_faults(plan);
+                for (policy_name, policy) in policies() {
+                    for w in workloads(n, seed) {
+                        assert_probed_column(
+                            &net,
+                            &w,
+                            policy.as_ref(),
+                            &format!(
+                                "probed n={n} seed={seed} workload={} policy={policy_name} \
+                                 faults={fault_name}",
+                                w.name()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Probed column over the configuration axis at n ∈ {3, 4, 5}: every
+/// flow-control and latency configuration × workload × policy, all
+/// seeds — escape diversions, credit stalls, and multi-round arrival
+/// lanes must all show up identically in both engines' event streams.
+#[test]
+fn probed_config_axis_small_n() {
+    for n in 3..=5usize {
+        for seed in 0..SEEDS {
+            for (config_name, config) in configs() {
+                let net = Network::new(n).with_config(config);
+                for (policy_name, policy) in policies() {
+                    for w in workloads(n, seed) {
+                        assert_probed_column(
+                            &net,
+                            &w,
+                            policy.as_ref(),
+                            &format!(
+                                "probed n={n} seed={seed} workload={} policy={policy_name} \
+                                 config={config_name}",
+                                w.name()
+                            ),
+                        );
                     }
                 }
             }

@@ -1,0 +1,389 @@
+//! Observability integration suite: the probe event stream as an
+//! independent witness of `TrafficStats`.
+//!
+//! Every test here recounts some statistic from the raw [`Event`]
+//! stream and checks the engine's own counter against it — the two
+//! are computed by disjoint code paths (engine accumulators vs.
+//! probe-side folds), so agreement is real evidence. Alongside: the
+//! purity guarantee (attaching a probe never changes the stats), the
+//! engine-equality of the streams at smoke scale (the full slice
+//! lives in `differential.rs`), `TrafficStats::rebased` against event
+//! rounds, and the fast engine's self-profiler under the
+//! deterministic tick clock.
+
+use sg_net::{
+    AdaptiveRouting, Engine, FlowControl, GreedyRouting, NetConfig, Network, PacketOutcome,
+    TrafficStats, Workload,
+};
+use sg_obs::{
+    reset_tick_clock, tick_clock, DropReason, Event, EventLog, NetProbe, Probe, StallKind,
+};
+
+/// Folds an event stream back into the aggregate counters
+/// `TrafficStats` reports, by an entirely independent computation.
+#[derive(Default)]
+struct Recount {
+    forwarded: u64,
+    escape_forwarded: u64,
+    delivered: u64,
+    dropped: u64,
+    stranded: u64,
+    diverted: u64,
+    wait_rounds: u64,
+    stall_rounds: u64,
+    /// `esc_occ[pe]` live escape residents, and the running peak.
+    esc_occ: Vec<u32>,
+    peak_escape: u64,
+    /// Delivery round per pid, from `Delivered` events.
+    delivery_round: Vec<Option<u32>>,
+}
+
+impl Recount {
+    fn new(node_count: usize, packets: usize) -> Self {
+        Recount {
+            esc_occ: vec![0; node_count],
+            delivery_round: vec![None; packets],
+            ..Recount::default()
+        }
+    }
+}
+
+impl Probe for Recount {
+    fn event(&mut self, ev: &Event) {
+        match *ev {
+            Event::Forwarded { from, escape, .. } => {
+                self.forwarded += 1;
+                if escape {
+                    self.escape_forwarded += 1;
+                    self.esc_occ[from as usize] -= 1;
+                }
+            }
+            Event::Queued {
+                pe, escape: true, ..
+            } => {
+                self.esc_occ[pe as usize] += 1;
+                self.peak_escape = self.peak_escape.max(u64::from(self.esc_occ[pe as usize]));
+            }
+            Event::Diverted { pe, .. } => {
+                self.diverted += 1;
+                self.esc_occ[pe as usize] += 1;
+                self.peak_escape = self.peak_escape.max(u64::from(self.esc_occ[pe as usize]));
+            }
+            Event::Delivered { round, pid, .. } => {
+                self.delivered += 1;
+                self.delivery_round[pid as usize] = Some(round);
+            }
+            Event::Dropped { reason, .. } => {
+                if reason == DropReason::Stranded {
+                    self.stranded += 1;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            Event::RoundEnd {
+                queued, stalled, ..
+            } => {
+                self.wait_rounds += queued;
+                self.stall_rounds += stalled;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checks stream bracketing: rounds strictly increase, every
+/// `RoundBegin` is closed by a `RoundEnd` of the same round, and no
+/// event falls outside a bracket.
+fn assert_well_bracketed(events: &[Event]) {
+    let mut open: Option<u32> = None;
+    let mut last_closed: Option<u32> = None;
+    for ev in events {
+        match *ev {
+            Event::RoundBegin { round } => {
+                assert_eq!(open, None, "nested round {round}");
+                assert!(
+                    last_closed.is_none_or(|c| round > c),
+                    "round {round} reopened after {last_closed:?}"
+                );
+                open = Some(round);
+            }
+            Event::RoundEnd { round, .. } => {
+                assert_eq!(open, Some(round), "unbalanced round end {round}");
+                open = None;
+                last_closed = Some(round);
+            }
+            other => {
+                assert_eq!(
+                    open,
+                    Some(other.round()),
+                    "event outside its round bracket: {other:?}"
+                );
+            }
+        }
+    }
+    assert_eq!(open, None, "stream ended inside a round");
+}
+
+fn recounted(
+    net: &Network,
+    w: &Workload,
+    policy: &dyn sg_net::RoutingPolicy,
+    engine: Engine,
+) -> (TrafficStats, Recount, EventLog) {
+    let mut probe = (Recount::new(net.node_count(), w.len()), EventLog::new());
+    let stats = net.run_probed(w, policy, engine, &mut probe);
+    let (recount, log) = probe;
+    (stats, recount, log)
+}
+
+#[test]
+fn probe_recount_matches_stats_on_both_engines() {
+    let net = Network::new(5);
+    let w = Workload::bernoulli_uniform(5, 30, 40, 0xA11CE);
+    for engine in [Engine::Fast, Engine::Reference] {
+        let (stats, rc, log) = recounted(&net, &w, &GreedyRouting, engine);
+        let unprobed = net.run_with(&w, &GreedyRouting, engine);
+        assert_eq!(stats, unprobed, "probe must not perturb {engine:?}");
+        assert_well_bracketed(log.events());
+        assert_eq!(rc.forwarded, stats.forwarded_flits);
+        assert_eq!(rc.delivered, stats.delivered);
+        assert_eq!(rc.dropped, stats.dropped());
+        assert_eq!(rc.stranded, stats.stranded);
+        assert_eq!(rc.wait_rounds, stats.total_wait_rounds);
+        assert_eq!(rc.stall_rounds, stats.injection_stall_rounds);
+        // Delivery rounds in the event stream are the packet records'.
+        for (pid, rec) in stats.packets.iter().enumerate() {
+            if let PacketOutcome::Delivered { round, .. } = rec.outcome {
+                assert_eq!(rc.delivery_round[pid], Some(round), "pid {pid}");
+            } else {
+                assert_eq!(rc.delivery_round[pid], None, "pid {pid}");
+            }
+        }
+    }
+}
+
+#[test]
+fn event_streams_identical_across_engines_smoke() {
+    // The exhaustive n ≤ 5 cross-product lives in differential.rs;
+    // this pins the property on one contended run of each flavor.
+    let configs = [
+        NetConfig::default(),
+        NetConfig {
+            queue_capacity: Some(2),
+            flow_control: FlowControl::CreditBased,
+            ..NetConfig::default()
+        },
+        NetConfig {
+            queue_capacity: Some(1),
+            flow_control: FlowControl::EscapeChannel,
+            ..NetConfig::default()
+        },
+    ];
+    for config in configs {
+        let net = Network::new(4).with_config(config);
+        let w = Workload::bernoulli_uniform(4, 25, 100, 77);
+        let mut fast = EventLog::new();
+        let mut reference = EventLog::new();
+        let sf = net.run_probed(&w, &AdaptiveRouting, Engine::Fast, &mut fast);
+        let sr = net.run_probed(&w, &AdaptiveRouting, Engine::Reference, &mut reference);
+        assert_eq!(sf, sr, "stats must agree under {config:?}");
+        assert_eq!(
+            fast.events().len(),
+            reference.events().len(),
+            "stream length under {config:?}"
+        );
+        assert_eq!(
+            fast.events(),
+            reference.events(),
+            "streams must agree under {config:?}"
+        );
+    }
+}
+
+#[test]
+fn escape_counters_cross_check_against_recount() {
+    // The escape-crush configuration: a 1-slot credit pool under
+    // saturating uniform traffic forces diversions; the probe recounts
+    // every escape statistic from the raw events.
+    let net = Network::new(4).with_config(NetConfig {
+        queue_capacity: Some(1),
+        flow_control: FlowControl::EscapeChannel,
+        ..NetConfig::default()
+    });
+    let w = Workload::bernoulli_uniform(4, 40, 100, 1);
+    let (stats, rc, log) = recounted(&net, &w, &GreedyRouting, Engine::Fast);
+    assert!(
+        stats.escape_diversions > 0,
+        "the crush workload must exercise the channel"
+    );
+    assert_eq!(stats.stranded, 0, "escape mode must drain");
+    assert_eq!(rc.diverted, stats.escape_diversions);
+    assert_eq!(rc.escape_forwarded, stats.escape_forwarded_flits);
+    assert_eq!(rc.peak_escape, stats.peak_escape_occupancy);
+    assert_eq!(rc.forwarded, stats.forwarded_flits);
+    // The ready-made NetProbe recounts the same statistics.
+    let mut np = NetProbe::new(net.node_count(), net.n() - 1);
+    let probed = net.run_probed(&w, &GreedyRouting, Engine::Fast, &mut np);
+    assert_eq!(probed, stats);
+    assert_eq!(np.peak_escape_occupancy(), stats.peak_escape_occupancy);
+    assert_eq!(
+        np.registry().counter_value("escape_diversions"),
+        Some(stats.escape_diversions)
+    );
+    assert_eq!(
+        np.registry().counter_value("flits_forwarded"),
+        Some(stats.forwarded_flits)
+    );
+    // Escape traffic is visible in the log as typed events.
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::Diverted { .. })));
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::Forwarded { escape: true, .. })));
+}
+
+#[test]
+fn credit_stalls_emit_typed_stall_events() {
+    let net = Network::new(4).with_config(NetConfig {
+        queue_capacity: Some(1),
+        flow_control: FlowControl::CreditBased,
+        ..NetConfig::default()
+    });
+    let w = Workload::bernoulli_uniform(4, 30, 100, 3);
+    let (stats, rc, log) = recounted(&net, &w, &GreedyRouting, Engine::Fast);
+    assert_eq!(rc.stall_rounds, stats.injection_stall_rounds);
+    assert!(
+        log.events().iter().any(|e| matches!(
+            e,
+            Event::Stalled {
+                kind: StallKind::Injection,
+                ..
+            }
+        )),
+        "a 1-slot pool at rate 1.0 must stall injections"
+    );
+    if stats.stranded > 0 {
+        assert_eq!(rc.stranded, stats.stranded);
+        assert!(log.events().iter().any(|e| matches!(
+            e,
+            Event::Dropped {
+                reason: DropReason::Stranded,
+                ..
+            }
+        )));
+    }
+}
+
+#[test]
+fn rebased_shifts_packet_rounds_against_event_log() {
+    let net = Network::new(4);
+    let w = Workload::bernoulli_uniform(4, 10, 60, 9);
+    let (stats, rc, _) = recounted(&net, &w, &GreedyRouting, Engine::Fast);
+    assert_eq!(stats.rebased(0), stats, "offset 0 is the identity");
+    let offset = 7u32;
+    let shifted = stats.rebased(offset);
+    assert_eq!(shifted.makespan, stats.makespan.saturating_sub(offset));
+    assert_eq!(shifted.delivered, stats.delivered);
+    assert_eq!(shifted.total_wait_rounds, stats.total_wait_rounds);
+    assert_eq!(shifted.latency_histogram, stats.latency_histogram);
+    for (pid, (orig, reb)) in stats.packets.iter().zip(&shifted.packets).enumerate() {
+        assert_eq!(
+            reb.inject_round,
+            orig.inject_round.saturating_sub(offset),
+            "pid {pid}"
+        );
+        if let PacketOutcome::Delivered { round, hops } = reb.outcome {
+            // The event log holds the unshifted round: rebasing is a
+            // pure re-clocking of what the probe saw.
+            let ev_round = rc.delivery_round[pid].expect("delivered => event");
+            assert_eq!(round, ev_round.saturating_sub(offset), "pid {pid}");
+            let PacketOutcome::Delivered { hops: oh, .. } = orig.outcome else {
+                panic!("outcome kind changed by rebased");
+            };
+            assert_eq!(hops, oh, "hops are round-free and must not move");
+        }
+    }
+    // Rebasing past every event floors at zero.
+    let floored = stats.rebased(u32::MAX);
+    assert_eq!(floored.makespan, 0);
+    assert!(floored
+        .packets
+        .iter()
+        .all(|r| matches!(r.outcome, PacketOutcome::Delivered { round: 0, .. })));
+}
+
+#[test]
+fn profiler_is_exact_under_the_tick_clock() {
+    // One tick per phase sample makes the profile fully deterministic:
+    // each phase accumulator equals the number of executed rounds.
+    reset_tick_clock();
+    let net = Network::new(5).with_clock(tick_clock);
+    let w = Workload::bernoulli_uniform(5, 20, 50, 0xBEEF);
+    let (stats, profile) = net.run_profiled(&w, &GreedyRouting);
+    assert_eq!(stats, net.run(&w, &GreedyRouting), "profiling is pure");
+    assert!(profile.rounds > 0);
+    assert_eq!(profile.arrivals_ticks, profile.rounds);
+    assert_eq!(profile.injections_ticks, profile.rounds);
+    assert_eq!(profile.arbitration_ticks, profile.rounds);
+    assert_eq!(profile.accounting_ticks, profile.rounds);
+    assert_eq!(profile.total_ticks(), 4 * profile.rounds);
+    // The idle-skip makes executed rounds ≤ the makespan, and the
+    // render names every phase.
+    assert!(profile.rounds <= u64::from(stats.makespan) + 1);
+    let text = profile.render();
+    for phase in ["arrivals", "injections", "arbitration", "accounting"] {
+        assert!(text.contains(phase), "{phase} missing from {text}");
+    }
+}
+
+#[test]
+fn bounded_event_log_drops_past_capacity_without_perturbing() {
+    let net = Network::new(4);
+    let w = Workload::bernoulli_uniform(4, 20, 80, 5);
+    let mut full = EventLog::new();
+    let total = {
+        let s = net.run_probed(&w, &GreedyRouting, Engine::Fast, &mut full);
+        assert_eq!(s, net.run(&w, &GreedyRouting));
+        full.events().len()
+    };
+    let cap = total / 2;
+    let mut bounded = EventLog::with_capacity(cap);
+    let s = net.run_probed(&w, &GreedyRouting, Engine::Fast, &mut bounded);
+    assert_eq!(s, net.run(&w, &GreedyRouting), "cap overflow is silent");
+    assert_eq!(bounded.events().len(), cap);
+    assert_eq!(bounded.dropped() as usize, total - cap);
+    assert_eq!(bounded.events(), &full.events()[..cap]);
+    // JSONL export: one object per recorded event.
+    let jsonl = bounded.to_jsonl();
+    assert_eq!(jsonl.lines().count(), cap);
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"ev\":\"") && line.ends_with('}'));
+    }
+}
+
+#[test]
+fn partitioned_probe_sees_tenant_traffic() {
+    // Two synthetic tenants over one S_4: compose two workloads, run
+    // partitioned with a NetProbe carrying the owner map, and check
+    // the per-tenant gauges actually saw both tenants' flits — and
+    // that probing perturbs neither the total nor the per-job stats.
+    let net = Network::new(4);
+    let a = Workload::random_permutation(4, 11);
+    let b = Workload::transpose(4);
+    let (w, owner) = Workload::compose("pair", 4, &[(&a, 0), (&b, 0)]);
+    let policies: Vec<&dyn sg_net::RoutingPolicy> = vec![&GreedyRouting, &GreedyRouting];
+    let (t0, pj0) = net.run_partitioned(&w, &policies, &owner);
+    let mut np = NetProbe::new(net.node_count(), net.n() - 1).with_tenants(owner.clone(), 2);
+    let (t1, pj1) = net.run_partitioned_probed(&w, &policies, &owner, &mut np);
+    assert_eq!(t0, t1, "probed partitioned total must be identical");
+    assert_eq!(pj0, pj1, "probed per-job stats must be identical");
+    assert!(np.tenant_peak_in_flight(0) > 0);
+    assert!(np.tenant_peak_in_flight(1) > 0);
+    assert_eq!(
+        np.registry().counter_value("flits_forwarded"),
+        Some(t0.forwarded_flits)
+    );
+}

@@ -1,0 +1,49 @@
+//! # sg-obs — deterministic tracing, metrics, and self-profiling
+//!
+//! Observability for the `S_n` interconnect simulator (`sg-net`) and
+//! the multi-tenant scheduler (`sg-sched`), built around one rule:
+//! **watching a run never changes it, and not watching costs
+//! nothing.**
+//!
+//! * [`Probe`] is the sink: engines emit typed [`Event`]s (round
+//!   begin/end, forwards, enqueues, stalls, diversions, drops,
+//!   deliveries, job arrivals/placements/releases) in deterministic
+//!   reference-scan order — both `sg-net` engines produce *identical*
+//!   event streams, asserted by the differential suite.
+//! * [`NullProbe`] is the default: its `ENABLED = false` constant
+//!   folds every emission site out of the monomorphized engine, so
+//!   the unprobed path compiles to the pre-instrumentation loops.
+//! * [`EventLog`] records the raw stream (optionally capacity-bounded)
+//!   and exports newline-delimited JSON.
+//! * [`NetProbe`] turns the stream into metrics — per-link forward
+//!   counts, per-PE occupancy, queue-depth histogram, escape-bank
+//!   occupancy, per-tenant in-flight gauges — backed by a
+//!   [`MetricsRegistry`] of counters / gauges / fixed-bucket
+//!   histograms and bounded [`RingSeries`] recorders, so memory stays
+//!   bounded even at `n = 9` scale.
+//! * [`SchedProbe`] assembles job events into spans and renders an
+//!   ASCII Gantt timeline.
+//! * [`PhaseProfile`] + an injected monotonic counter ([`wall_clock`]
+//!   or the deterministic [`tick_clock`]) profile the fast engine's
+//!   four phases without perturbing its behaviour.
+//!
+//! This crate has no dependencies (events carry plain integers); it
+//! sits below `sg-net` / `sg-sched`, which emit into it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod netprobe;
+pub mod probe;
+pub mod profile;
+pub mod sched;
+
+pub use metrics::{
+    Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricsRegistry, RingSeries,
+    SeriesId,
+};
+pub use netprobe::{HotLink, NetProbe, DEFAULT_SERIES_CAP};
+pub use probe::{DropReason, Event, EventLog, NullProbe, Probe, StallKind};
+pub use profile::{reset_tick_clock, tick_clock, wall_clock, PhaseProfile};
+pub use sched::{JobSpan, SchedProbe};

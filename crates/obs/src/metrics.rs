@@ -1,0 +1,454 @@
+//! A small metrics vocabulary: counters, gauges, fixed-bucket
+//! histograms, and bounded ring-buffer time series, collected in a
+//! named registry.
+//!
+//! Everything here is plain data — no atomics, no globals — because
+//! probes are attached by `&mut` and the engines are single-threaded
+//! per run. Memory is bounded by construction: histograms have a fixed
+//! bucket layout and series evict their oldest samples, so a registry
+//! stays small even at `n = 9` (362 880 PEs, millions of rounds).
+
+/// A monotonically increasing count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Add `delta` to the count.
+    #[inline]
+    pub fn add(&mut self, delta: u64) {
+        self.value += delta;
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A value that moves up and down, remembering its peak.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+    peak: i64,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&mut self, v: i64) {
+        self.value = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&mut self, delta: i64) {
+        self.set(self.value + delta);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value
+    }
+
+    /// Highest value ever set.
+    #[must_use]
+    pub fn peak(&self) -> i64 {
+        self.peak
+    }
+}
+
+/// A histogram over fixed upper-bound buckets plus an overflow bucket.
+///
+/// `bounds` are inclusive upper bounds in strictly increasing order;
+/// a sample lands in the first bucket whose bound it does not exceed,
+/// or in the final `+inf` bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| sample <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max = self.max.max(sample);
+    }
+
+    /// Per-bucket counts; the last entry is the `+inf` bucket.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The configured inclusive upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Render as aligned `<=bound count bar` lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let label = match self.bounds.get(i) {
+                Some(b) => format!("<={b}"),
+                None => "+inf".to_string(),
+            };
+            let bar = "#".repeat((c * 40 / peak) as usize);
+            out.push_str(&format!("{label:>8} {c:>10} {bar}\n"));
+        }
+        out
+    }
+}
+
+/// A bounded time series: `(round, value)` samples in a ring buffer.
+///
+/// Once `capacity` samples are held, each push evicts the oldest and
+/// bumps the eviction count — memory stays `O(capacity)` no matter
+/// how long the run is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSeries {
+    samples: Vec<(u32, u64)>,
+    head: usize,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RingSeries {
+    /// A series holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring series needs capacity >= 1");
+        Self {
+            samples: Vec::with_capacity(capacity.min(1024)),
+            head: 0,
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Append one sample, evicting the oldest when full.
+    pub fn push(&mut self, round: u32, value: u64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push((round, value));
+        } else {
+            self.samples[self.head] = (round, value);
+            self.head = (self.head + 1) % self.capacity;
+            self.evicted += 1;
+        }
+    }
+
+    /// Retained samples, oldest first.
+    #[must_use]
+    pub fn samples(&self) -> Vec<(u32, u64)> {
+        let (tail, front) = self.samples.split_at(self.head);
+        front.iter().chain(tail.iter()).copied().collect()
+    }
+
+    /// Samples evicted to stay within capacity.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Number of samples currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `(round, value)` sample with the largest value, oldest
+    /// first on ties; `None` when empty.
+    #[must_use]
+    pub fn peak(&self) -> Option<(u32, u64)> {
+        let mut best: Option<(u32, u64)> = None;
+        for s in self.samples() {
+            if best.is_none_or(|b| s.1 > b.1) {
+                best = Some(s);
+            }
+        }
+        best
+    }
+}
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+/// Handle to a registered ring series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// A named, insertion-ordered collection of metrics.
+///
+/// Registration returns a typed id; the hot path indexes by id and
+/// never touches the names. Rendering and export iterate in
+/// registration order, so output is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+    series: Vec<(String, RingSeries)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a counter under `name`.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.counters.push((name.to_string(), Counter::default()));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge under `name`.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.gauges.push((name.to_string(), Gauge::default()));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a histogram under `name`.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> HistogramId {
+        self.histograms
+            .push((name.to_string(), Histogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Register a bounded series under `name`.
+    pub fn series(&mut self, name: &str, capacity: usize) -> SeriesId {
+        self.series
+            .push((name.to_string(), RingSeries::new(capacity)));
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// The counter behind `id`.
+    pub fn counter_mut(&mut self, id: CounterId) -> &mut Counter {
+        &mut self.counters[id.0].1
+    }
+
+    /// The gauge behind `id`.
+    pub fn gauge_mut(&mut self, id: GaugeId) -> &mut Gauge {
+        &mut self.gauges[id.0].1
+    }
+
+    /// The histogram behind `id`.
+    pub fn histogram_mut(&mut self, id: HistogramId) -> &mut Histogram {
+        &mut self.histograms[id.0].1
+    }
+
+    /// The series behind `id`.
+    pub fn series_mut(&mut self, id: SeriesId) -> &mut RingSeries {
+        &mut self.series[id.0].1
+    }
+
+    /// Read a counter's value by name, if registered.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.get())
+    }
+
+    /// Read a gauge by name, if registered.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<&Gauge> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, g)| g)
+    }
+
+    /// Read a histogram by name, if registered.
+    #[must_use]
+    pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Read a series by name, if registered.
+    #[must_use]
+    pub fn series_value(&self, name: &str) -> Option<&RingSeries> {
+        self.series.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Render every metric as `name value` lines, in registration
+    /// order.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in &self.counters {
+            out.push_str(&format!("counter   {name} = {}\n", c.get()));
+        }
+        for (name, g) in &self.gauges {
+            out.push_str(&format!(
+                "gauge     {name} = {} (peak {})\n",
+                g.get(),
+                g.peak()
+            ));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name}: {} samples, max {}\n{}",
+                h.total(),
+                h.max(),
+                h.render()
+            ));
+        }
+        for (name, s) in &self.series {
+            out.push_str(&format!(
+                "series    {name}: {} samples retained, {} evicted\n",
+                s.len(),
+                s.evicted()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::default();
+        g.add(3);
+        g.add(-2);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_inclusive_bounds() {
+        let mut h = Histogram::new(&[1, 4, 16]);
+        for s in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.record(s);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.max(), 1000);
+        assert!(h.render().contains("+inf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[4, 4]);
+    }
+
+    #[test]
+    fn ring_series_evicts_oldest() {
+        let mut s = RingSeries::new(3);
+        for r in 0..5u32 {
+            s.push(r, u64::from(r) * 10);
+        }
+        assert_eq!(s.samples(), vec![(2, 20), (3, 30), (4, 40)]);
+        assert_eq!(s.evicted(), 2);
+        assert_eq!(s.peak(), Some((4, 40)));
+    }
+
+    #[test]
+    fn ring_series_peak_prefers_oldest_on_tie() {
+        let mut s = RingSeries::new(8);
+        s.push(1, 7);
+        s.push(2, 7);
+        assert_eq!(s.peak(), Some((1, 7)));
+    }
+
+    #[test]
+    fn registry_round_trips_by_name_and_id() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("flits");
+        let g = reg.gauge("depth");
+        let h = reg.histogram("lat", &[1, 2]);
+        let s = reg.series("queued", 4);
+        reg.counter_mut(c).add(2);
+        reg.gauge_mut(g).set(9);
+        reg.histogram_mut(h).record(2);
+        reg.series_mut(s).push(0, 1);
+        assert_eq!(reg.counter_value("flits"), Some(2));
+        assert_eq!(reg.gauge_value("depth").unwrap().peak(), 9);
+        assert_eq!(reg.histogram_value("lat").unwrap().total(), 1);
+        assert_eq!(reg.series_value("queued").unwrap().len(), 1);
+        assert!(reg.counter_value("nope").is_none());
+        let text = reg.render();
+        assert!(text.contains("flits = 2"));
+        assert!(text.contains("depth = 9 (peak 9)"));
+    }
+}

@@ -1,0 +1,429 @@
+//! `NetProbe` — a ready-made metrics probe for `sg-net` runs.
+//!
+//! Consumes the event stream and maintains: per-link forward counts
+//! (the "hot link" table), per-PE occupancy, a queue-depth histogram,
+//! escape-bank occupancy, optional per-tenant in-flight gauges, and
+//! bounded per-round time series for queued/stalled totals. Hot
+//! per-link/per-PE state lives in flat arrays sized at construction;
+//! everything scalar goes through a [`MetricsRegistry`] so it renders
+//! and exports uniformly.
+
+use crate::metrics::{
+    CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricsRegistry, RingSeries, SeriesId,
+};
+use crate::probe::{Event, Probe};
+
+/// Default capacity of the per-round time series.
+pub const DEFAULT_SERIES_CAP: usize = 4096;
+
+/// One entry of the hot-link table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotLink {
+    /// Link tail PE (Lehmer rank).
+    pub pe: u32,
+    /// Generator of the link (`1..n`).
+    pub gen: u8,
+    /// Flits forwarded over the link.
+    pub count: u64,
+}
+
+/// A metrics probe for interconnect runs.
+///
+/// Construct with the network's `node_count()` and `n() - 1`
+/// generators; optionally attach a tenant owner map to get per-tenant
+/// in-flight gauges. Attach with [`Network::run_probed`] — the run's
+/// `TrafficStats` are untouched (asserted by the differential suite).
+///
+/// [`Network::run_probed`]: ../sg_net/struct.Network.html#method.run_probed
+#[derive(Debug, Clone)]
+pub struct NetProbe {
+    gens: usize,
+    reg: MetricsRegistry,
+    c_rounds: CounterId,
+    c_forwarded: CounterId,
+    c_delivered: CounterId,
+    c_dropped: CounterId,
+    c_diverted: CounterId,
+    c_stalled: CounterId,
+    g_escape: GaugeId,
+    h_depth: HistogramId,
+    s_queued: SeriesId,
+    s_stalled: SeriesId,
+    link_forwards: Vec<u64>,
+    pe_depth: Vec<u32>,
+    escape_occ: Vec<u32>,
+    peak_escape: u64,
+    peak_depth: u32,
+    peak_depth_round: u32,
+    owner: Vec<u32>,
+    tenant_gauges: Vec<GaugeId>,
+    entered: Vec<bool>,
+}
+
+impl NetProbe {
+    /// A probe for a network of `node_count` PEs with `gens = n - 1`
+    /// generators per PE, with the default series capacity.
+    #[must_use]
+    pub fn new(node_count: usize, gens: usize) -> Self {
+        Self::with_capacity(node_count, gens, DEFAULT_SERIES_CAP)
+    }
+
+    /// Like [`NetProbe::new`] with an explicit ring-series capacity.
+    #[must_use]
+    pub fn with_capacity(node_count: usize, gens: usize, series_cap: usize) -> Self {
+        let mut reg = MetricsRegistry::new();
+        let c_rounds = reg.counter("rounds_observed");
+        let c_forwarded = reg.counter("flits_forwarded");
+        let c_delivered = reg.counter("packets_delivered");
+        let c_dropped = reg.counter("packets_dropped");
+        let c_diverted = reg.counter("escape_diversions");
+        let c_stalled = reg.counter("stall_events");
+        let g_escape = reg.gauge("escape_bank_occupancy");
+        let h_depth = reg.histogram("queue_depth", &[1, 2, 4, 8, 16, 32, 64, 128]);
+        let s_queued = reg.series("queued_per_round", series_cap);
+        let s_stalled = reg.series("stalled_per_round", series_cap);
+        Self {
+            gens,
+            reg,
+            c_rounds,
+            c_forwarded,
+            c_delivered,
+            c_dropped,
+            c_diverted,
+            c_stalled,
+            g_escape,
+            h_depth,
+            s_queued,
+            s_stalled,
+            link_forwards: vec![0; node_count * gens],
+            pe_depth: vec![0; node_count],
+            escape_occ: vec![0; node_count],
+            peak_escape: 0,
+            peak_depth: 0,
+            peak_depth_round: 0,
+            owner: Vec::new(),
+            tenant_gauges: Vec::new(),
+            entered: Vec::new(),
+        }
+    }
+
+    /// Attach a tenant owner map (`owner[pid] = tenant index`) and
+    /// register one in-flight gauge per tenant.
+    #[must_use]
+    pub fn with_tenants(mut self, owner: Vec<u32>, tenants: usize) -> Self {
+        self.tenant_gauges = (0..tenants)
+            .map(|t| self.reg.gauge(&format!("tenant{t}_in_flight")))
+            .collect();
+        self.entered = vec![false; owner.len()];
+        self.owner = owner;
+        self
+    }
+
+    fn link_index(&self, pe: u32, gen: u8) -> usize {
+        pe as usize * self.gens + (gen as usize - 1)
+    }
+
+    fn enter(&mut self, pid: u32) {
+        if let Some(&t) = self.owner.get(pid as usize) {
+            if !std::mem::replace(&mut self.entered[pid as usize], true) {
+                self.reg.gauge_mut(self.tenant_gauges[t as usize]).add(1);
+            }
+        }
+    }
+
+    fn exit(&mut self, pid: u32) {
+        if let Some(&t) = self.owner.get(pid as usize) {
+            if std::mem::replace(&mut self.entered[pid as usize], false) {
+                self.reg.gauge_mut(self.tenant_gauges[t as usize]).add(-1);
+            }
+        }
+    }
+
+    /// The underlying registry (counters, gauges, histogram, series).
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.reg
+    }
+
+    /// Observable rounds seen (rounds that emitted any event).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.reg.counter_value("rounds_observed").unwrap_or(0)
+    }
+
+    /// The `k` busiest links, by forward count (ties: lowest PE, then
+    /// lowest generator — deterministic).
+    #[must_use]
+    pub fn top_links(&self, k: usize) -> Vec<HotLink> {
+        let mut busy: Vec<HotLink> = self
+            .link_forwards
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &count)| HotLink {
+                pe: (i / self.gens) as u32,
+                gen: (i % self.gens + 1) as u8,
+                count,
+            })
+            .collect();
+        busy.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(a.pe.cmp(&b.pe))
+                .then(a.gen.cmp(&b.gen))
+        });
+        busy.truncate(k);
+        busy
+    }
+
+    /// Peak single-queue depth observed, and the round it was first
+    /// reached.
+    #[must_use]
+    pub fn peak_queue_depth(&self) -> (u32, u32) {
+        (self.peak_depth, self.peak_depth_round)
+    }
+
+    /// The queue-depth histogram (one sample per enqueue).
+    #[must_use]
+    pub fn depth_histogram(&self) -> &Histogram {
+        self.reg.histogram_value("queue_depth").expect("registered")
+    }
+
+    /// The bounded queued-flits-per-round series.
+    #[must_use]
+    pub fn queued_series(&self) -> &RingSeries {
+        self.reg
+            .series_value("queued_per_round")
+            .expect("registered")
+    }
+
+    /// Peak escape-bank occupancy at any **single** PE — a probe-side
+    /// recount of `TrafficStats::peak_escape_occupancy`. (The
+    /// `escape_bank_occupancy` gauge tracks the *global* resident
+    /// count instead; its peak bounds this one from above.)
+    #[must_use]
+    pub fn peak_escape_occupancy(&self) -> u64 {
+        self.peak_escape
+    }
+
+    /// Peak in-flight flits for tenant `t` (requires
+    /// [`NetProbe::with_tenants`]).
+    #[must_use]
+    pub fn tenant_peak_in_flight(&self, t: usize) -> i64 {
+        self.reg
+            .gauge_value(&format!("tenant{t}_in_flight"))
+            .map_or(0, Gauge::peak)
+    }
+
+    /// Render the probe's dashboard section: top-k hot links, the
+    /// queue-depth histogram, and the per-round series summary.
+    #[must_use]
+    pub fn render(&self, k: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("top-{k} hot links (pe, generator, flits):\n"));
+        for l in self.top_links(k) {
+            out.push_str(&format!("  pe {:>7}  g{}  {:>9}\n", l.pe, l.gen, l.count));
+        }
+        let (d, r) = self.peak_queue_depth();
+        out.push_str(&format!(
+            "peak queue depth {d} first reached in round {r}\n"
+        ));
+        out.push_str("queue-depth histogram (samples are depth-after-push):\n");
+        out.push_str(&self.depth_histogram().render());
+        if let Some((round, v)) = self.queued_series().peak() {
+            out.push_str(&format!("peak queued flits {v} in round {round}\n"));
+        }
+        out
+    }
+}
+
+impl Probe for NetProbe {
+    fn event(&mut self, ev: &Event) {
+        match *ev {
+            Event::RoundBegin { .. } => self.reg.counter_mut(self.c_rounds).inc(),
+            Event::RoundEnd {
+                round,
+                queued,
+                stalled,
+                ..
+            } => {
+                self.reg.series_mut(self.s_queued).push(round, queued);
+                self.reg.series_mut(self.s_stalled).push(round, stalled);
+            }
+            Event::Forwarded {
+                pid,
+                from,
+                gen,
+                escape,
+                ..
+            } => {
+                self.reg.counter_mut(self.c_forwarded).inc();
+                let li = self.link_index(from, gen);
+                self.link_forwards[li] += 1;
+                self.pe_depth[from as usize] -= 1;
+                if escape {
+                    self.escape_occ[from as usize] -= 1;
+                    self.reg.gauge_mut(self.g_escape).add(-1);
+                }
+                self.enter(pid);
+            }
+            Event::Queued {
+                round,
+                pid,
+                pe,
+                depth,
+                escape,
+                ..
+            } => {
+                self.pe_depth[pe as usize] += 1;
+                if escape {
+                    self.escape_occ[pe as usize] += 1;
+                    self.peak_escape = self
+                        .peak_escape
+                        .max(u64::from(self.escape_occ[pe as usize]));
+                    self.reg.gauge_mut(self.g_escape).add(1);
+                } else {
+                    self.reg
+                        .histogram_mut(self.h_depth)
+                        .record(u64::from(depth));
+                    if depth > self.peak_depth {
+                        self.peak_depth = depth;
+                        self.peak_depth_round = round;
+                    }
+                }
+                self.enter(pid);
+            }
+            Event::Stalled { .. } => self.reg.counter_mut(self.c_stalled).inc(),
+            Event::Diverted { pe, .. } => {
+                self.reg.counter_mut(self.c_diverted).inc();
+                self.escape_occ[pe as usize] += 1;
+                self.peak_escape = self
+                    .peak_escape
+                    .max(u64::from(self.escape_occ[pe as usize]));
+                self.reg.gauge_mut(self.g_escape).add(1);
+            }
+            Event::Dropped { pid, .. } => {
+                self.reg.counter_mut(self.c_dropped).inc();
+                self.exit(pid);
+            }
+            Event::Delivered { pid, .. } => {
+                self.reg.counter_mut(self.c_delivered).inc();
+                self.exit(pid);
+            }
+            Event::JobArrived { .. } | Event::JobPlaced { .. } | Event::JobReleased { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_forwards_per_link_and_tracks_peak_depth() {
+        let mut p = NetProbe::new(4, 2);
+        p.event(&Event::RoundBegin { round: 0 });
+        p.event(&Event::Queued {
+            round: 0,
+            pid: 0,
+            pe: 1,
+            gen: 2,
+            depth: 1,
+            escape: false,
+        });
+        p.event(&Event::Queued {
+            round: 0,
+            pid: 1,
+            pe: 1,
+            gen: 2,
+            depth: 2,
+            escape: false,
+        });
+        p.event(&Event::Forwarded {
+            round: 0,
+            pid: 0,
+            from: 1,
+            to: 3,
+            gen: 2,
+            escape: false,
+        });
+        p.event(&Event::RoundEnd {
+            round: 0,
+            queued: 1,
+            in_flight: 1,
+            stalled: 0,
+        });
+        assert_eq!(p.rounds(), 1);
+        assert_eq!(p.peak_queue_depth(), (2, 0));
+        let top = p.top_links(3);
+        assert_eq!(top.len(), 1);
+        assert_eq!((top[0].pe, top[0].gen, top[0].count), (1, 2, 1));
+        assert_eq!(p.queued_series().samples(), vec![(0, 1)]);
+        assert_eq!(p.pe_depth[1], 1);
+    }
+
+    #[test]
+    fn escape_occupancy_balances() {
+        let mut p = NetProbe::new(2, 1);
+        p.event(&Event::Queued {
+            round: 1,
+            pid: 0,
+            pe: 0,
+            gen: 1,
+            depth: 1,
+            escape: true,
+        });
+        p.event(&Event::Diverted {
+            round: 1,
+            pid: 1,
+            pe: 0,
+            class: 2,
+        });
+        assert_eq!(p.peak_escape_occupancy(), 2);
+        p.event(&Event::Forwarded {
+            round: 2,
+            pid: 0,
+            from: 0,
+            to: 1,
+            gen: 1,
+            escape: true,
+        });
+        assert_eq!(p.peak_escape_occupancy(), 2);
+        assert_eq!(p.escape_occ[0], 1);
+    }
+
+    #[test]
+    fn tenant_gauges_track_in_flight() {
+        let mut p = NetProbe::new(2, 1).with_tenants(vec![0, 0, 1], 2);
+        for pid in [0u32, 1] {
+            p.event(&Event::Queued {
+                round: 0,
+                pid,
+                pe: 0,
+                gen: 1,
+                depth: pid + 1,
+                escape: false,
+            });
+        }
+        p.event(&Event::Queued {
+            round: 0,
+            pid: 2,
+            pe: 1,
+            gen: 1,
+            depth: 1,
+            escape: false,
+        });
+        assert_eq!(p.tenant_peak_in_flight(0), 2);
+        assert_eq!(p.tenant_peak_in_flight(1), 1);
+        p.event(&Event::Delivered {
+            round: 3,
+            pid: 0,
+            pe: 1,
+            hops: 1,
+        });
+        assert_eq!(
+            p.registry().gauge_value("tenant0_in_flight").unwrap().get(),
+            1
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Self-profiling for the fast engine: where does a round go?
+//!
+//! The engine samples an injected monotonic counter around its four
+//! phases (arrivals, injections, arbitration, accounting) and
+//! accumulates the deltas here. The counter is a plain `fn() -> u64`
+//! chosen at `Network` construction, so the engine's behaviour never
+//! depends on it: [`wall_clock`] gives real nanoseconds for humans,
+//! [`tick_clock`] gives a deterministic counting clock for tests
+//! (each sample advances it by exactly one, so phase totals become
+//! exact round counts).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Accumulated per-phase timings of a fast-engine run, in whatever
+/// unit the injected clock counts (nanoseconds for [`wall_clock`],
+/// samples for [`tick_clock`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Rounds the engine actually executed (idle-skipped rounds are
+    /// never entered, so they cost — and count — nothing).
+    pub rounds: u64,
+    /// Ticks spent delivering arrival batches (phase 1).
+    pub arrivals_ticks: u64,
+    /// Ticks spent retrying stalls and injecting new packets
+    /// (phase 2).
+    pub injections_ticks: u64,
+    /// Ticks spent in worklist arbitration + escape drain (phase 3).
+    pub arbitration_ticks: u64,
+    /// Ticks spent in wait/stall accounting and deadlock detection
+    /// (phase 4).
+    pub accounting_ticks: u64,
+}
+
+impl PhaseProfile {
+    /// Total ticks across all four phases.
+    #[must_use]
+    pub fn total_ticks(&self) -> u64 {
+        self.arrivals_ticks + self.injections_ticks + self.arbitration_ticks + self.accounting_ticks
+    }
+
+    /// Render as a per-phase table with percentages.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let total = self.total_ticks().max(1);
+        let pct = |t: u64| t as f64 * 100.0 / total as f64;
+        let mut out = format!(
+            "fast-engine phase profile: {} executed rounds, {} ticks\n",
+            self.rounds,
+            self.total_ticks()
+        );
+        for (name, t) in [
+            ("arrivals", self.arrivals_ticks),
+            ("injections", self.injections_ticks),
+            ("arbitration", self.arbitration_ticks),
+            ("accounting", self.accounting_ticks),
+        ] {
+            out.push_str(&format!("  {name:>12} {t:>14} ({:>5.1}%)\n", pct(t)));
+        }
+        out
+    }
+}
+
+/// Monotonic wall-clock nanoseconds since the first call in this
+/// process. Suitable as the profiler clock for real measurements.
+#[must_use]
+pub fn wall_clock() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    u64::try_from(ANCHOR.get_or_init(Instant::now).elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// A deterministic counting clock: every call advances a process-wide
+/// counter by one and returns the previous value. With this clock
+/// each phase delta is exactly 1, so a run's `PhaseProfile` has
+/// `arrivals_ticks == rounds` etc. — exact and assertable.
+#[must_use]
+pub fn tick_clock() -> u64 {
+    TICKS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Reset the [`tick_clock`] counter (call at the start of a test).
+pub fn reset_tick_clock() {
+    TICKS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let a = wall_clock();
+        let b = wall_clock();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn tick_clock_counts() {
+        let a = tick_clock();
+        let b = tick_clock();
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn profile_renders_percentages() {
+        let p = PhaseProfile {
+            rounds: 10,
+            arrivals_ticks: 10,
+            injections_ticks: 10,
+            arbitration_ticks: 20,
+            accounting_ticks: 10,
+        };
+        assert_eq!(p.total_ticks(), 50);
+        let text = p.render();
+        assert!(text.contains("arbitration"));
+        assert!(text.contains("40.0%"));
+    }
+}

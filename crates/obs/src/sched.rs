@@ -1,0 +1,202 @@
+//! `SchedProbe` — assembles scheduler events into per-job spans and
+//! renders an ASCII Gantt timeline.
+
+use crate::probe::{Event, Probe};
+
+/// The lifecycle of one job, assembled from scheduler events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpan {
+    /// Job id.
+    pub job: u32,
+    /// When the job entered the pending queue.
+    pub arrival: Option<u32>,
+    /// When the job was admitted (placement start).
+    pub start: Option<u32>,
+    /// When the job released its sub-star.
+    pub finish: Option<u32>,
+    /// Order of the allocated sub-star (0 until placed).
+    pub order: u8,
+    /// PEs in the allocated sub-star (0 until placed).
+    pub pes: u64,
+}
+
+impl JobSpan {
+    fn new(job: u32) -> Self {
+        Self {
+            job,
+            arrival: None,
+            start: None,
+            finish: None,
+            order: 0,
+            pes: 0,
+        }
+    }
+
+    /// Rounds spent waiting between arrival and admission.
+    #[must_use]
+    pub fn queueing_delay(&self) -> Option<u32> {
+        Some(self.start?.saturating_sub(self.arrival?))
+    }
+}
+
+/// A probe that listens to `JobArrived` / `JobPlaced` / `JobReleased`
+/// and builds a tenant timeline. Interconnect events are ignored, so
+/// it can ride along any fan-out tuple.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedProbe {
+    spans: Vec<JobSpan>,
+}
+
+impl SchedProbe {
+    /// An empty probe.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn span_mut(&mut self, job: u32) -> &mut JobSpan {
+        if let Some(i) = self.spans.iter().position(|s| s.job == job) {
+            &mut self.spans[i]
+        } else {
+            self.spans.push(JobSpan::new(job));
+            self.spans.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Job spans, in order of first event (scheduler order).
+    #[must_use]
+    pub fn spans(&self) -> &[JobSpan] {
+        &self.spans
+    }
+
+    /// Latest finish time across all jobs (the horizon).
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.spans
+            .iter()
+            .filter_map(|s| s.finish)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Render an ASCII Gantt timeline, at most `width` columns wide:
+    /// `.` marks queueing (arrival to start), `#` marks execution
+    /// (start to finish).
+    #[must_use]
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(1);
+        let horizon = self.horizon().max(1);
+        let col = |t: u32| ((t as usize * width) / horizon as usize).min(width);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "tenant timeline, 0..{horizon} ({width} cols, '.' queued, '#' running):\n"
+        ));
+        for s in &self.spans {
+            let (Some(a), Some(b), Some(f)) = (s.arrival, s.start, s.finish) else {
+                out.push_str(&format!("  job {:>4} (incomplete span)\n", s.job));
+                continue;
+            };
+            let (ca, cb, cf) = (col(a), col(b), col(f));
+            let mut line = String::with_capacity(width);
+            for c in 0..width {
+                line.push(if c >= ca && c < cb {
+                    '.'
+                } else if c >= cb && c < cf.max(cb + 1) {
+                    '#'
+                } else {
+                    ' '
+                });
+            }
+            out.push_str(&format!(
+                "  job {:>4} ord {} |{line}| wait {:>4}\n",
+                s.job,
+                s.order,
+                b - a
+            ));
+        }
+        out
+    }
+}
+
+impl Probe for SchedProbe {
+    fn event(&mut self, ev: &Event) {
+        match *ev {
+            Event::JobArrived { round, job } => self.span_mut(job).arrival = Some(round),
+            Event::JobPlaced {
+                round,
+                job,
+                order,
+                pes,
+            } => {
+                let s = self.span_mut(job);
+                s.start = Some(round);
+                s.order = order;
+                s.pes = pes;
+            }
+            Event::JobReleased { round, job } => self.span_mut(job).finish = Some(round),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut SchedProbe, evs: &[Event]) {
+        for ev in evs {
+            p.event(ev);
+        }
+    }
+
+    #[test]
+    fn spans_assemble_from_events() {
+        let mut p = SchedProbe::new();
+        feed(
+            &mut p,
+            &[
+                Event::JobArrived { round: 0, job: 7 },
+                Event::JobPlaced {
+                    round: 5,
+                    job: 7,
+                    order: 3,
+                    pes: 6,
+                },
+                Event::JobReleased { round: 45, job: 7 },
+            ],
+        );
+        let s = p.spans()[0];
+        assert_eq!(s.queueing_delay(), Some(5));
+        assert_eq!((s.order, s.pes), (3, 6));
+        assert_eq!(p.horizon(), 45);
+    }
+
+    #[test]
+    fn gantt_marks_wait_and_run() {
+        let mut p = SchedProbe::new();
+        feed(
+            &mut p,
+            &[
+                Event::JobArrived { round: 0, job: 0 },
+                Event::JobPlaced {
+                    round: 50,
+                    job: 0,
+                    order: 2,
+                    pes: 2,
+                },
+                Event::JobReleased { round: 100, job: 0 },
+            ],
+        );
+        let g = p.gantt(10);
+        assert!(g.contains("....."));
+        assert!(g.contains("#####"));
+        assert!(g.contains("wait   50"));
+    }
+
+    #[test]
+    fn interconnect_events_are_ignored() {
+        let mut p = SchedProbe::new();
+        p.event(&Event::RoundBegin { round: 1 });
+        assert!(p.spans().is_empty());
+    }
+}

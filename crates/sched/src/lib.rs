@@ -75,5 +75,5 @@ pub mod stream;
 pub use alloc::{AllocPolicy, SubstarAllocator};
 pub use job::{JobId, JobSpec, TenantRouting, TrafficProfile};
 pub use policy::SubstarEmbedding;
-pub use scheduler::{schedule, Placement, Schedule, ScheduleReport, TenantRun};
+pub use scheduler::{schedule, schedule_probed, Placement, Schedule, ScheduleReport, TenantRun};
 pub use stream::{generate, ArrivalPattern, StreamConfig};

@@ -16,6 +16,7 @@ use crate::job::{JobId, JobSpec, TenantRouting};
 use crate::policy::tenant_policy;
 use rayon::prelude::*;
 use sg_net::{Injection, Network, RoutingPolicy, TrafficStats, Workload};
+use sg_obs::{Event, NullProbe, Probe};
 use sg_star::substar::SubStar;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -199,6 +200,25 @@ fn lift_workload(n: usize, p: &Placement) -> Workload {
 /// [`MIN_ORDER`]`..=alloc.n()` (it could never be placed).
 #[must_use]
 pub fn schedule(jobs: &[JobSpec], alloc: &mut dyn SubstarAllocator) -> Schedule {
+    schedule_probed(jobs, alloc, &mut NullProbe)
+}
+
+/// [`schedule`] with an attached [`Probe`]: emits
+/// [`Event::JobArrived`] when a job enters the pending queue,
+/// [`Event::JobPlaced`] when it is admitted, and
+/// [`Event::JobReleased`] when its sub-star is returned — in the event
+/// loop's own deterministic order. The schedule returned is
+/// byte-identical to an unprobed [`schedule`] of the same stream.
+///
+/// # Panics
+/// Panics if a job requests an order outside
+/// [`MIN_ORDER`]`..=alloc.n()` (it could never be placed).
+#[must_use]
+pub fn schedule_probed<P: Probe>(
+    jobs: &[JobSpec],
+    alloc: &mut dyn SubstarAllocator,
+    probe: &mut P,
+) -> Schedule {
     let n = alloc.n();
     for j in jobs {
         assert!(
@@ -231,8 +251,20 @@ pub fn schedule(jobs: &[JobSpec], alloc: &mut dyn SubstarAllocator) -> Schedule 
             }
             releases.pop();
             alloc.release(&placements[idx].substar);
+            if P::ENABLED {
+                probe.event(&Event::JobReleased {
+                    round: f,
+                    job: placements[idx].job.id,
+                });
+            }
         }
         while sorted.get(next_arrival).is_some_and(|j| j.arrival <= now) {
+            if P::ENABLED {
+                probe.event(&Event::JobArrived {
+                    round: sorted[next_arrival].arrival,
+                    job: sorted[next_arrival].id,
+                });
+            }
             pending.push_back(sorted[next_arrival]);
             next_arrival += 1;
         }
@@ -243,6 +275,14 @@ pub fn schedule(jobs: &[JobSpec], alloc: &mut dyn SubstarAllocator) -> Schedule 
             pending.pop_front();
             let finish = now + head.duration.max(1);
             releases.push(Reverse((finish, placements.len())));
+            if P::ENABLED {
+                probe.event(&Event::JobPlaced {
+                    round: now,
+                    job: head.id,
+                    order: substar.order() as u8,
+                    pes: sg_perm::factorial::factorial(substar.order()),
+                });
+            }
             placements.push(Placement {
                 job: *head,
                 substar,
@@ -256,6 +296,18 @@ pub fn schedule(jobs: &[JobSpec], alloc: &mut dyn SubstarAllocator) -> Schedule 
             largest_free_order: alloc.largest_free_order(),
             pending: pending.len(),
         });
+    }
+    // The loop ends once the last job is admitted; releases still in
+    // the heap happen after every remaining event, so the allocator
+    // state no longer matters — but the probe's timeline does. Drain
+    // them in finish order so every placed job gets its release event.
+    if P::ENABLED {
+        while let Some(Reverse((f, idx))) = releases.pop() {
+            probe.event(&Event::JobReleased {
+                round: f,
+                job: placements[idx].job.id,
+            });
+        }
     }
     let horizon = placements.iter().map(|p| p.finish).max().unwrap_or(0);
     Schedule {

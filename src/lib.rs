@@ -21,7 +21,7 @@
 //!
 //! See the crate-level docs of each member crate for the details:
 //! [`sg_perm`], [`sg_graph`], [`sg_star`], [`sg_mesh`], [`sg_core`],
-//! [`sg_simd`], [`sg_algo`], [`sg_net`], [`sg_sched`].
+//! [`sg_simd`], [`sg_algo`], [`sg_net`], [`sg_sched`], [`sg_obs`].
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +30,7 @@ pub use sg_core as core;
 pub use sg_graph as graph;
 pub use sg_mesh as mesh;
 pub use sg_net as net;
+pub use sg_obs as obs;
 pub use sg_perm as perm;
 pub use sg_sched as sched;
 pub use sg_simd as simd;
