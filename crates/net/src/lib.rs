@@ -90,7 +90,7 @@ pub mod stats;
 pub mod workload;
 
 pub use fault::{FaultPlan, FaultPolicy};
-pub use network::{Engine, FlowControl, NetConfig, Network};
+pub use network::{Engine, FlowControl, NetConfig, Network, QuiescenceViolation};
 pub use packet::{HopRecord, PacketId, PacketOutcome, PacketRecord};
 pub use routing::{AdaptiveRouting, EmbeddingRouting, GreedyRouting, RoutingPolicy};
 pub use stats::{saturation_sweep, SaturationPoint, TrafficStats};

@@ -170,6 +170,23 @@ impl Default for NetConfig {
     }
 }
 
+/// One packet that outlived its tenant's sub-star release — evidence
+/// of a dirty region handoff, produced by
+/// [`Network::region_quiescence_violations`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuiescenceViolation {
+    /// Owning job (index into the run's policy/release tables).
+    pub job: u32,
+    /// Offending packet id.
+    pub pid: u32,
+    /// Round the packet resolved (delivery or drop), or `None` for a
+    /// stranded packet that never resolved at all.
+    pub resolved: Option<u32>,
+    /// Round the scheduler returned the job's sub-star. Quiescence
+    /// requires `resolved < release`.
+    pub release: u32,
+}
+
 /// A simulated `S_n` interconnect: topology + configuration + faults.
 ///
 /// The struct is immutable; [`Network::run`] builds fresh per-run
@@ -408,6 +425,134 @@ impl Network {
             None,
             &mut NullProbe,
         )
+    }
+
+    /// [`Network::run_partitioned_with_escape`] with a probe attached:
+    /// the probe sees the run's full event stream and the statistics
+    /// are byte-identical to the unprobed run. This is the entry point
+    /// the drain-aware scheduler co-simulates through.
+    ///
+    /// # Panics
+    /// As [`Network::run_partitioned_with_escape`].
+    #[must_use]
+    pub fn run_partitioned_with_escape_probed<P: Probe>(
+        &self,
+        workload: &Workload,
+        policies: &[&dyn RoutingPolicy],
+        owner: &[u32],
+        escape: &[bool],
+        probe: &mut P,
+    ) -> (TrafficStats, Vec<TrafficStats>) {
+        assert_eq!(
+            escape.len(),
+            policies.len(),
+            "escape eligibility must name every job"
+        );
+        self.run_partitioned_inner(workload, policies, owner, Some(escape), None, probe)
+    }
+
+    /// The multi-tenant run on the **reference engine**: same
+    /// per-packet routes, per-job escape eligibility, and round
+    /// semantics as [`Network::run_partitioned_with_escape`], executed
+    /// by the scan-everything oracle. Returns the whole-network
+    /// statistics only (per-job attribution is a fast-engine
+    /// feature); the differential suite asserts they are
+    /// byte-identical to the fast engine's totals, which is what makes
+    /// a quiescence violation a hard error *in both engines* rather
+    /// than a fast-path artifact.
+    ///
+    /// # Panics
+    /// As [`Network::run_partitioned_with_escape`].
+    #[must_use]
+    pub fn run_partitioned_reference<P: Probe>(
+        &self,
+        workload: &Workload,
+        policies: &[&dyn RoutingPolicy],
+        owner: &[u32],
+        escape: &[bool],
+        probe: &mut P,
+    ) -> TrafficStats {
+        assert_eq!(
+            escape.len(),
+            policies.len(),
+            "escape eligibility must name every job"
+        );
+        let (inj, routes, mut pkts) = self.prepare_multi(workload, policies, owner);
+        for (pkt, &j) in pkts.iter_mut().zip(owner) {
+            pkt.may_escape = escape[j as usize];
+        }
+        ReferenceSim::new(self, inj, routes, pkts, probe).run()
+    }
+
+    /// Collects every region-handoff violation of a finished
+    /// multi-tenant run: packets of job `j` (per `owner`) that were
+    /// still unresolved — queued, in flight, stalled, or holding a
+    /// credit/escape slot — at round `release[j]`, the round the
+    /// scheduler returned the job's sub-star. A delivered or dropped
+    /// packet frees every resource it holds at its resolution round,
+    /// so "resolved strictly before the release round" is exactly
+    /// "the region is quiescent when the successor can first inject";
+    /// a stranded packet never resolves and is always a violation.
+    ///
+    /// The check reads only [`TrafficStats::packets`], which both
+    /// engines produce byte-identically (differential suite), so the
+    /// verdict is engine-independent by construction.
+    ///
+    /// # Panics
+    /// Panics if `owner` does not cover every packet or names a job
+    /// without a release round.
+    #[must_use]
+    pub fn region_quiescence_violations(
+        stats: &TrafficStats,
+        owner: &[u32],
+        release: &[u32],
+    ) -> Vec<QuiescenceViolation> {
+        assert_eq!(
+            owner.len(),
+            stats.packets.len(),
+            "owner map must cover every packet"
+        );
+        let mut out = Vec::new();
+        for (pid, (rec, &j)) in stats.packets.iter().zip(owner).enumerate() {
+            let released = release[j as usize];
+            let resolved = match rec.outcome {
+                PacketOutcome::Delivered { round, .. }
+                | PacketOutcome::DroppedFault { round }
+                | PacketOutcome::DroppedUnreachable { round }
+                | PacketOutcome::DroppedOverflow { round } => Some(round),
+                PacketOutcome::Stranded => None,
+            };
+            if resolved.is_none_or(|r| r >= released) {
+                out.push(QuiescenceViolation {
+                    job: j,
+                    pid: pid as u32,
+                    resolved,
+                    release: released,
+                });
+            }
+        }
+        out
+    }
+
+    /// [`Network::region_quiescence_violations`] as a hard error: a
+    /// dirty sub-star handoff — any tenant flit still owning queue,
+    /// credit, or escape state at its release round — panics with the
+    /// offending job, packet, and rounds. `Drained` release schedules
+    /// pass by construction; `Declared` schedules whose tenants
+    /// under-declare fail here instead of silently perturbing the
+    /// successor.
+    ///
+    /// # Panics
+    /// Panics on the first violation (and as
+    /// [`Network::region_quiescence_violations`]).
+    pub fn assert_region_quiescent(stats: &TrafficStats, owner: &[u32], release: &[u32]) {
+        let violations = Self::region_quiescence_violations(stats, owner, release);
+        assert!(
+            violations.is_empty(),
+            "dirty sub-star handoff: {} tenant flit(s) outlived their release round; first: {:?}",
+            violations.len(),
+            violations[0]
+        );
     }
 
     fn run_partitioned_inner<P: Probe>(
@@ -2650,6 +2795,63 @@ mod tests {
     use super::*;
     use crate::routing::{AdaptiveRouting, EmbeddingRouting, GreedyRouting};
     use sg_perm::lehmer::rank;
+
+    #[test]
+    fn quiescence_audit_is_strict_about_the_release_round() {
+        // One packet delivered at round d: a release at d (or any
+        // earlier round) is a dirty handoff, a release at d + 1 is
+        // clean — resolution frees the region's state *at* its round,
+        // so the successor may arrive strictly after.
+        let net = Network::new(4);
+        let w = Workload::from_injections(
+            "one",
+            4,
+            vec![Injection {
+                round: 0,
+                src: 7,
+                dst: 0,
+            }],
+        );
+        let stats = net.run(&w, &GreedyRouting);
+        let d = match stats.packets[0].outcome {
+            PacketOutcome::Delivered { round, .. } => round,
+            other => panic!("expected delivery, got {other:?}"),
+        };
+        assert!(d > 0, "a multi-hop route resolves after injection");
+        let owner = vec![0u32];
+        let dirty = Network::region_quiescence_violations(&stats, &owner, &[d]);
+        assert_eq!(
+            dirty,
+            vec![QuiescenceViolation {
+                job: 0,
+                pid: 0,
+                resolved: Some(d),
+                release: d,
+            }]
+        );
+        assert_eq!(
+            Network::region_quiescence_violations(&stats, &owner, &[d + 1]),
+            vec![]
+        );
+        Network::assert_region_quiescent(&stats, &owner, &[d + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty sub-star handoff")]
+    fn quiescence_assert_panics_on_stranded_flits() {
+        // A stranded packet never resolves: no release round is late
+        // enough.
+        let net = Network::new(3).with_config(NetConfig {
+            queue_capacity: Some(1),
+            flow_control: FlowControl::CreditBased,
+            ..NetConfig::default()
+        });
+        let w = Workload::bernoulli_uniform(3, 10, 100, 5);
+        let stats = net.run(&w, &GreedyRouting);
+        assert!(stats.stranded > 0, "the tiny credit pool must wedge");
+        let owner = vec![0u32; stats.packets.len()];
+        Network::assert_region_quiescent(&stats, &owner, &[u32::MAX]);
+    }
 
     #[test]
     fn single_packet_latency_equals_distance() {

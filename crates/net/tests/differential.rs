@@ -387,6 +387,56 @@ fn n6_escape_slice() {
     }
 }
 
+/// Partitioned (multi-tenant) row: composed workloads with per-job
+/// policies and mixed escape flags must produce byte-identical total
+/// statistics on both engines — the lock under the scheduler's
+/// drained-release co-simulation and its quiescence audit, which read
+/// per-packet resolution rounds out of exactly these stats.
+#[test]
+fn partitioned_runs_identical_across_engines() {
+    for n in 3..=5usize {
+        for seed in 0..SEEDS {
+            let parts = [
+                Workload::uniform_pairs(n, 32, seed),
+                Workload::transpose(n),
+                Workload::bernoulli_uniform(n, 3, 40, seed ^ 0xBEEF),
+            ];
+            let with_offsets: Vec<(&Workload, u32)> = parts.iter().zip([0u32, 2, 5]).collect();
+            let (composed, owner) = Workload::compose("diff-tenants", n, &with_offsets);
+            let policy_boxes = policies();
+            let per_job: Vec<&dyn RoutingPolicy> =
+                policy_boxes.iter().map(|(_, p)| p.as_ref()).collect();
+            let escape = [true, false, true];
+            for (config_name, config) in [
+                ("default", NetConfig::default()),
+                (
+                    "cap1-escape",
+                    NetConfig {
+                        queue_capacity: Some(1),
+                        flow_control: FlowControl::EscapeChannel,
+                        ..NetConfig::default()
+                    },
+                ),
+            ] {
+                let net = Network::new(n).with_config(config);
+                let (fast_total, _) =
+                    net.run_partitioned_with_escape(&composed, &per_job, &owner, &escape);
+                let reference = net.run_partitioned_reference(
+                    &composed,
+                    &per_job,
+                    &owner,
+                    &escape,
+                    &mut sg_obs::NullProbe,
+                );
+                assert_eq!(
+                    fast_total, reference,
+                    "partitioned engines diverged: n={n} seed={seed} config={config_name}"
+                );
+            }
+        }
+    }
+}
+
 /// The Lemma-5 certificate workload must stay byte-identical across
 /// engines for every dimension and direction — the run the paper's
 /// Theorem 6 bound rests on.

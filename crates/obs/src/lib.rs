@@ -43,7 +43,7 @@ pub use metrics::{
     Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricsRegistry, RingSeries,
     SeriesId,
 };
-pub use netprobe::{HotLink, NetProbe, DEFAULT_SERIES_CAP};
+pub use netprobe::{HotLink, NetProbe, DEFAULT_DEPTH_BUCKETS, DEFAULT_SERIES_CAP};
 pub use probe::{DropReason, Event, EventLog, NullProbe, Probe, StallKind};
 pub use profile::{reset_tick_clock, tick_clock, wall_clock, PhaseProfile};
 pub use sched::{JobSpan, SchedProbe};

@@ -16,6 +16,12 @@ use crate::probe::{Event, Probe};
 /// Default capacity of the per-round time series.
 pub const DEFAULT_SERIES_CAP: usize = 4096;
 
+/// Default queue-depth histogram bucket upper bounds (powers of two).
+/// Pass finer edges to [`NetProbe::with_buckets`] when the deltas you
+/// care about (e.g. drained-release latency shifts) land inside one
+/// power-of-two bucket.
+pub const DEFAULT_DEPTH_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
 /// One entry of the hot-link table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HotLink {
@@ -71,6 +77,21 @@ impl NetProbe {
     /// Like [`NetProbe::new`] with an explicit ring-series capacity.
     #[must_use]
     pub fn with_capacity(node_count: usize, gens: usize, series_cap: usize) -> Self {
+        Self::with_buckets(node_count, gens, series_cap, DEFAULT_DEPTH_BUCKETS)
+    }
+
+    /// Like [`NetProbe::with_capacity`] with explicit queue-depth
+    /// histogram bucket edges (strictly increasing upper bounds; an
+    /// implicit overflow bucket catches everything past the last).
+    /// [`DEFAULT_DEPTH_BUCKETS`] reproduces [`NetProbe::new`]
+    /// byte-identically.
+    #[must_use]
+    pub fn with_buckets(
+        node_count: usize,
+        gens: usize,
+        series_cap: usize,
+        depth_buckets: &[u64],
+    ) -> Self {
         let mut reg = MetricsRegistry::new();
         let c_rounds = reg.counter("rounds_observed");
         let c_forwarded = reg.counter("flits_forwarded");
@@ -79,7 +100,7 @@ impl NetProbe {
         let c_diverted = reg.counter("escape_diversions");
         let c_stalled = reg.counter("stall_events");
         let g_escape = reg.gauge("escape_bank_occupancy");
-        let h_depth = reg.histogram("queue_depth", &[1, 2, 4, 8, 16, 32, 64, 128]);
+        let h_depth = reg.histogram("queue_depth", depth_buckets);
         let s_queued = reg.series("queued_per_round", series_cap);
         let s_stalled = reg.series("stalled_per_round", series_cap);
         Self {
@@ -310,7 +331,11 @@ impl Probe for NetProbe {
                 self.reg.counter_mut(self.c_delivered).inc();
                 self.exit(pid);
             }
-            Event::JobArrived { .. } | Event::JobPlaced { .. } | Event::JobReleased { .. } => {}
+            Event::JobArrived { .. }
+            | Event::JobPlaced { .. }
+            | Event::JobReleased { .. }
+            | Event::JobReserved { .. }
+            | Event::JobBackfilled { .. } => {}
         }
     }
 }
@@ -390,6 +415,34 @@ mod tests {
         });
         assert_eq!(p.peak_escape_occupancy(), 2);
         assert_eq!(p.escape_occ[0], 1);
+    }
+
+    #[test]
+    fn custom_buckets_resolve_sub_bucket_deltas() {
+        // Default buckets lump depths 3 and 4 into the (2, 4] bucket;
+        // unit-wide edges tell them apart.
+        let mut coarse = NetProbe::new(2, 1);
+        let mut fine = NetProbe::with_buckets(2, 1, DEFAULT_SERIES_CAP, &[1, 2, 3, 4, 5]);
+        for depth in [3u32, 4] {
+            let ev = Event::Queued {
+                round: 0,
+                pid: 0,
+                pe: 0,
+                gen: 1,
+                depth,
+                escape: false,
+            };
+            coarse.event(&ev);
+            fine.event(&ev);
+        }
+        assert_eq!(coarse.depth_histogram().counts()[2], 2);
+        assert_eq!(fine.depth_histogram().counts()[2], 1);
+        assert_eq!(fine.depth_histogram().counts()[3], 1);
+        // The default-bucket constructor is byte-identical to passing
+        // DEFAULT_DEPTH_BUCKETS explicitly.
+        let a = NetProbe::new(2, 1);
+        let b = NetProbe::with_buckets(2, 1, DEFAULT_SERIES_CAP, DEFAULT_DEPTH_BUCKETS);
+        assert_eq!(a.depth_histogram().render(), b.depth_histogram().render());
     }
 
     #[test]

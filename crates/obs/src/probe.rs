@@ -160,6 +160,28 @@ pub enum Event {
         /// Job id.
         job: u32,
     },
+    /// EASY backfill: the blocked queue head was promised a start
+    /// round, computed from the *declared* walltimes of the running
+    /// jobs. Under drained release the actual start can come later —
+    /// the gap is the scheduler's optimism, measured per job by
+    /// [`crate::JobSpan::optimism_gap`].
+    JobReserved {
+        /// Scheduler time the reservation was computed.
+        round: u32,
+        /// The reserved (head) job.
+        job: u32,
+        /// Promised start round.
+        start: u32,
+    },
+    /// A job jumped the FCFS queue (EASY backfill): placed now because
+    /// its declared walltime cannot delay the reserved head. Always
+    /// paired with a [`Event::JobPlaced`] at the same round.
+    JobBackfilled {
+        /// Scheduler time.
+        round: u32,
+        /// Job id.
+        job: u32,
+    },
 }
 
 impl Event {
@@ -177,7 +199,9 @@ impl Event {
             | Event::Delivered { round, .. }
             | Event::JobArrived { round, .. }
             | Event::JobPlaced { round, .. }
-            | Event::JobReleased { round, .. } => round,
+            | Event::JobReleased { round, .. }
+            | Event::JobReserved { round, .. }
+            | Event::JobBackfilled { round, .. } => round,
         }
     }
 
@@ -279,6 +303,12 @@ impl Event {
             ),
             Event::JobReleased { round, job } => {
                 format!("{{\"ev\":\"job_released\",\"time\":{round},\"job\":{job}}}")
+            }
+            Event::JobReserved { round, job, start } => format!(
+                "{{\"ev\":\"job_reserved\",\"time\":{round},\"job\":{job},\"start\":{start}}}"
+            ),
+            Event::JobBackfilled { round, job } => {
+                format!("{{\"ev\":\"job_backfilled\",\"time\":{round},\"job\":{job}}}")
             }
         }
     }

@@ -18,6 +18,15 @@ pub struct JobSpan {
     pub order: u8,
     /// PEs in the allocated sub-star (0 until placed).
     pub pes: u64,
+    /// First start round promised by an EASY reservation (`None`
+    /// unless the job was ever the blocked queue head under
+    /// `SchedPolicy::EasyBackfill`). Sticky: later re-reservations do
+    /// not overwrite it, so the optimism gap is measured against the
+    /// scheduler's first promise.
+    pub reserved: Option<u32>,
+    /// True when the job was placed by jumping the queue (EASY
+    /// backfill).
+    pub backfilled: bool,
 }
 
 impl JobSpan {
@@ -29,6 +38,8 @@ impl JobSpan {
             finish: None,
             order: 0,
             pes: 0,
+            reserved: None,
+            backfilled: false,
         }
     }
 
@@ -36,6 +47,16 @@ impl JobSpan {
     #[must_use]
     pub fn queueing_delay(&self) -> Option<u32> {
         Some(self.start?.saturating_sub(self.arrival?))
+    }
+
+    /// How late the job started relative to its first EASY
+    /// reservation: `start - reserved`. The reservation is computed
+    /// from *declared* walltimes, so under drained release this is
+    /// exactly the scheduler's optimism about drain times. `None`
+    /// until the job was both reserved and started.
+    #[must_use]
+    pub fn optimism_gap(&self) -> Option<u32> {
+        Some(self.start?.saturating_sub(self.reserved?))
     }
 }
 
@@ -67,6 +88,25 @@ impl SchedProbe {
     #[must_use]
     pub fn spans(&self) -> &[JobSpan] {
         &self.spans
+    }
+
+    /// How many jobs were placed by jumping the queue (EASY backfill).
+    #[must_use]
+    pub fn backfills(&self) -> usize {
+        self.spans.iter().filter(|s| s.backfilled).count()
+    }
+
+    /// Largest optimism gap across all reserved jobs: how many rounds
+    /// the most-delayed head started after its first declared-walltime
+    /// reservation. Zero when no job was reserved (or every promise
+    /// held).
+    #[must_use]
+    pub fn max_optimism_gap(&self) -> u32 {
+        self.spans
+            .iter()
+            .filter_map(JobSpan::optimism_gap)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Latest finish time across all jobs (the horizon).
@@ -108,10 +148,11 @@ impl SchedProbe {
                 });
             }
             out.push_str(&format!(
-                "  job {:>4} ord {} |{line}| wait {:>4}\n",
+                "  job {:>4} ord {} |{line}| wait {:>4}{}\n",
                 s.job,
                 s.order,
-                b - a
+                b - a,
+                if s.backfilled { " (backfilled)" } else { "" }
             ));
         }
         out
@@ -134,6 +175,13 @@ impl Probe for SchedProbe {
                 s.pes = pes;
             }
             Event::JobReleased { round, job } => self.span_mut(job).finish = Some(round),
+            Event::JobReserved { job, start, .. } => {
+                let s = self.span_mut(job);
+                if s.reserved.is_none() {
+                    s.reserved = Some(start);
+                }
+            }
+            Event::JobBackfilled { job, .. } => self.span_mut(job).backfilled = true,
             _ => {}
         }
     }

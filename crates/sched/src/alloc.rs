@@ -222,6 +222,14 @@ pub trait SubstarAllocator {
 
     /// Every live allocation, in canonical tree order.
     fn live_allocations(&self) -> Vec<SubStar>;
+
+    /// An independent copy of the allocator in its current state —
+    /// the shadow the EASY backfill reservation probes ("when could
+    /// the blocked head start if running jobs released on schedule?")
+    /// without touching the live tree. A failed `allocate` never
+    /// mutates any shipped policy, so probing the clone is free of
+    /// side effects on the real machine state.
+    fn box_clone(&self) -> Box<dyn SubstarAllocator>;
 }
 
 fn check_order(n: usize, order: usize) {
@@ -295,6 +303,10 @@ impl SubstarAllocator for FirstFit {
     fn live_allocations(&self) -> Vec<SubStar> {
         self.tree.live_allocations()
     }
+
+    fn box_clone(&self) -> Box<dyn SubstarAllocator> {
+        Box::new(self.clone())
+    }
 }
 
 /// Best fit by fragmentation score: claims inside the **smallest**
@@ -367,6 +379,10 @@ impl SubstarAllocator for BestFit {
 
     fn live_allocations(&self) -> Vec<SubStar> {
         self.tree.live_allocations()
+    }
+
+    fn box_clone(&self) -> Box<dyn SubstarAllocator> {
+        Box::new(self.clone())
     }
 }
 
@@ -443,6 +459,10 @@ impl SubstarAllocator for BuddySplit {
 
     fn live_allocations(&self) -> Vec<SubStar> {
         self.tree.live_allocations()
+    }
+
+    fn box_clone(&self) -> Box<dyn SubstarAllocator> {
+        Box::new(self.clone())
     }
 }
 
@@ -587,6 +607,21 @@ mod tests {
         bd.release(&a);
         bd.release(&c);
         assert_eq!(bd.largest_free_order(), 5);
+    }
+
+    #[test]
+    fn box_clone_is_independent() {
+        for policy in AllocPolicy::ALL {
+            let mut alloc = policy.build(4);
+            let held = alloc.allocate(3).unwrap();
+            let mut ghost = alloc.box_clone();
+            // Probing the ghost (release + allocate) leaves the real
+            // allocator untouched.
+            ghost.release(&held);
+            assert!(ghost.allocate(4).is_some(), "{}", policy.name());
+            assert!(alloc.allocate(4).is_none(), "{}", policy.name());
+            assert_eq!(alloc.live_allocations(), vec![held]);
+        }
     }
 
     #[test]

@@ -137,9 +137,14 @@ pub struct JobSpec {
     pub order: usize,
     /// Round the job enters the arrival queue.
     pub arrival: u32,
-    /// Declared walltime: the sub-star is held for this many rounds
-    /// from the start round (capacity release is driven by the
-    /// declaration, as in batch schedulers, not by traffic drain).
+    /// Declared walltime: the job *claims* it needs this many rounds.
+    /// Under [`crate::ReleaseMode::Declared`] the sub-star is released
+    /// exactly `duration` rounds after the start (the batch-scheduler
+    /// convention — unsound when traffic out-lives the declaration);
+    /// under [`crate::ReleaseMode::Drained`] the declaration is a
+    /// floor and the region is held until the traffic has actually
+    /// drained. EASY backfill trusts declarations for reservations
+    /// either way.
     pub duration: u32,
     /// Traffic the job injects, in local coordinates.
     pub traffic: TrafficProfile,

@@ -74,6 +74,8 @@ pub mod stream;
 
 pub use alloc::{AllocPolicy, SubstarAllocator};
 pub use job::{JobId, JobSpec, TenantRouting, TrafficProfile};
-pub use policy::SubstarEmbedding;
-pub use scheduler::{schedule, schedule_probed, Placement, Schedule, ScheduleReport, TenantRun};
+pub use policy::{AdmissionPolicy, ReleaseMode, SchedConfig, SchedPolicy, SubstarEmbedding};
+pub use scheduler::{
+    schedule, schedule_probed, schedule_with, Placement, Schedule, ScheduleReport, TenantRun,
+};
 pub use stream::{generate, ArrivalPattern, StreamConfig};

@@ -1,4 +1,6 @@
-//! Per-tenant routing policies.
+//! Per-tenant routing policies, plus the scheduler-wide policy axes
+//! ([`ReleaseMode`], [`SchedPolicy`], [`AdmissionPolicy`] —
+//! bundled in [`SchedConfig`]).
 //!
 //! [`sg_net::Network::run_partitioned`] routes every packet under its
 //! own job's policy, so each tenant gets exactly one
@@ -25,9 +27,153 @@
 //! byte-isolation guarantee should stay opted out.
 
 use crate::job::TenantRouting;
-use sg_net::{AdaptiveRouting, EmbeddingRouting, GreedyRouting, RoutingPolicy};
+use sg_net::{AdaptiveRouting, EmbeddingRouting, GreedyRouting, Network, RoutingPolicy};
 use sg_perm::Perm;
 use sg_star::substar::SubStar;
+
+/// When a job's sub-star is returned to the allocator.
+///
+/// The original event loop released at the *declared* walltime — the
+/// batch-scheduler convention, and a correctness bug on a real
+/// interconnect: a tenant whose traffic out-lives its declaration
+/// leaves flits in the region's queues, credit pools, and escape
+/// banks, and the successor placed there inherits them — a silent
+/// violation of the byte-isolation theorem. `Drained` fixes the
+/// semantics by co-simulating each job's traffic on its sub-star at
+/// placement time and holding the region until the last flit has
+/// resolved; [`Network::assert_region_quiescent`] turns any residual
+/// dirty handoff into a hard error in both engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReleaseMode {
+    /// Release at `start + duration` (min 1 round), trusting the
+    /// declaration — fast, classic, and unsound when traffic
+    /// out-lives the declared walltime.
+    #[default]
+    Declared,
+    /// Release at `start + max(duration, drain + 1)` where `drain` is
+    /// the makespan of the job's traffic co-simulated alone on its
+    /// sub-star (requires [`SchedConfig::net`]). Exact for confined
+    /// tenants (embedding / greedy / adaptive) when the whole stream
+    /// is confined — the byte-isolation theorem makes the isolated
+    /// co-simulation the truth; for trespassing
+    /// ([`TenantRouting::GlobalEmbedding`]) mixes it is an estimate,
+    /// backstopped by
+    /// [`crate::scheduler::TenantRun::run_quiesce_checked`].
+    Drained,
+}
+
+impl ReleaseMode {
+    /// Table/report label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReleaseMode::Declared => "declared",
+            ReleaseMode::Drained => "drained",
+        }
+    }
+}
+
+/// How the pending queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Strict first-come-first-served: a blocked head blocks everyone
+    /// behind it — the classic batch discipline, and the one drained
+    /// release makes strictly slower (releases only move later).
+    #[default]
+    Fcfs,
+    /// EASY backfill: when the head blocks, it receives a start-time
+    /// *reservation* computed from the running jobs' **declared**
+    /// walltimes, and any queued job whose declared walltime ends by
+    /// that reservation may start immediately on currently free
+    /// PEs — it cannot (by declaration) delay the head. Under
+    /// [`ReleaseMode::Drained`] the truth is drain times, so an
+    /// under-declared backfill *can* still push the head past its
+    /// promise; that optimism gap is measured per job by
+    /// `sg_obs::JobSpan::optimism_gap`.
+    EasyBackfill,
+}
+
+impl SchedPolicy {
+    /// Table/report label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "fcfs",
+            SchedPolicy::EasyBackfill => "easy",
+        }
+    }
+}
+
+/// Pool-level admission adjustments applied to job specs before
+/// scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Run every job exactly as specified.
+    #[default]
+    AsRequested,
+    /// All-or-nothing escape opt-in per pool: if **any** job in the
+    /// stream opts into the escape channel, every job is admitted
+    /// opted-in. A *mixed* tenancy on an
+    /// [`sg_net::FlowControl::EscapeChannel`] host can still wedge —
+    /// opted-out packets keep pure credit semantics and deadlock
+    /// through the shared pool, stranding flits the escape channel
+    /// would have drained; uniform opt-in restores the
+    /// zero-`Stranded` guarantee for the whole pool.
+    UniformEscape,
+}
+
+impl AdmissionPolicy {
+    /// Table/report label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::AsRequested => "as-requested",
+            AdmissionPolicy::UniformEscape => "uniform-escape",
+        }
+    }
+}
+
+/// The scheduler's policy bundle, consumed by
+/// [`crate::scheduler::schedule_with`].
+///
+/// The default (`Declared` + `Fcfs` + `AsRequested`, no network) is
+/// byte-identical to the original [`crate::scheduler::schedule`]
+/// event loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedConfig<'n> {
+    /// When sub-stars are returned to the allocator.
+    pub release: ReleaseMode,
+    /// How the pending queue is drained.
+    pub policy: SchedPolicy,
+    /// Pool-level spec adjustments before scheduling.
+    pub admission: AdmissionPolicy,
+    /// The host network [`ReleaseMode::Drained`] co-simulates drain
+    /// times on (its flow control, queue capacity, and link latency
+    /// all shape the drain). Required for `Drained`, ignored
+    /// otherwise.
+    pub net: Option<&'n Network>,
+}
+
+impl<'n> SchedConfig<'n> {
+    /// Drain-aware release on `net`, strict FCFS otherwise.
+    #[must_use]
+    pub fn drained(net: &'n Network) -> Self {
+        SchedConfig {
+            release: ReleaseMode::Drained,
+            net: Some(net),
+            ..SchedConfig::default()
+        }
+    }
+
+    /// This config with EASY backfill switched on.
+    #[must_use]
+    pub fn with_backfill(self) -> Self {
+        SchedConfig {
+            policy: SchedPolicy::EasyBackfill,
+            ..self
+        }
+    }
+}
 
 /// Dimension-order embedding routing **inside one sub-star**: both
 /// endpoints are projected to the local `S_k`, routed by

@@ -13,9 +13,9 @@
 
 use crate::alloc::{SubstarAllocator, MIN_ORDER};
 use crate::job::{JobId, JobSpec, TenantRouting};
-use crate::policy::tenant_policy;
+use crate::policy::{tenant_policy, AdmissionPolicy, ReleaseMode, SchedConfig, SchedPolicy};
 use rayon::prelude::*;
-use sg_net::{Injection, Network, RoutingPolicy, TrafficStats, Workload};
+use sg_net::{Injection, Network, QuiescenceViolation, RoutingPolicy, TrafficStats, Workload};
 use sg_obs::{Event, NullProbe, Probe};
 use sg_star::substar::SubStar;
 use std::cmp::Reverse;
@@ -30,8 +30,15 @@ pub struct Placement {
     pub substar: SubStar,
     /// Round the allocation was granted (traffic starts here).
     pub start: u32,
-    /// Round the allocation is returned (`start + duration`, min 1).
+    /// Round the allocation is returned. Under
+    /// [`ReleaseMode::Declared`] this is the declared
+    /// `start + duration` (min 1); under [`ReleaseMode::Drained`] it
+    /// is `start + max(duration, drain + 1)` — never earlier than
+    /// declared, and late enough that the last flit has resolved.
     pub finish: u32,
+    /// True when the job jumped the FCFS queue under
+    /// [`SchedPolicy::EasyBackfill`].
+    pub backfilled: bool,
 }
 
 impl Placement {
@@ -39,6 +46,14 @@ impl Placement {
     #[must_use]
     pub fn queueing_delay(&self) -> u32 {
         self.start - self.job.arrival
+    }
+
+    /// The finish the *declaration* promised (`start + duration`, min
+    /// 1 round) — what EASY reservations are computed from, and equal
+    /// to [`Placement::finish`] under [`ReleaseMode::Declared`].
+    #[must_use]
+    pub fn declared_finish(&self) -> u32 {
+        self.start + self.job.duration.max(1)
     }
 }
 
@@ -101,6 +116,12 @@ impl Schedule {
     #[must_use]
     pub fn horizon(&self) -> u32 {
         self.horizon
+    }
+
+    /// Jobs placed by jumping the queue (EASY backfill).
+    #[must_use]
+    pub fn backfills(&self) -> usize {
+        self.placements.iter().filter(|p| p.backfilled).count()
     }
 
     /// Mean queueing delay over all jobs, in rounds.
@@ -219,6 +240,90 @@ pub fn schedule_probed<P: Probe>(
     alloc: &mut dyn SubstarAllocator,
     probe: &mut P,
 ) -> Schedule {
+    schedule_with(jobs, alloc, &SchedConfig::default(), probe)
+}
+
+/// How long a placement holds its sub-star under
+/// [`ReleaseMode::Drained`]: the job's traffic is co-simulated alone
+/// on its sub-star (same lift, same policy, same escape flag the
+/// composed run will use) and the region is held one round past the
+/// last flit's resolution — or the full declaration, whichever is
+/// longer. Exact when every tenant in the stream is confined
+/// ([`TenantRouting::is_confined`]): byte-isolation makes the
+/// isolated co-simulation identical to the job's slice of the shared
+/// run.
+fn drained_hold(net: &Network, n: usize, job: &JobSpec, substar: &SubStar) -> u32 {
+    let probe_placement = Placement {
+        job: *job,
+        substar: substar.clone(),
+        start: 0,
+        finish: 0,
+        backfilled: false,
+    };
+    let workload = lift_workload(n, &probe_placement);
+    let policy = tenant_policy(job.routing, substar);
+    let policies: [&dyn RoutingPolicy; 1] = [policy.as_ref()];
+    let owner = vec![0u32; workload.len()];
+    let (total, _) = net.run_partitioned_with_escape(&workload, &policies, &owner, &[job.escape]);
+    assert_eq!(
+        total.stranded, 0,
+        "job {} wedges in isolation and never drains — drained release would hold its sub-star forever",
+        job.id
+    );
+    job.duration.max(1).max(total.makespan + 1)
+}
+
+/// When could the blocked head start, if every running job released
+/// at its **declared** finish? Probes a clone of the allocator,
+/// releasing running placements in declared-finish order (never
+/// before `now` — an over-running job's best-case release is
+/// immediate) until the head's order fits. The classic EASY shadow
+/// time.
+fn easy_shadow(
+    alloc: &dyn SubstarAllocator,
+    placements: &[Placement],
+    running: &[usize],
+    head_order: usize,
+    now: u32,
+) -> u32 {
+    let mut ghost = alloc.box_clone();
+    if ghost.allocate(head_order).is_some() {
+        return now;
+    }
+    let mut order: Vec<usize> = running.to_vec();
+    order.sort_by_key(|&i| (placements[i].declared_finish().max(now), i));
+    for &i in &order {
+        ghost.release(&placements[i].substar);
+        if ghost.allocate(head_order).is_some() {
+            return placements[i].declared_finish().max(now);
+        }
+    }
+    unreachable!("an order <= n job always fits the drained machine")
+}
+
+/// [`schedule_probed`] under an explicit policy bundle: release mode
+/// ([`ReleaseMode`]), queueing discipline ([`SchedPolicy`]), and
+/// pool admission ([`AdmissionPolicy`]). `SchedConfig::default()`
+/// reproduces [`schedule`] byte-identically.
+///
+/// Under [`SchedPolicy::EasyBackfill`] the probe additionally sees
+/// [`Event::JobReserved`] when a blocked head receives its
+/// declared-walltime reservation (once per head) and
+/// [`Event::JobBackfilled`] next to the [`Event::JobPlaced`] of every
+/// queue-jumper.
+///
+/// # Panics
+/// Panics if a job requests an order outside
+/// [`MIN_ORDER`]`..=alloc.n()`, if [`ReleaseMode::Drained`] is asked
+/// for without [`SchedConfig::net`], or if a job's isolated
+/// co-simulation strands flits (it would never drain).
+#[must_use]
+pub fn schedule_with<P: Probe>(
+    jobs: &[JobSpec],
+    alloc: &mut dyn SubstarAllocator,
+    cfg: &SchedConfig<'_>,
+    probe: &mut P,
+) -> Schedule {
     let n = alloc.n();
     for j in jobs {
         assert!(
@@ -228,7 +333,26 @@ pub fn schedule_probed<P: Probe>(
             j.order
         );
     }
-    let mut sorted: Vec<&JobSpec> = jobs.iter().collect();
+    assert!(
+        cfg.release == ReleaseMode::Declared || cfg.net.is_some(),
+        "ReleaseMode::Drained needs SchedConfig::net to co-simulate drain times"
+    );
+    // Pool-level admission rewrites happen before the loop sees the
+    // stream, so every downstream consumer (placements, TenantRun)
+    // observes the adjusted specs.
+    let adjusted: Vec<JobSpec> = match cfg.admission {
+        AdmissionPolicy::AsRequested => jobs.to_vec(),
+        AdmissionPolicy::UniformEscape => {
+            let any = jobs.iter().any(|j| j.escape);
+            jobs.iter()
+                .map(|j| JobSpec {
+                    escape: j.escape || any,
+                    ..*j
+                })
+                .collect()
+        }
+    };
+    let mut sorted: Vec<&JobSpec> = adjusted.iter().collect();
     sorted.sort_by_key(|j| j.arrival);
     let mut placements: Vec<Placement> = Vec::with_capacity(jobs.len());
     let mut frag = Vec::new();
@@ -236,6 +360,47 @@ pub fn schedule_probed<P: Probe>(
     // Min-heap of (finish, placement index) for capacity releases.
     let mut releases: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
     let mut next_arrival = 0usize;
+    // The sticky EASY reservation: (head job, promised start).
+    // Recomputed only when a different job becomes the blocked head,
+    // so the optimism gap is measured against the first promise.
+    let mut reservation: Option<(JobId, u32)> = None;
+    let place = |job: &JobSpec,
+                 substar: SubStar,
+                 now: u32,
+                 backfilled: bool,
+                 placements: &mut Vec<Placement>,
+                 releases: &mut BinaryHeap<Reverse<(u32, usize)>>,
+                 probe: &mut P| {
+        let hold = match cfg.release {
+            ReleaseMode::Declared => job.duration.max(1),
+            ReleaseMode::Drained => {
+                drained_hold(cfg.net.expect("validated above"), n, job, &substar)
+            }
+        };
+        let finish = now + hold;
+        releases.push(Reverse((finish, placements.len())));
+        if P::ENABLED {
+            probe.event(&Event::JobPlaced {
+                round: now,
+                job: job.id,
+                order: substar.order() as u8,
+                pes: sg_perm::factorial::factorial(substar.order()),
+            });
+            if backfilled {
+                probe.event(&Event::JobBackfilled {
+                    round: now,
+                    job: job.id,
+                });
+            }
+        }
+        placements.push(Placement {
+            job: *job,
+            substar,
+            start: now,
+            finish,
+            backfilled,
+        });
+    };
     while next_arrival < sorted.len() || !pending.is_empty() {
         let mut now = u32::MAX;
         if let Some(j) = sorted.get(next_arrival) {
@@ -273,22 +438,59 @@ pub fn schedule_probed<P: Probe>(
                 break;
             };
             pending.pop_front();
-            let finish = now + head.duration.max(1);
-            releases.push(Reverse((finish, placements.len())));
-            if P::ENABLED {
-                probe.event(&Event::JobPlaced {
-                    round: now,
-                    job: head.id,
-                    order: substar.order() as u8,
-                    pes: sg_perm::factorial::factorial(substar.order()),
-                });
-            }
-            placements.push(Placement {
-                job: *head,
+            place(
+                head,
                 substar,
-                start: now,
-                finish,
-            });
+                now,
+                false,
+                &mut placements,
+                &mut releases,
+                probe,
+            );
+        }
+        if cfg.policy == SchedPolicy::EasyBackfill {
+            if let Some(&head) = pending.front() {
+                // The head is blocked: reserve it a start (sticky per
+                // head), then let queued jobs that — by declaration —
+                // finish before that start jump onto free PEs.
+                let shadow = match reservation {
+                    Some((id, s)) if id == head.id => s,
+                    _ => {
+                        let running: Vec<usize> =
+                            releases.iter().map(|&Reverse((_, idx))| idx).collect();
+                        let s = easy_shadow(alloc, &placements, &running, head.order, now);
+                        reservation = Some((head.id, s));
+                        if P::ENABLED {
+                            probe.event(&Event::JobReserved {
+                                round: now,
+                                job: head.id,
+                                start: s,
+                            });
+                        }
+                        s
+                    }
+                };
+                let mut i = 1;
+                while i < pending.len() {
+                    let cand = pending[i];
+                    if now + cand.duration.max(1) <= shadow {
+                        if let Some(substar) = alloc.allocate(cand.order) {
+                            pending.remove(i);
+                            place(
+                                cand,
+                                substar,
+                                now,
+                                true,
+                                &mut placements,
+                                &mut releases,
+                                probe,
+                            );
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+            }
         }
         frag.push(FragSample {
             round: now,
@@ -402,6 +604,64 @@ impl TenantRun {
             })
             .collect();
         ScheduleReport { total, jobs }
+    }
+
+    /// [`TenantRun::run`] plus the cross-layer handoff check:
+    /// panics (via [`Network::assert_region_quiescent`]) if any
+    /// tenant's flit resolved at — or survived past — its placement's
+    /// release round, i.e. if a sub-star was handed to a successor
+    /// still dirty. Under [`ReleaseMode::Drained`] with confined
+    /// tenants this always passes; under [`ReleaseMode::Declared`]
+    /// with under-declared walltimes it is exactly the hard error the
+    /// drain-aware release exists to prevent. Both engines feed the
+    /// same per-packet resolution records into the check, so a dirty
+    /// handoff is a hard error on either engine.
+    ///
+    /// # Panics
+    /// Panics on a network order mismatch or a dirty handoff.
+    #[must_use]
+    pub fn run_quiesce_checked(&self, net: &Network) -> ScheduleReport {
+        let report = self.run(net);
+        Network::assert_region_quiescent(&report.total, &self.owner, &self.release_rounds());
+        report
+    }
+
+    /// The handoff audit without the panic: every tenant flit that
+    /// resolved at or after its placement's release round (or never
+    /// resolved at all). Empty iff the schedule's releases were truly
+    /// drain-aware.
+    #[must_use]
+    pub fn quiescence_violations(&self, report: &ScheduleReport) -> Vec<QuiescenceViolation> {
+        Network::region_quiescence_violations(&report.total, &self.owner, &self.release_rounds())
+    }
+
+    fn release_rounds(&self) -> Vec<u32> {
+        self.schedule.placements.iter().map(|p| p.finish).collect()
+    }
+
+    /// The composed run on the **reference** engine, total statistics
+    /// only — the oracle side of the differential argument. Byte-equal
+    /// to [`TenantRun::run`]'s `total` on the fast engine for the same
+    /// network.
+    ///
+    /// # Panics
+    /// Panics if `net` is not an `S_n` of the schedule's order.
+    #[must_use]
+    pub fn run_reference_total(&self, net: &Network) -> TrafficStats {
+        assert_eq!(net.n(), self.schedule.n, "network order mismatch");
+        let escape: Vec<bool> = self
+            .schedule
+            .placements
+            .iter()
+            .map(|p| p.job.escape)
+            .collect();
+        net.run_partitioned_reference(
+            &self.workload,
+            &self.policies(),
+            &self.owner,
+            &escape,
+            &mut NullProbe,
+        )
     }
 
     /// Runs every job **alone** on the same network (same policy
@@ -694,6 +954,169 @@ mod tests {
         assert_eq!(inn.total.delivered, inn.total.injected);
         assert!(inn.total.escape_diversions > 0, "the channel did the work");
         assert!(inn.jobs[0].stats.escape_diversions > 0, "per-job stats too");
+    }
+
+    #[test]
+    fn schedule_with_default_is_byte_identical_to_schedule() {
+        let cfg = StreamConfig {
+            greedy_pct: 25,
+            ..StreamConfig::isolated(5, 20, 77)
+        };
+        let jobs = generate(&cfg);
+        for policy in AllocPolicy::ALL {
+            let old = schedule(&jobs, policy.build(5).as_mut());
+            let new = schedule_with(
+                &jobs,
+                policy.build(5).as_mut(),
+                &SchedConfig::default(),
+                &mut sg_obs::NullProbe,
+            );
+            assert_eq!(old, new, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn drained_release_holds_past_the_declaration() {
+        // An under-declared job (1 round declared, multi-round
+        // transpose drain) keeps its sub-star strictly longer under
+        // Drained; honest declarations are never released earlier.
+        let net = Network::new(4);
+        let jobs = vec![
+            JobSpec {
+                duration: 1,
+                ..tiny_jobs()[1]
+            },
+            tiny_jobs()[1],
+        ];
+        let mut alloc = AllocPolicy::FirstFit.build(4);
+        let s = schedule_with(
+            &jobs,
+            alloc.as_mut(),
+            &SchedConfig::drained(&net),
+            &mut sg_obs::NullProbe,
+        );
+        let liar = &s.placements()[0];
+        assert!(
+            liar.finish > liar.declared_finish(),
+            "under-declared job must be held until drain ({} vs declared {})",
+            liar.finish,
+            liar.declared_finish()
+        );
+        for p in s.placements() {
+            assert!(p.finish >= p.declared_finish());
+        }
+    }
+
+    #[test]
+    fn easy_backfill_jumps_only_safe_jobs() {
+        // j0 holds half of S_4 for 50 rounds; j1 wants the whole
+        // machine and blocks; j2 (order 3, 40 rounds) fits the free
+        // half and ends before j1's reservation at 50 — EASY starts it
+        // immediately, FCFS makes it wait behind j1.
+        let jobs = vec![
+            JobSpec {
+                id: 0,
+                order: 3,
+                arrival: 0,
+                duration: 50,
+                traffic: TrafficProfile::Transpose,
+                routing: TenantRouting::Embedding,
+                escape: false,
+            },
+            JobSpec {
+                id: 1,
+                order: 4,
+                arrival: 0,
+                duration: 30,
+                traffic: TrafficProfile::Transpose,
+                routing: TenantRouting::Embedding,
+                escape: false,
+            },
+            JobSpec {
+                id: 2,
+                order: 3,
+                arrival: 0,
+                duration: 40,
+                traffic: TrafficProfile::Transpose,
+                routing: TenantRouting::Embedding,
+                escape: false,
+            },
+        ];
+        let fcfs = schedule(&jobs, AllocPolicy::FirstFit.build(4).as_mut());
+        assert_eq!(fcfs.backfills(), 0);
+        let mut probe = sg_obs::SchedProbe::new();
+        let easy = schedule_with(
+            &jobs,
+            AllocPolicy::FirstFit.build(4).as_mut(),
+            &SchedConfig {
+                policy: SchedPolicy::EasyBackfill,
+                ..SchedConfig::default()
+            },
+            &mut probe,
+        );
+        assert_eq!(easy.backfills(), 1);
+        let j2 = easy.placements().iter().find(|p| p.job.id == 2).unwrap();
+        assert!(j2.backfilled);
+        assert_eq!(j2.start, 0, "j2 jumps the blocked head immediately");
+        // The head was promised (and got) its FCFS start: backfill did
+        // not delay it.
+        let j1 = easy.placements().iter().find(|p| p.job.id == 1).unwrap();
+        let j1_fcfs = fcfs.placements().iter().find(|p| p.job.id == 1).unwrap();
+        assert_eq!(j1.start, j1_fcfs.start);
+        let span1 = probe.spans().iter().find(|s| s.job == 1).unwrap();
+        assert_eq!(span1.reserved, Some(50), "reserved at j0's declared finish");
+        assert_eq!(
+            span1.optimism_gap(),
+            Some(0),
+            "honest declarations: promise held"
+        );
+        assert_eq!(probe.backfills(), 1);
+        assert!(
+            easy.horizon() < fcfs.horizon(),
+            "backfill shortens the schedule"
+        );
+        assert!(easy.concurrent_placements_disjoint());
+    }
+
+    #[test]
+    fn uniform_escape_admission_is_all_or_nothing() {
+        let mut jobs = tiny_jobs();
+        jobs[1].escape = true;
+        let mixed = schedule_with(
+            &jobs,
+            AllocPolicy::FirstFit.build(4).as_mut(),
+            &SchedConfig::default(),
+            &mut sg_obs::NullProbe,
+        );
+        assert_eq!(
+            mixed.placements().iter().filter(|p| p.job.escape).count(),
+            1,
+            "as-requested keeps the mix"
+        );
+        let uniform = schedule_with(
+            &jobs,
+            AllocPolicy::FirstFit.build(4).as_mut(),
+            &SchedConfig {
+                admission: AdmissionPolicy::UniformEscape,
+                ..SchedConfig::default()
+            },
+            &mut sg_obs::NullProbe,
+        );
+        assert!(
+            uniform.placements().iter().all(|p| p.job.escape),
+            "one opt-in opts the whole pool in"
+        );
+        // A pool with no opt-ins stays untouched.
+        let none = schedule_with(
+            &tiny_jobs(),
+            AllocPolicy::FirstFit.build(4).as_mut(),
+            &SchedConfig {
+                admission: AdmissionPolicy::UniformEscape,
+                ..SchedConfig::default()
+            },
+            &mut sg_obs::NullProbe,
+        );
+        assert!(none.placements().iter().all(|p| !p.job.escape));
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub struct StreamConfig {
     /// draw is made, so streams generated before this axis existed
     /// replay byte-identically.
     pub escape_pct: u32,
+    /// Percent of tenants that *under-declare*: their declared
+    /// walltime is clamped to 1 round regardless of the duration
+    /// range, so their traffic is guaranteed to out-live the
+    /// declaration — the population that makes
+    /// [`crate::ReleaseMode::Declared`] hand sub-stars over dirty and
+    /// that EASY reservations are optimistic about. At `0` no extra
+    /// random draw is made (streams replay byte-identically).
+    pub underdeclare_pct: u32,
     /// Stream seed.
     pub seed: u64,
 }
@@ -95,6 +103,7 @@ impl StreamConfig {
             adaptive_pct: 0,
             oblivious_pct: 0,
             escape_pct: 0,
+            underdeclare_pct: 0,
             seed,
         }
     }
@@ -158,6 +167,12 @@ pub fn generate(cfg: &StreamConfig) -> Vec<JobSpec> {
         // Short-circuit keeps the rng stream untouched at 0%, so
         // pre-escape configs replay byte-identically.
         let escape = cfg.escape_pct > 0 && rng.gen_range(0u32..100) < cfg.escape_pct;
+        let duration =
+            if cfg.underdeclare_pct > 0 && rng.gen_range(0u32..100) < cfg.underdeclare_pct {
+                1
+            } else {
+                duration
+            };
         jobs.push(JobSpec {
             id: id as u32,
             order,
@@ -247,6 +262,25 @@ mod tests {
             (none[0].order, none[0].duration, none[0].routing),
             (all[0].order, all[0].duration, all[0].routing),
         );
+    }
+
+    #[test]
+    fn underdeclare_pct_clamps_and_zero_is_silent() {
+        let base = StreamConfig::isolated(6, 30, 9);
+        let honest = generate(&base);
+        let liars = generate(&StreamConfig {
+            underdeclare_pct: 100,
+            ..base
+        });
+        assert!(liars.iter().all(|j| j.duration == 1), "100% under-declare");
+        // The first job's other draws all precede its under-declare
+        // draw, so they are shared with the honest stream — pinning
+        // that 0% makes no draw at all rather than a discarded one.
+        assert_eq!(
+            (honest[0].order, honest[0].traffic, honest[0].routing),
+            (liars[0].order, liars[0].traffic, liars[0].routing),
+        );
+        assert_eq!(honest, generate(&base), "0% makes no draw");
     }
 
     #[test]

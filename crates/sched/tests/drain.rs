@@ -1,0 +1,285 @@
+//! The drain-aware release suite: the pinned dirty-handoff scenario,
+//! the cross-layer quiescence assert, the engine-differential row for
+//! drained runs, the EASY optimism gap, and the mixed-tenancy escape
+//! regression.
+//!
+//! The headline scenario (asserted on **both** engines): a tenant
+//! under-declares its walltime, [`ReleaseMode::Declared`] hands its
+//! still-draining sub-star to a successor — byte-isolation breaks and
+//! the quiescence audit reports the leaked flits — and
+//! [`ReleaseMode::Drained`] restores exact byte-isolation with a
+//! clean audit, at the cost of later releases.
+
+use sg_net::{Network, TrafficStats};
+use sg_obs::NullProbe;
+use sg_sched::alloc::AllocPolicy;
+use sg_sched::{
+    schedule_with, AdmissionPolicy, JobSpec, ReleaseMode, SchedConfig, SchedPolicy, Schedule,
+    StreamConfig, TenantRouting, TrafficProfile,
+};
+
+const N: usize = 4;
+
+fn job(id: u32, order: usize, arrival: u32, duration: u32) -> JobSpec {
+    JobSpec {
+        id,
+        order,
+        arrival,
+        duration,
+        traffic: TrafficProfile::Transpose,
+        routing: TenantRouting::Embedding,
+        escape: false,
+    }
+}
+
+/// The pinned stream: j0 under-declares (1 round, multi-round
+/// transpose drain) in one of the four order-3 slices of S_4, j2–j4
+/// are long-lived bystanders filling the other three, and j1 —
+/// arriving with the machine full — is placed into j0's region the
+/// moment it is released.
+fn pinned_jobs() -> Vec<JobSpec> {
+    vec![
+        JobSpec {
+            // The liar: declares 1 round, then drains a 24-packet
+            // backlog over many rounds on its 6-PE slice.
+            traffic: TrafficProfile::UniformPairs { pairs: 24, seed: 7 },
+            ..job(0, 3, 0, 1)
+        },
+        job(2, 3, 0, 50),
+        job(3, 3, 0, 50),
+        job(4, 3, 0, 50),
+        job(1, 3, 0, 50), // the successor, reuses j0's sub-star
+    ]
+}
+
+fn run_mode(release: ReleaseMode, net: &Network) -> (Schedule, sg_sched::ScheduleReport) {
+    let cfg = SchedConfig {
+        release,
+        net: Some(net),
+        ..SchedConfig::default()
+    };
+    let mut alloc = AllocPolicy::FirstFit.build(N);
+    let s = schedule_with(&pinned_jobs(), alloc.as_mut(), &cfg, &mut NullProbe);
+    let report = s.tenant_run().run(net);
+    (s, report)
+}
+
+#[test]
+fn declared_release_hands_over_dirty_and_perturbs_the_successor() {
+    let net = Network::new(N);
+    let (s, report) = run_mode(ReleaseMode::Declared, &net);
+    let run = s.tenant_run();
+    // The successor starts on j0's sub-star at the declared (round-1)
+    // release, while j0's transpose is still in flight.
+    let liar = &s.placements()[0];
+    let successor = s
+        .placements()
+        .iter()
+        .find(|p| p.job.id == 1)
+        .expect("successor placed");
+    assert_eq!(liar.finish, 1, "declared release trusts the 1-round lie");
+    assert_eq!(successor.start, 1);
+    assert_eq!(
+        successor.substar, liar.substar,
+        "successor must inherit the liar's sub-star for the handoff to matter"
+    );
+    // The quiescence audit catches the leak: flits of j0 resolved at
+    // or after its release round.
+    let violations = run.quiescence_violations(&report);
+    assert!(
+        !violations.is_empty(),
+        "declared release must leak in-flight flits past the handoff"
+    );
+    assert!(violations.iter().all(|v| v.job == 0), "the liar leaks");
+    // And the leak is not cosmetic: the successor's attributed stats
+    // depart its isolated baseline — byte-isolation is broken.
+    let isolated = run.isolated_stats(&net);
+    let perturbed = report.perturbed_jobs(&isolated);
+    assert!(
+        perturbed.contains(&1),
+        "successor must be measurably perturbed, got {perturbed:?}"
+    );
+}
+
+#[test]
+fn drained_release_restores_byte_isolation() {
+    let net = Network::new(N);
+    let (s, report) = run_mode(ReleaseMode::Drained, &net);
+    let run = s.tenant_run();
+    let liar = &s.placements()[0];
+    assert!(
+        liar.finish > 1,
+        "drained release must hold past the declared round"
+    );
+    // Clean handoff: the audit is empty, the assert variant passes,
+    // and every tenant is byte-equal to its isolated run.
+    assert_eq!(run.quiescence_violations(&report), vec![]);
+    let checked = run.run_quiesce_checked(&net);
+    assert_eq!(checked, report);
+    let isolated = run.isolated_stats(&net);
+    assert_eq!(
+        report.perturbed_jobs(&isolated),
+        Vec::<u32>::new(),
+        "drained release restores exact byte-isolation"
+    );
+}
+
+/// The differential row: the composed drained run produces
+/// byte-identical total statistics on the reference and fast engines
+/// — and the dirty declared run does too (the engines agree even on
+/// the buggy schedule; the bug is in the release policy, not the
+/// simulation).
+#[test]
+fn both_engines_agree_on_the_pinned_scenario() {
+    for engine_pair in [ReleaseMode::Declared, ReleaseMode::Drained] {
+        let net = Network::new(N);
+        let (s, report) = run_mode(engine_pair, &net);
+        let run = s.tenant_run();
+        let reference: TrafficStats = run.run_reference_total(&net);
+        assert_eq!(
+            report.total, reference,
+            "engines must agree byte-for-byte under {engine_pair:?}"
+        );
+        // The quiescence verdict is a pure function of the per-packet
+        // records, so both engines deliver the identical verdict.
+        let fast_violations = run.quiescence_violations(&report);
+        let ref_report = sg_sched::ScheduleReport {
+            total: reference,
+            jobs: report.jobs.clone(),
+        };
+        assert_eq!(fast_violations, run.quiescence_violations(&ref_report));
+        match engine_pair {
+            ReleaseMode::Declared => assert!(!fast_violations.is_empty()),
+            ReleaseMode::Drained => assert!(fast_violations.is_empty()),
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "dirty sub-star handoff")]
+fn quiesce_checked_run_is_a_hard_error_on_declared_leaks() {
+    let net = Network::new(N);
+    let (s, _) = run_mode(ReleaseMode::Declared, &net);
+    let _ = s.tenant_run().run_quiesce_checked(&net);
+}
+
+/// EASY under drained truth: the head's reservation is computed from
+/// the liar's declared walltime, the drained release lands later, and
+/// the probe measures exactly that optimism gap. The under-declared
+/// backfill candidate also jumps the queue (its declaration fits the
+/// optimistic window).
+#[test]
+fn easy_reservations_are_optimistic_by_the_drain_gap() {
+    let net = Network::new(N);
+    let jobs = vec![
+        job(0, 3, 0, 1),  // liar on half the machine
+        job(1, 4, 0, 30), // head: needs the whole machine, blocks
+        job(2, 3, 0, 1),  // backfill candidate (also under-declared)
+    ];
+    let cfg = SchedConfig {
+        policy: SchedPolicy::EasyBackfill,
+        ..SchedConfig::drained(&net)
+    };
+    let mut probe = sg_obs::SchedProbe::new();
+    let mut alloc = AllocPolicy::FirstFit.build(N);
+    let s = schedule_with(&jobs, alloc.as_mut(), &cfg, &mut probe);
+    assert_eq!(s.backfills(), 1, "j2's declaration fits the reservation");
+    let head = probe.spans().iter().find(|sp| sp.job == 1).unwrap();
+    assert_eq!(
+        head.reserved,
+        Some(1),
+        "promised the declared round-1 release"
+    );
+    let gap = head.optimism_gap().expect("head was reserved and placed");
+    assert!(
+        gap > 0,
+        "drained truth must land after the declared promise"
+    );
+    assert_eq!(probe.max_optimism_gap(), gap);
+    let head_placement = s.placements().iter().find(|p| p.job.id == 1).unwrap();
+    assert_eq!(head_placement.start, 1 + gap);
+    // Even with backfill + optimism, the drained handoff stays clean.
+    let run = s.tenant_run();
+    let report = run.run_quiesce_checked(&net);
+    assert_eq!(run.quiescence_violations(&report), vec![]);
+}
+
+/// The mixed-tenancy escape wedge (ROADMAP), pinned: two tenants
+/// share an `EscapeChannel` pool at 1-slot queues; the opted-out one
+/// wedges at the credit fixed point and strands flits. The
+/// scheduler-level all-or-nothing admission policy opts the whole
+/// pool in and restores the zero-`Stranded` guarantee.
+#[test]
+fn uniform_escape_admission_fixes_the_mixed_tenancy_wedge() {
+    let net = Network::new(N).with_config(sg_net::NetConfig {
+        queue_capacity: Some(1),
+        flow_control: sg_net::FlowControl::EscapeChannel,
+        ..sg_net::NetConfig::default()
+    });
+    let saturating = |id, escape| JobSpec {
+        id,
+        order: 3,
+        arrival: 0,
+        duration: 400,
+        traffic: TrafficProfile::Bernoulli {
+            rounds: 40,
+            rate_pct: 100,
+            seed: 1,
+        },
+        routing: TenantRouting::Greedy,
+        escape,
+    };
+    let jobs = vec![saturating(0, true), saturating(1, false)];
+    let run_admission = |admission| {
+        let cfg = SchedConfig {
+            admission,
+            ..SchedConfig::default()
+        };
+        let mut alloc = AllocPolicy::FirstFit.build(N);
+        let s = schedule_with(&jobs, alloc.as_mut(), &cfg, &mut NullProbe);
+        assert_eq!(s.placements().len(), 2, "both halves placed at round 0");
+        s.tenant_run().run(&net)
+    };
+    let mixed = run_admission(AdmissionPolicy::AsRequested);
+    assert!(
+        mixed.total.stranded > 0,
+        "the old behavior: a partially opted-in pool still wedges"
+    );
+    let uniform = run_admission(AdmissionPolicy::UniformEscape);
+    assert_eq!(uniform.total.stranded, 0, "all-or-nothing opt-in drains");
+    assert_eq!(uniform.total.delivered, uniform.total.injected);
+    assert!(uniform.total.escape_diversions > 0);
+}
+
+/// Drained release composes with generated streams: a seeded
+/// under-declaring stream schedules clean (no quiescence violations)
+/// under Drained while the identical stream leaks under Declared.
+#[test]
+fn underdeclared_streams_leak_declared_and_seal_drained() {
+    let net = Network::new(N);
+    let cfg_stream = StreamConfig {
+        duration: (2, 6),
+        underdeclare_pct: 60,
+        max_order: 3,
+        ..StreamConfig::isolated(N, 8, 13)
+    };
+    let jobs = sg_sched::generate(&cfg_stream);
+    assert!(jobs.iter().any(|j| j.duration == 1), "stream has liars");
+    let run_release = |release| {
+        let cfg = SchedConfig {
+            release,
+            net: Some(&net),
+            ..SchedConfig::default()
+        };
+        let mut alloc = AllocPolicy::BestFit.build(N);
+        let s = schedule_with(&jobs, alloc.as_mut(), &cfg, &mut NullProbe);
+        let run = s.tenant_run();
+        let report = run.run(&net);
+        run.quiescence_violations(&report)
+    };
+    assert!(
+        !run_release(ReleaseMode::Declared).is_empty(),
+        "under-declared stream must leak under declared release"
+    );
+    assert_eq!(run_release(ReleaseMode::Drained), vec![]);
+}
