@@ -30,11 +30,12 @@ use sg_net::{
     AdaptiveRouting, EmbeddingRouting, Engine, FaultPlan, FaultPolicy, FlowControl, GreedyRouting,
     NetConfig, Network, RoutingPolicy, Workload,
 };
-use sg_obs::{NetProbe, SchedProbe};
+use sg_obs::{reset_tick_clock, tick_clock, NetProbe, SchedProbe};
 use sg_perm::factorial::factorial;
 use sg_sched::job::{JobSpec, TenantRouting, TrafficProfile};
 use sg_sched::scheduler::schedule as sched_schedule;
 use sg_sched::scheduler::schedule_probed as sched_schedule_probed;
+use sg_sched::scheduler::schedule_profiled as sched_schedule_profiled;
 use sg_sched::stream::{generate, ArrivalPattern, StreamConfig};
 use sg_sched::{schedule_with, AllocPolicy, ReleaseMode, SchedConfig, SchedPolicy};
 use sg_simd::machine::MeshSimd;
@@ -484,6 +485,7 @@ fn sched(n: usize) {
         ..StreamConfig::isolated(n, 14, 0x5EED)
     };
     let jobs = generate(&cfg);
+    let mut profiles: Vec<String> = Vec::new();
     let mut t3 = Table::new(&[
         "policy",
         "release",
@@ -505,6 +507,29 @@ fn sched(n: usize) {
             let mut alloc = AllocPolicy::FirstFit.build(n);
             let s = schedule_with(&jobs, alloc.as_mut(), &cfg, &mut probe);
             assert!(s.concurrent_placements_disjoint());
+            // The event loop's self-profile, under the deterministic
+            // tick clock — and the profiled schedule must be
+            // byte-identical to the bare one.
+            reset_tick_clock();
+            let (profiled, prof) = sched_schedule_profiled(
+                &jobs,
+                AllocPolicy::FirstFit.build(n).as_mut(),
+                &cfg,
+                &mut sg_obs::NullProbe,
+                tick_clock,
+            );
+            assert_eq!(profiled, s, "profiling never perturbs the schedule");
+            profiles.push(format!(
+                "phase profile [{}/{}]: {} rounds, {} ticks — placement {}, drain {}, backfill {}, release {}",
+                policy.name(),
+                release.name(),
+                prof.rounds,
+                prof.total_ticks(),
+                prof.placement_ticks,
+                prof.drain_ticks,
+                prof.backfill_ticks,
+                prof.release_ticks,
+            ));
             let run = s.tenant_run();
             let report = run.run(&net);
             let leaked = run.quiescence_violations(&report).len();
@@ -526,6 +551,12 @@ fn sched(n: usize) {
     println!("(declared release trusts walltime lies — \"leaked flits\" counts tenant");
     println!(" packets still in flight when their sub-star was handed to a successor;");
     println!(" drained release co-simulates the drain and never hands over dirty)");
+    println!();
+    for line in &profiles {
+        println!("{line}");
+    }
+    println!("(scheduler event-loop self-profile under the deterministic tick clock:");
+    println!(" drain ticks count co-simulations, backfill ticks count EASY probes)");
 }
 
 /// Extension — observability: probe dashboards and the self-profiler

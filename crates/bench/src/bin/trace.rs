@@ -1,0 +1,193 @@
+//! Record, replay, inspect, and diff `sg-trace` JSONL logs.
+//!
+//! ```sh
+//! cargo run --release -p sg-bench --bin trace -- record /tmp/s6.jsonl --n 6 --seed 7
+//! cargo run --release -p sg-bench --bin trace -- replay /tmp/s6.jsonl
+//! cargo run --release -p sg-bench --bin trace -- stats /tmp/s6.jsonl
+//! cargo run --release -p sg-bench --bin trace -- diff /tmp/a.jsonl /tmp/b.jsonl --context 3
+//! ```
+//!
+//! `replay` reconstructs the run's statistics and dashboards from the
+//! log alone — byte-identical to what the live run reported. `diff`
+//! exits 1 when the two logs diverge (localizing the first diverging
+//! round and event) and 0 when they are identical, so it slots into
+//! CI scripts directly.
+
+use sg_net::trace::{record, replay};
+use sg_net::{Engine, GreedyRouting, Network, TrafficStats, Workload};
+use sg_obs::{diff_events, NetProbe, Probe, SchedProbe, Trace};
+use sg_perm::factorial::factorial;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         trace record <path> [--n N] [--seed S] [--reference]\n  \
+         trace replay <path> [--top K]\n  \
+         trace stats <path>\n  \
+         trace diff <a> <b> [--context K]"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace: {msg}");
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load(path: &str) -> Trace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    Trace::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+fn summary(tag: &str, s: &TrafficStats) {
+    println!(
+        "{tag}: injected {}  delivered {}  dropped {}  stranded {}  makespan {}  \
+         wait {}  stalls {}  peak edge/node {}/{}  forwarded {}",
+        s.injected,
+        s.delivered,
+        s.dropped(),
+        s.stranded,
+        s.makespan,
+        s.total_wait_rounds,
+        s.injection_stall_rounds,
+        s.peak_edge_occupancy,
+        s.peak_node_occupancy,
+        s.forwarded_flits,
+    );
+}
+
+fn cmd_record(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let n = flag(args, "--n", 5) as usize;
+    let seed = flag(args, "--seed", 7);
+    let engine = if args.iter().any(|a| a == "--reference") {
+        Engine::Reference
+    } else {
+        Engine::Fast
+    };
+    let net = Network::new(n);
+    let w = Workload::random_permutation(n, seed);
+    let (live, trace) = record(&net, &w, &GreedyRouting, engine, seed);
+    let text = trace.to_jsonl();
+    // Self-check before writing: the file we emit must replay to the
+    // exact statistics the live run produced.
+    let back = sg_net::trace::replay_jsonl(&text)
+        .unwrap_or_else(|e| die(&format!("self-check replay failed: {e}")));
+    assert_eq!(
+        back.total, live,
+        "self-check: replayed stats diverge from live run"
+    );
+    std::fs::write(path, &text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    println!(
+        "recorded S_{n} permutation run ({}) to {path}: {} packets, {} events, replay self-check ok",
+        trace.header.engine, trace.header.packets, trace.header.events
+    );
+    summary("live", &live);
+}
+
+fn cmd_replay(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let top = flag(args, "--top", 5) as usize;
+    let trace = load(path);
+    let h = &trace.header;
+    println!(
+        "{path}: schema {} engine {} n {} seed {} jobs {} [{}]",
+        h.schema, h.engine, h.n, h.seed, h.jobs, h.fingerprint
+    );
+    if h.engine == "sched" {
+        // A scheduler trace: rebuild the Gantt dashboard from the job
+        // event stream and show the embedded phase profile.
+        let mut sp = SchedProbe::new();
+        for ev in &trace.events {
+            sp.event(ev);
+        }
+        print!("{}", sp.gantt(64));
+        if let Some(p) = h.sched_profile {
+            println!();
+            print!("{}", p.render());
+        }
+        return;
+    }
+    let stats = replay(&trace).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    summary("replayed", &stats.total);
+    for (j, s) in stats.per_job.iter().enumerate() {
+        summary(&format!("  job {j}"), s);
+    }
+    let n = h.n as usize;
+    let mut probe = NetProbe::new(factorial(n) as usize, n.saturating_sub(1));
+    for ev in &trace.events {
+        probe.event(ev);
+    }
+    println!();
+    print!("{}", probe.render(top));
+    if let Some(p) = h.sched_profile {
+        println!();
+        print!("{}", p.render());
+    }
+}
+
+fn cmd_stats(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let trace = load(path);
+    let h = &trace.header;
+    println!(
+        "{path}: schema {} engine {} n {} seed {} packets {} events {} jobs {} [{}]",
+        h.schema, h.engine, h.n, h.seed, h.packets, h.events, h.jobs, h.fingerprint
+    );
+    if h.engine == "sched" {
+        if let Some(p) = h.sched_profile {
+            print!("{}", p.render());
+        }
+        return;
+    }
+    let stats = replay(&trace).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    summary("replayed", &stats.total);
+    for (j, s) in stats.per_job.iter().enumerate() {
+        summary(&format!("  job {j}"), s);
+    }
+}
+
+fn cmd_diff(args: &[String]) {
+    let (pa, pb) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => usage(),
+    };
+    let context = flag(args, "--context", 3) as usize;
+    let a = load(pa);
+    let b = load(pb);
+    if a.header.fingerprint != b.header.fingerprint {
+        println!(
+            "note: configs differ — a: [{}]  b: [{}]",
+            a.header.fingerprint, b.header.fingerprint
+        );
+    }
+    match diff_events(&a.events, &b.events, context) {
+        None => {
+            println!("identical: {} event(s)", a.events.len());
+        }
+        Some(d) => {
+            print!("{}", d.render());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rest = &args[1.min(args.len())..];
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_record(rest),
+        Some("replay") => cmd_replay(rest),
+        Some("stats") => cmd_stats(rest),
+        Some("diff") => cmd_diff(rest),
+        _ => usage(),
+    }
+}

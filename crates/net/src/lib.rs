@@ -87,11 +87,13 @@ pub mod network;
 pub mod packet;
 pub mod routing;
 pub mod stats;
+pub mod trace;
 pub mod workload;
 
 pub use fault::{FaultPlan, FaultPolicy};
 pub use network::{Engine, FlowControl, NetConfig, Network, QuiescenceViolation};
 pub use packet::{HopRecord, PacketId, PacketOutcome, PacketRecord};
 pub use routing::{AdaptiveRouting, EmbeddingRouting, GreedyRouting, RoutingPolicy};
-pub use stats::{saturation_sweep, SaturationPoint, TrafficStats};
+pub use stats::{saturation_sweep, RunCounters, SaturationPoint, TrafficStats};
+pub use trace::ReplayedStats;
 pub use workload::{Injection, Workload};

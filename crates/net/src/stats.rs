@@ -129,8 +129,15 @@ impl LatencyAgg {
 /// The counters an engine tracks online during one run, handed to
 /// [`TrafficStats::from_records`] at the end. Both engines fill the
 /// same struct, so the differential suite compares like with like.
+///
+/// Public because it is also the **log round-trip hook**: the
+/// `sg-trace` replayer reconstructs these counters from an event
+/// stream alone ([`sg_obs::ReplayCounters`] is a field-for-field
+/// mirror) and [`crate::trace::replay`] feeds them back through
+/// [`TrafficStats::from_records`] to rebuild statistics byte-identical
+/// to the live run's.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct RunCounters {
+pub struct RunCounters {
     /// Round of the last packet resolution (= makespan).
     pub last_event: u32,
     /// Flit·rounds spent queued.
@@ -155,12 +162,12 @@ impl TrafficStats {
     /// Builds the stats from per-packet records plus the counters the
     /// simulator tracks online. The latency histogram and outcome
     /// tallies are aggregated in parallel (shim `fold`/`reduce`).
+    ///
+    /// Public as the second half of the log round-trip hook: replayed
+    /// [`RunCounters`] + preamble-derived [`PacketRecord`]s rebuild a
+    /// run's statistics from its trace alone.
     #[must_use]
-    pub(crate) fn from_records(
-        n: usize,
-        packets: Vec<PacketRecord>,
-        counters: RunCounters,
-    ) -> Self {
+    pub fn from_records(n: usize, packets: Vec<PacketRecord>, counters: RunCounters) -> Self {
         let records = &packets;
         let agg = (0..records.len())
             .into_par_iter()

@@ -1,0 +1,273 @@
+//! Record and replay network runs through the `sg-trace` JSONL
+//! format.
+//!
+//! [`record`] / [`record_partitioned`] run a workload with an
+//! [`EventLog`] attached and package the result as a self-describing
+//! [`Trace`]: header (schema version, engine, config fingerprint,
+//! seed, drop count), packet preamble (one line per injection — what
+//! events alone cannot reconstruct), and the verbatim event stream.
+//! [`replay`] inverts it: from a parsed trace alone it rebuilds
+//! [`TrafficStats`] — and per-tenant stats for partitioned runs —
+//! **byte-identical** to what the live run returned, by feeding the
+//! replayed [`sg_obs::ReplayCounters`] and preamble-derived
+//! [`PacketRecord`]s back through [`TrafficStats::from_records`]. The
+//! round-trip suite asserts that equality across the full `n ≤ 5`
+//! differential matrix.
+
+use crate::network::{Engine, Network};
+use crate::packet::{PacketOutcome, PacketRecord};
+use crate::routing::RoutingPolicy;
+use crate::stats::{RunCounters, TrafficStats};
+use crate::workload::Workload;
+use sg_obs::{
+    replay_trace, EventLog, ReplayCounters, ReplayOutcome, Trace, TraceError, TraceHeader,
+    TracePacket, SCHEMA_VERSION,
+};
+
+/// The header label for an [`Engine`].
+#[must_use]
+pub fn engine_label(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Fast => "fast",
+        Engine::Reference => "reference",
+    }
+}
+
+/// An opaque-but-stable description of the network's knobs, written
+/// into the trace header so two logs can be checked for "recorded
+/// under the same configuration" before diffing.
+#[must_use]
+pub fn fingerprint(net: &Network) -> String {
+    let c = net.config();
+    let flow = match c.flow_control {
+        crate::FlowControl::TailDrop => "tail_drop",
+        crate::FlowControl::CreditBased => "credit",
+        crate::FlowControl::EscapeChannel => "escape",
+    };
+    let cap = c
+        .queue_capacity
+        .map_or_else(|| "none".to_string(), |v| v.to_string());
+    format!(
+        "s{};latency={};cap={cap};flow={flow};max_rounds={};faults={}n+{}l",
+        net.n(),
+        c.link_latency,
+        c.max_rounds,
+        net.faults().dead_node_count(),
+        net.faults().dead_link_count(),
+    )
+}
+
+/// Package a finished [`EventLog`] (plus the workload it watched) as
+/// a [`Trace`]. This is the primitive under [`record`]; use it
+/// directly when you need control over the log (e.g. a
+/// capacity-bounded capture, whose drop count lands in the header and
+/// makes [`replay`] refuse the file).
+#[must_use]
+pub fn assemble(
+    net: &Network,
+    workload: &Workload,
+    engine: Engine,
+    seed: u64,
+    owner: Option<&[u32]>,
+    jobs: usize,
+    log: &EventLog,
+) -> Trace {
+    let packets: Vec<TracePacket> = workload
+        .injections()
+        .iter()
+        .enumerate()
+        .map(|(pid, inj)| TracePacket {
+            pid: pid as u32,
+            src: inj.src,
+            dst: inj.dst,
+            round: inj.round,
+            job: owner.map(|o| o[pid]),
+        })
+        .collect();
+    Trace {
+        header: TraceHeader {
+            schema: SCHEMA_VERSION,
+            engine: engine_label(engine).to_string(),
+            n: net.n() as u32,
+            seed,
+            fingerprint: fingerprint(net),
+            jobs: jobs as u32,
+            packets: packets.len() as u64,
+            events: log.events().len() as u64,
+            dropped: log.dropped(),
+            sched_profile: None,
+        },
+        packets,
+        events: log.events().to_vec(),
+    }
+}
+
+/// Run `workload` on the chosen engine with an unbounded event log
+/// attached, and return the live statistics next to the recorded
+/// trace. `seed` is stamped into the header (the `Workload` does not
+/// remember what seeded it).
+///
+/// # Panics
+/// Panics if the workload targets a different star order.
+#[must_use]
+pub fn record(
+    net: &Network,
+    workload: &Workload,
+    policy: &dyn RoutingPolicy,
+    engine: Engine,
+    seed: u64,
+) -> (TrafficStats, Trace) {
+    let mut log = EventLog::new();
+    let stats = net.run_probed(workload, policy, engine, &mut log);
+    let trace = assemble(net, workload, engine, seed, None, 0, &log);
+    (stats, trace)
+}
+
+/// [`record`] for a partitioned multi-tenant run (fast engine): one
+/// policy and escape flag per job, the owner map in the packet
+/// preamble, and fully attributed per-job statistics next to the
+/// totals.
+///
+/// # Panics
+/// As [`Network::run_partitioned_with_escape`].
+#[must_use]
+pub fn record_partitioned(
+    net: &Network,
+    workload: &Workload,
+    policies: &[&dyn RoutingPolicy],
+    owner: &[u32],
+    escape: &[bool],
+    seed: u64,
+) -> (TrafficStats, Vec<TrafficStats>, Trace) {
+    let mut log = EventLog::new();
+    let (total, per_job) =
+        net.run_partitioned_with_escape_probed(workload, policies, owner, escape, &mut log);
+    let trace = assemble(
+        net,
+        workload,
+        Engine::Fast,
+        seed,
+        Some(owner),
+        policies.len(),
+        &log,
+    );
+    (total, per_job, trace)
+}
+
+/// Statistics reconstructed from a trace alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayedStats {
+    /// Whole-run statistics — byte-identical to the live run's.
+    pub total: TrafficStats,
+    /// Per-job statistics for a partitioned trace (empty otherwise),
+    /// byte-identical to the live run's.
+    pub per_job: Vec<TrafficStats>,
+}
+
+fn counters(c: &ReplayCounters) -> RunCounters {
+    RunCounters {
+        last_event: c.last_event,
+        total_wait_rounds: c.total_wait_rounds,
+        injection_stall_rounds: c.injection_stall_rounds,
+        peak_edge: c.peak_edge,
+        peak_node: c.peak_node,
+        forwarded: c.forwarded,
+        escape_diversions: c.escape_diversions,
+        escape_forwarded: c.escape_forwarded,
+        peak_escape: c.peak_escape,
+    }
+}
+
+fn outcome(o: ReplayOutcome) -> PacketOutcome {
+    match o {
+        ReplayOutcome::Delivered { round, hops } => PacketOutcome::Delivered { round, hops },
+        ReplayOutcome::DroppedFault { round } => PacketOutcome::DroppedFault { round },
+        ReplayOutcome::DroppedUnreachable { round } => PacketOutcome::DroppedUnreachable { round },
+        ReplayOutcome::DroppedOverflow { round } => PacketOutcome::DroppedOverflow { round },
+        ReplayOutcome::Stranded => PacketOutcome::Stranded,
+        ReplayOutcome::Pending => unreachable!("finish() rejects pending packets"),
+    }
+}
+
+/// Reconstruct a run's statistics from a parsed trace alone.
+///
+/// # Errors
+/// Refuses truncated logs ([`TraceError::DroppedEvents`] when the
+/// recorder's capacity bound dropped events) and streams that fail
+/// replay invariants ([`TraceError::Inconsistent`]).
+pub fn replay(trace: &Trace) -> Result<ReplayedStats, TraceError> {
+    let run = replay_trace(trace)?;
+    let n = trace.header.n as usize;
+    let records: Vec<PacketRecord> = trace
+        .packets
+        .iter()
+        .zip(&run.outcomes)
+        .map(|(p, &o)| PacketRecord {
+            src: p.src,
+            dst: p.dst,
+            inject_round: p.round,
+            outcome: outcome(o),
+        })
+        .collect();
+    let jobs = trace.header.jobs as usize;
+    let per_job = if jobs > 0 {
+        let mut buckets: Vec<Vec<PacketRecord>> = vec![Vec::new(); jobs];
+        for (p, rec) in trace.packets.iter().zip(&records) {
+            buckets[p.job.expect("validated by replay_trace") as usize].push(*rec);
+        }
+        buckets
+            .into_iter()
+            .zip(&run.per_job)
+            .map(|(recs, c)| TrafficStats::from_records(n, recs, counters(c)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok(ReplayedStats {
+        total: TrafficStats::from_records(n, records, counters(&run.total)),
+        per_job,
+    })
+}
+
+/// Parse and replay a JSONL trace in one step.
+///
+/// # Errors
+/// As [`Trace::parse`] and [`replay`].
+pub fn replay_jsonl(text: &str) -> Result<ReplayedStats, TraceError> {
+    replay(&Trace::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::GreedyRouting;
+
+    #[test]
+    fn recorded_run_replays_byte_identical() {
+        let net = Network::new(4);
+        let w = Workload::random_permutation(4, 0xBEEF);
+        let (live, trace) = record(&net, &w, &GreedyRouting, Engine::Fast, 0xBEEF);
+        let text = trace.to_jsonl();
+        let back = replay_jsonl(&text).expect("replays");
+        assert_eq!(back.total, live, "replayed stats must be byte-identical");
+        assert!(back.per_job.is_empty());
+    }
+
+    #[test]
+    fn capped_log_is_refused_with_drop_count() {
+        let net = Network::new(4);
+        let w = Workload::random_permutation(4, 7);
+        let mut log = EventLog::with_capacity(10);
+        let _ = net.run_probed(&w, &GreedyRouting, Engine::Fast, &mut log);
+        assert!(log.dropped() > 0, "cap must actually truncate");
+        let trace = assemble(&net, &w, Engine::Fast, 7, None, 0, &log);
+        assert_eq!(trace.header.dropped, log.dropped());
+        let parsed = Trace::parse(&trace.to_jsonl()).expect("parses fine — replay refuses");
+        assert_eq!(
+            replay(&parsed),
+            Err(TraceError::DroppedEvents {
+                dropped: log.dropped()
+            })
+        );
+    }
+}

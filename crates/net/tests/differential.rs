@@ -26,7 +26,7 @@ use sg_net::{
     AdaptiveRouting, EmbeddingRouting, Engine, FaultPlan, FaultPolicy, FlowControl, GreedyRouting,
     NetConfig, Network, RoutingPolicy, TrafficStats, Workload,
 };
-use sg_obs::EventLog;
+use sg_obs::{diff_events, EventLog};
 
 const SEEDS: u64 = 8;
 
@@ -178,11 +178,15 @@ fn assert_probed_column(net: &Network, w: &Workload, policy: &dyn RoutingPolicy,
         "probed reference diverged from fast: {context}"
     );
     assert_eq!(fast_log.dropped(), 0, "unbounded log dropped: {context}");
-    assert_eq!(
-        fast_log.events(),
-        reference_log.events(),
-        "event streams diverged between engines: {context}"
-    );
+    // Stream equality through the structural differ: on failure it
+    // localizes the first diverging round and event instead of
+    // dumping two full streams.
+    if let Some(d) = diff_events(fast_log.events(), reference_log.events(), 4) {
+        panic!(
+            "event streams diverged between engines: {context}\n{}",
+            d.render()
+        );
+    }
 }
 
 /// The full cross product at n ∈ {3, 4, 5}: every workload × policy ×

@@ -1,0 +1,323 @@
+//! Structural diffing of two event streams.
+//!
+//! The differential harness proves both engines emit byte-identical
+//! streams; when that ever fails, "not equal" is useless at 10⁵
+//! events. [`diff_events`] walks two streams in lockstep and reports
+//! the **first** divergence — global event index, the round it lands
+//! in, the event's index within that round, both sides' events, and a
+//! configurable window of shared context before and per-side context
+//! after — rendered ready to paste into a bug report.
+
+use crate::probe::Event;
+
+/// Where one side of a divergence sits in its stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffSide {
+    /// The event at the divergence point, or `None` if this stream
+    /// ended first.
+    pub event: Option<Event>,
+    /// Round (or scheduler time) the divergence point belongs to.
+    /// `None` only for an ended stream.
+    pub round: Option<u32>,
+    /// Index of the event within its round bracket (0 = the
+    /// `round_begin` itself; streams without brackets count events of
+    /// equal round).
+    pub index_in_round: usize,
+}
+
+/// A localized first divergence between two streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Global index (0-based) of the first differing event.
+    pub index: usize,
+    /// The divergence as seen from stream `a`.
+    pub a: DiffSide,
+    /// The divergence as seen from stream `b`.
+    pub b: DiffSide,
+    /// Up to `context` events of the shared prefix before the
+    /// divergence, with their global indices.
+    pub before: Vec<(usize, Event)>,
+    /// Up to `context` events of `a` after the divergence point.
+    pub after_a: Vec<(usize, Event)>,
+    /// Up to `context` events of `b` after the divergence point.
+    pub after_b: Vec<(usize, Event)>,
+}
+
+/// Tracks (round, index-within-round) while walking a stream.
+#[derive(Debug, Clone, Copy)]
+struct RoundCursor {
+    round: Option<u32>,
+    index: usize,
+}
+
+impl RoundCursor {
+    fn new() -> Self {
+        RoundCursor {
+            round: None,
+            index: 0,
+        }
+    }
+
+    /// Advance past `ev` (already consumed).
+    fn advance(&mut self, ev: &Event) {
+        if matches!(ev, Event::RoundBegin { .. }) || self.round != Some(ev.round()) {
+            self.round = Some(ev.round());
+            self.index = 0;
+        } else {
+            self.index += 1;
+        }
+    }
+
+    /// The position `ev` would occupy if consumed next.
+    fn locate(&self, ev: &Event) -> (u32, usize) {
+        if matches!(ev, Event::RoundBegin { .. }) || self.round != Some(ev.round()) {
+            (ev.round(), 0)
+        } else {
+            (ev.round(), self.index + 1)
+        }
+    }
+}
+
+/// Compare two event streams; `None` means identical. On divergence
+/// the report carries up to `context` events of surrounding context
+/// from each side.
+#[must_use]
+pub fn diff_events(a: &[Event], b: &[Event], context: usize) -> Option<Divergence> {
+    let shared = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    if shared == a.len() && shared == b.len() {
+        return None;
+    }
+    // Walk the shared prefix to learn the round bracket in force.
+    let mut cursor = RoundCursor::new();
+    for ev in &a[..shared] {
+        cursor.advance(ev);
+    }
+    let side = |stream: &[Event]| -> DiffSide {
+        match stream.get(shared) {
+            Some(ev) => {
+                let (round, index_in_round) = cursor.locate(ev);
+                DiffSide {
+                    event: Some(*ev),
+                    round: Some(round),
+                    index_in_round,
+                }
+            }
+            None => DiffSide {
+                event: None,
+                round: cursor.round,
+                index_in_round: cursor.index,
+            },
+        }
+    };
+    let window = |stream: &[Event]| -> Vec<(usize, Event)> {
+        stream
+            .iter()
+            .enumerate()
+            .skip(shared + 1)
+            .take(context)
+            .map(|(i, ev)| (i, *ev))
+            .collect()
+    };
+    let start = shared.saturating_sub(context);
+    Some(Divergence {
+        index: shared,
+        a: side(a),
+        b: side(b),
+        before: a[start..shared]
+            .iter()
+            .enumerate()
+            .map(|(i, ev)| (start + i, *ev))
+            .collect(),
+        after_a: window(a),
+        after_b: window(b),
+    })
+}
+
+impl Divergence {
+    /// Render the localized report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = match (&self.a.event, &self.b.event) {
+            (Some(_), Some(_)) => format!(
+                "first divergence at event {} (round {}, event {} within round):\n",
+                self.index,
+                self.a.round.map_or_else(|| "?".into(), |r| r.to_string()),
+                self.a.index_in_round
+            ),
+            (None, Some(_)) => format!(
+                "stream a ends after {} event(s); b continues (round {}, event {} within round):\n",
+                self.index,
+                self.b.round.map_or_else(|| "?".into(), |r| r.to_string()),
+                self.b.index_in_round
+            ),
+            (Some(_), None) => format!(
+                "stream b ends after {} event(s); a continues (round {}, event {} within round):\n",
+                self.index,
+                self.a.round.map_or_else(|| "?".into(), |r| r.to_string()),
+                self.a.index_in_round
+            ),
+            (None, None) => unreachable!("equal-length identical streams do not diverge"),
+        };
+        let line = |out: &mut String, tag: &str, side: &DiffSide| {
+            match &side.event {
+                Some(ev) => out.push_str(&format!("  {tag}: {}\n", ev.to_json())),
+                None => out.push_str(&format!("  {tag}: <end of stream>\n")),
+            };
+        };
+        line(&mut out, "a", &self.a);
+        line(&mut out, "b", &self.b);
+        if !self.before.is_empty() {
+            out.push_str("  shared context before divergence:\n");
+            for (i, ev) in &self.before {
+                out.push_str(&format!("    {i:>6} | {}\n", ev.to_json()));
+            }
+        }
+        for (tag, after) in [("a", &self.after_a), ("b", &self.after_b)] {
+            if !after.is_empty() {
+                out.push_str(&format!("  {tag} continues:\n"));
+                for (i, ev) in after {
+                    out.push_str(&format!("    {i:>6} | {}\n", ev.to_json()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Vec<Event> {
+        let mut evs = Vec::new();
+        for round in 0..4 {
+            evs.push(Event::RoundBegin { round });
+            evs.push(Event::Queued {
+                round,
+                pid: round,
+                pe: 0,
+                gen: 1,
+                depth: 1,
+                escape: false,
+            });
+            evs.push(Event::Forwarded {
+                round,
+                pid: round,
+                from: 0,
+                to: 1,
+                gen: 1,
+                escape: false,
+            });
+            evs.push(Event::RoundEnd {
+                round,
+                queued: 0,
+                in_flight: 1,
+                stalled: 0,
+            });
+        }
+        evs
+    }
+
+    #[test]
+    fn identical_streams_diff_empty() {
+        let a = stream();
+        assert_eq!(diff_events(&a, &a, 3), None);
+        assert_eq!(diff_events(&[], &[], 3), None);
+    }
+
+    #[test]
+    fn single_mutation_is_localized_to_round_and_index() {
+        let a = stream();
+        let mut b = a.clone();
+        // Event 10 = round 2's Forwarded (bracket index 2).
+        b[10] = Event::Queued {
+            round: 2,
+            pid: 99,
+            pe: 7,
+            gen: 1,
+            depth: 3,
+            escape: false,
+        };
+        let d = diff_events(&a, &b, 2).expect("diverges");
+        assert_eq!(d.index, 10);
+        assert_eq!(d.a.round, Some(2));
+        assert_eq!(d.a.index_in_round, 2);
+        assert_eq!(d.b.round, Some(2));
+        assert_eq!(d.b.index_in_round, 2);
+        assert_eq!(d.a.event, Some(a[10]));
+        assert_eq!(d.b.event, Some(b[10]));
+        assert_eq!(d.before.len(), 2);
+        assert_eq!(d.after_a.len(), 2);
+        let text = d.render();
+        assert!(text.contains("event 10"));
+        assert!(text.contains("round 2, event 2 within round"));
+        assert!(text.contains("\"pid\":99"));
+    }
+
+    #[test]
+    fn length_mismatch_reports_the_tail() {
+        let a = stream();
+        let b = &a[..a.len() - 2];
+        let d = diff_events(&a, b, 3).expect("diverges");
+        assert_eq!(d.index, a.len() - 2);
+        assert_eq!(d.b.event, None);
+        assert_eq!(d.a.event, Some(a[a.len() - 2]));
+        let text = d.render();
+        assert!(text.contains("stream b ends after 14 event(s)"));
+        assert!(text.contains("<end of stream>"));
+    }
+
+    #[test]
+    fn divergence_on_round_begin_has_index_zero() {
+        let a = stream();
+        let mut b = a.clone();
+        b[4] = Event::RoundBegin { round: 9 };
+        let d = diff_events(&a, &b, 1).expect("diverges");
+        assert_eq!(d.index, 4);
+        assert_eq!(d.a.round, Some(1));
+        assert_eq!(d.a.index_in_round, 0);
+        assert_eq!(d.b.round, Some(9));
+        assert_eq!(d.b.index_in_round, 0);
+    }
+
+    /// The pinned cross-engine divergence fixture: two hand-edited
+    /// logs whose streams agree up to round 1 and then disagree on
+    /// what happened to packet 3 — the report must localize round 1,
+    /// bracket index 1, and show both events verbatim.
+    #[test]
+    fn pinned_hand_edited_fixture_renders_expected_report() {
+        let a_log = "\
+{\"ev\":\"round_begin\",\"round\":0}\n\
+{\"ev\":\"queued\",\"round\":0,\"pid\":3,\"pe\":2,\"gen\":1,\"depth\":1,\"escape\":false}\n\
+{\"ev\":\"round_end\",\"round\":0,\"queued\":1,\"in_flight\":0,\"stalled\":0}\n\
+{\"ev\":\"round_begin\",\"round\":1}\n\
+{\"ev\":\"forwarded\",\"round\":1,\"pid\":3,\"from\":2,\"to\":0,\"gen\":1,\"escape\":false}\n\
+{\"ev\":\"round_end\",\"round\":1,\"queued\":0,\"in_flight\":1,\"stalled\":0}\n";
+        let b_log = "\
+{\"ev\":\"round_begin\",\"round\":0}\n\
+{\"ev\":\"queued\",\"round\":0,\"pid\":3,\"pe\":2,\"gen\":1,\"depth\":1,\"escape\":false}\n\
+{\"ev\":\"round_end\",\"round\":0,\"queued\":1,\"in_flight\":0,\"stalled\":0}\n\
+{\"ev\":\"round_begin\",\"round\":1}\n\
+{\"ev\":\"stalled\",\"round\":1,\"pid\":3,\"pe\":2,\"kind\":\"credit_head\"}\n\
+{\"ev\":\"round_end\",\"round\":1,\"queued\":1,\"in_flight\":0,\"stalled\":0}\n";
+        let parse = |text: &str| -> Vec<Event> {
+            text.lines()
+                .map(|l| Event::from_json(l).expect("fixture parses"))
+                .collect()
+        };
+        let a = parse(a_log);
+        let b = parse(b_log);
+        let d = diff_events(&a, &b, 2).expect("fixture diverges");
+        assert_eq!(d.index, 4);
+        assert_eq!(d.a.round, Some(1));
+        assert_eq!(d.a.index_in_round, 1);
+        let text = d.render();
+        assert!(
+            text.contains("first divergence at event 4 (round 1, event 1 within round):"),
+            "unexpected report:\n{text}"
+        );
+        assert!(text.contains("a: {\"ev\":\"forwarded\",\"round\":1,\"pid\":3"));
+        assert!(text.contains("b: {\"ev\":\"stalled\",\"round\":1,\"pid\":3"));
+        assert!(text.contains("shared context before divergence:"));
+    }
+}

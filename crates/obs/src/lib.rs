@@ -25,7 +25,14 @@
 //!   ASCII Gantt timeline.
 //! * [`PhaseProfile`] + an injected monotonic counter ([`wall_clock`]
 //!   or the deterministic [`tick_clock`]) profile the fast engine's
-//!   four phases without perturbing its behaviour.
+//!   four phases without perturbing its behaviour;
+//!   [`SchedPhaseProfile`] does the same for `sg-sched`'s event loop.
+//! * **`sg-trace`** ([`trace`] / [`replay`] / [`diff`]): a versioned,
+//!   self-describing JSONL schema ([`Trace`]) that round-trips every
+//!   event losslessly, a replayer ([`NetReplay`]) reconstructing the
+//!   engines' full online accounting from a log alone, and a
+//!   structural differ ([`diff_events`]) that localizes the first
+//!   divergence between two streams to its round and in-round index.
 //!
 //! This crate has no dependencies (events carry plain integers); it
 //! sits below `sg-net` / `sg-sched`, which emit into it.
@@ -33,17 +40,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod metrics;
 pub mod netprobe;
 pub mod probe;
 pub mod profile;
+pub mod replay;
 pub mod sched;
+pub mod trace;
 
+pub use diff::{diff_events, DiffSide, Divergence};
 pub use metrics::{
     Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricsRegistry, RingSeries,
     SeriesId,
 };
 pub use netprobe::{HotLink, NetProbe, DEFAULT_DEPTH_BUCKETS, DEFAULT_SERIES_CAP};
 pub use probe::{DropReason, Event, EventLog, NullProbe, Probe, StallKind};
-pub use profile::{reset_tick_clock, tick_clock, wall_clock, PhaseProfile};
+pub use profile::{reset_tick_clock, tick_clock, wall_clock, PhaseProfile, SchedPhaseProfile};
+pub use replay::{replay_trace, NetReplay, ReplayCounters, ReplayOutcome, ReplayedRun};
 pub use sched::{JobSpan, SchedProbe};
+pub use trace::{Trace, TraceError, TraceHeader, TracePacket, SCHEMA_VERSION};

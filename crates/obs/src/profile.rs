@@ -62,6 +62,82 @@ impl PhaseProfile {
     }
 }
 
+/// Accumulated per-phase timings of one `sg-sched` event-loop run, in
+/// whatever unit the injected clock counts (nanoseconds for
+/// [`wall_clock`], samples for [`tick_clock`]).
+///
+/// The scheduler samples the clock around the four phases of each
+/// event round: capacity **release** (heap drain), arrival intake +
+/// FCFS **placement**, the **drain** co-simulation a
+/// `ReleaseMode::Drained` placement runs to size its hold, and the
+/// EASY **backfill** probe (shadow-time computation + queue scan).
+/// Nested phases share one running mark, so a drained placement's
+/// co-simulation is charged to `drain_ticks` and subtracted from the
+/// surrounding placement phase automatically. With [`tick_clock`]
+/// every charge is exactly 1, so the totals become exact counts:
+/// `release_ticks == rounds + 1`, `placement_ticks == rounds +
+/// drained placements`, and so on — assertable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedPhaseProfile {
+    /// Event rounds the scheduler loop executed (one per distinct
+    /// wake-up time: an arrival or a release).
+    pub rounds: u64,
+    /// Ticks spent admitting arrivals and placing FCFS heads
+    /// (allocator queries included, drain co-simulation excluded).
+    pub placement_ticks: u64,
+    /// Ticks spent co-simulating drain times for
+    /// `ReleaseMode::Drained` placements.
+    pub drain_ticks: u64,
+    /// Ticks spent computing EASY shadow times and scanning the queue
+    /// for backfill candidates (their placements/drains self-charge).
+    pub backfill_ticks: u64,
+    /// Ticks spent draining the release heap (capacity returns).
+    pub release_ticks: u64,
+}
+
+impl SchedPhaseProfile {
+    /// Total ticks across all four phases.
+    #[must_use]
+    pub fn total_ticks(&self) -> u64 {
+        self.placement_ticks + self.drain_ticks + self.backfill_ticks + self.release_ticks
+    }
+
+    /// Render as a per-phase table with percentages.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let total = self.total_ticks().max(1);
+        let pct = |t: u64| t as f64 * 100.0 / total as f64;
+        let mut out = format!(
+            "scheduler phase profile: {} event rounds, {} ticks\n",
+            self.rounds,
+            self.total_ticks()
+        );
+        for (name, t) in [
+            ("placement", self.placement_ticks),
+            ("drain", self.drain_ticks),
+            ("backfill", self.backfill_ticks),
+            ("release", self.release_ticks),
+        ] {
+            out.push_str(&format!("  {name:>12} {t:>14} ({:>5.1}%)\n", pct(t)));
+        }
+        out
+    }
+
+    /// Render as the flat JSON object embedded in a trace header's
+    /// `"sched_profile"` field.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rounds\":{},\"placement\":{},\"drain\":{},\"backfill\":{},\"release\":{}}}",
+            self.rounds,
+            self.placement_ticks,
+            self.drain_ticks,
+            self.backfill_ticks,
+            self.release_ticks
+        )
+    }
+}
+
 /// Monotonic wall-clock nanoseconds since the first call in this
 /// process. Suitable as the profiler clock for real measurements.
 #[must_use]

@@ -1,0 +1,730 @@
+//! Replaying a recorded event stream back into derived run state.
+//!
+//! [`NetReplay`] is the inverse of the engines' online accounting: it
+//! walks an [`Event`] stream (plus the packet preamble of a
+//! [`Trace`]) and reconstructs exactly the counters both `sg-net`
+//! engines track while running — total and per-job wait, stalls,
+//! peaks, forward counts, and every packet's outcome. `sg-net` turns
+//! the result into a `TrafficStats` that is **byte-identical** to the
+//! live run's (asserted across the full differential matrix), so a
+//! log file alone is sufficient to re-derive everything the run ever
+//! reported.
+//!
+//! The replay is strict: the stream's own invariants (a `round_end`
+//! total must equal the replayed queue census, per-PE occupancy can
+//! never underflow, every packet must resolve) are checked as it
+//! goes, so a truncated or hand-damaged log fails loudly instead of
+//! producing quietly wrong statistics.
+//!
+//! Accounting subtleties mirrored from the engines:
+//!
+//! * Wait and stall charges land at each `round_end`, using the
+//!   engine's own published totals for the global counters and the
+//!   replayed per-job census for tenant attribution — idle-skipped
+//!   rounds emit nothing and charge nothing.
+//! * A **deadlock strand** (credit cycle detected mid-run) charges
+//!   the final round's wait *before* breaking, and that round has no
+//!   `round_end`; a **round-cap strand** breaks at the top of the
+//!   round and charges nothing. The two are distinguished by the
+//!   stall events a deadlocked round necessarily contains.
+//! * Stranded packets never resolve, so they do not advance the
+//!   makespan (`last_event`) — only deliveries and real drops do.
+
+use crate::probe::{DropReason, Event, StallKind};
+use crate::trace::{Trace, TraceError};
+
+/// The counters one engine accumulates online during a run — as
+/// reconstructed from the event stream. Field-for-field mirror of
+/// `sg-net`'s `RunCounters` (kept integer-exact so the comparison is
+/// `assert_eq!`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayCounters {
+    /// Round of the last packet resolution (= makespan).
+    pub last_event: u32,
+    /// Flit·rounds spent queued.
+    pub total_wait_rounds: u64,
+    /// Packet·rounds stalled pre-injection (credit mode only).
+    pub injection_stall_rounds: u64,
+    /// Peak single-queue occupancy.
+    pub peak_edge: u64,
+    /// Peak per-PE queued total.
+    pub peak_node: u64,
+    /// Links traversed.
+    pub forwarded: u64,
+    /// Adaptive→escape diversions (escape mode only).
+    pub escape_diversions: u64,
+    /// Links traversed on the escape channel.
+    pub escape_forwarded: u64,
+    /// Peak per-PE escape residents.
+    pub peak_escape: u64,
+}
+
+/// A packet's fate as reconstructed from the stream.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// No resolution event seen (only valid mid-stream; a finished
+    /// replay with pending packets is an error).
+    #[default]
+    Pending,
+    /// Delivered at `round` after `hops` link traversals.
+    Delivered {
+        /// Resolution round.
+        round: u32,
+        /// Links traversed.
+        hops: u32,
+    },
+    /// Dropped on a dead node/link.
+    DroppedFault {
+        /// Resolution round.
+        round: u32,
+    },
+    /// Dropped with no surviving route.
+    DroppedUnreachable {
+        /// Resolution round.
+        round: u32,
+    },
+    /// Tail-dropped at a full queue.
+    DroppedOverflow {
+        /// Resolution round.
+        round: u32,
+    },
+    /// Still unresolved when the run stranded.
+    Stranded,
+}
+
+/// Everything a finished replay reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayedRun {
+    /// Whole-run counters.
+    pub total: ReplayCounters,
+    /// Per-job counters for a partitioned run (empty otherwise).
+    pub per_job: Vec<ReplayCounters>,
+    /// One outcome per packet, in packet-id order.
+    pub outcomes: Vec<ReplayOutcome>,
+}
+
+/// Streaming replayer for `sg-net` event streams.
+#[derive(Debug, Clone)]
+pub struct NetReplay {
+    owner: Option<Vec<u32>>,
+    total: ReplayCounters,
+    per_job: Vec<ReplayCounters>,
+    outcomes: Vec<ReplayOutcome>,
+    /// Per-PE adaptive-queue occupants (grown on demand).
+    node_occ: Vec<u64>,
+    /// Per-PE escape-bank occupants (grown on demand).
+    esc_node: Vec<u64>,
+    /// Flits in queues or escape banks, total and per job.
+    queued_total: u64,
+    queued_job: Vec<u64>,
+    /// Injection stalls observed in the currently open round.
+    stall_inj_total: u64,
+    stall_inj_job: Vec<u64>,
+    /// Any stall event (either kind) seen in the open round — the
+    /// deadlock-strand signature.
+    stall_any: bool,
+    /// Strand drops seen in the open round.
+    stranded: bool,
+    open: Option<u32>,
+    error: Option<String>,
+}
+
+fn slot(v: &mut Vec<u64>, i: usize) -> &mut u64 {
+    if v.len() <= i {
+        v.resize(i + 1, 0);
+    }
+    &mut v[i]
+}
+
+impl NetReplay {
+    /// A replayer for a run of `packets` packets. `owner` (one job id
+    /// per packet) and `jobs` switch on per-job attribution, exactly
+    /// like the engines' partitioned entry points.
+    ///
+    /// # Panics
+    /// Panics if `owner` is present with the wrong length or names a
+    /// job outside `0..jobs`.
+    #[must_use]
+    pub fn new(packets: usize, owner: Option<&[u32]>, jobs: usize) -> Self {
+        if let Some(o) = owner {
+            assert_eq!(o.len(), packets, "one owner per packet");
+            assert!(
+                o.iter().all(|&j| (j as usize) < jobs),
+                "owner map names a job outside 0..{jobs}"
+            );
+        }
+        NetReplay {
+            owner: owner.map(<[u32]>::to_vec),
+            total: ReplayCounters::default(),
+            per_job: vec![ReplayCounters::default(); jobs],
+            outcomes: vec![ReplayOutcome::Pending; packets],
+            node_occ: Vec::new(),
+            esc_node: Vec::new(),
+            queued_total: 0,
+            queued_job: vec![0; jobs],
+            stall_inj_total: 0,
+            stall_inj_job: vec![0; jobs],
+            stall_any: false,
+            stranded: false,
+            open: None,
+            error: None,
+        }
+    }
+
+    fn job_of(&self, pid: u32) -> Option<usize> {
+        self.owner.as_ref().map(|o| o[pid as usize] as usize)
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.error.is_none() {
+            self.error = Some(msg);
+        }
+    }
+
+    /// Feed the next event of the stream.
+    pub fn observe(&mut self, ev: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        match *ev {
+            Event::RoundBegin { round } => {
+                if self.open.is_some() {
+                    self.fail(format!("round {round} begins inside an open round"));
+                    return;
+                }
+                self.open = Some(round);
+                self.stall_inj_total = 0;
+                self.stall_inj_job.iter_mut().for_each(|s| *s = 0);
+                self.stall_any = false;
+                self.stranded = false;
+            }
+            Event::RoundEnd {
+                round,
+                queued,
+                stalled,
+                ..
+            } => {
+                if self.open != Some(round) {
+                    self.fail(format!(
+                        "round_end for round {round} without matching round_begin"
+                    ));
+                    return;
+                }
+                if queued != self.queued_total {
+                    self.fail(format!(
+                        "round {round}: round_end reports {queued} queued, replay counts {}",
+                        self.queued_total
+                    ));
+                    return;
+                }
+                if stalled != self.stall_inj_total {
+                    self.fail(format!(
+                        "round {round}: round_end reports {stalled} stalled, replay counted {} \
+                         injection stalls",
+                        self.stall_inj_total
+                    ));
+                    return;
+                }
+                self.total.total_wait_rounds += queued;
+                self.total.injection_stall_rounds += stalled;
+                for (c, (&q, &s)) in self
+                    .per_job
+                    .iter_mut()
+                    .zip(self.queued_job.iter().zip(&self.stall_inj_job))
+                {
+                    c.total_wait_rounds += q;
+                    c.injection_stall_rounds += s;
+                }
+                self.open = None;
+            }
+            Event::Queued {
+                pid,
+                pe,
+                depth,
+                escape,
+                ..
+            } => {
+                let pe = pe as usize;
+                if escape {
+                    *slot(&mut self.esc_node, pe) += 1;
+                    self.total.peak_escape = self.total.peak_escape.max(u64::from(depth));
+                } else {
+                    *slot(&mut self.node_occ, pe) += 1;
+                    self.total.peak_edge = self.total.peak_edge.max(u64::from(depth));
+                }
+                let at_pe = *slot(&mut self.node_occ, pe) + *slot(&mut self.esc_node, pe);
+                self.total.peak_node = self.total.peak_node.max(at_pe);
+                self.queued_total += 1;
+                if let Some(j) = self.job_of(pid) {
+                    self.queued_job[j] += 1;
+                    let c = &mut self.per_job[j];
+                    if escape {
+                        c.peak_escape = c.peak_escape.max(u64::from(depth));
+                    } else {
+                        c.peak_edge = c.peak_edge.max(u64::from(depth));
+                    }
+                    c.peak_node = c.peak_node.max(at_pe);
+                }
+            }
+            Event::Forwarded {
+                pid, from, escape, ..
+            } => {
+                let from = from as usize;
+                let bank = if escape {
+                    &mut self.esc_node
+                } else {
+                    &mut self.node_occ
+                };
+                let occ = slot(bank, from);
+                let (Some(next), Some(left)) =
+                    (occ.checked_sub(1), self.queued_total.checked_sub(1))
+                else {
+                    self.fail(format!("packet {pid} forwarded off an empty PE {from}"));
+                    return;
+                };
+                *occ = next;
+                self.queued_total = left;
+                self.total.forwarded += 1;
+                if escape {
+                    self.total.escape_forwarded += 1;
+                }
+                if let Some(j) = self.job_of(pid) {
+                    let Some(left) = self.queued_job[j].checked_sub(1) else {
+                        self.fail(format!("job {j} forwarded more flits than it queued"));
+                        return;
+                    };
+                    self.queued_job[j] = left;
+                    self.per_job[j].forwarded += 1;
+                    if escape {
+                        self.per_job[j].escape_forwarded += 1;
+                    }
+                }
+            }
+            Event::Diverted { pid, pe, .. } => {
+                let pe = pe as usize;
+                let occ = slot(&mut self.node_occ, pe);
+                let Some(next) = occ.checked_sub(1) else {
+                    self.fail(format!("packet {pid} diverted off an empty PE {pe}"));
+                    return;
+                };
+                *occ = next;
+                *slot(&mut self.esc_node, pe) += 1;
+                let esc = self.esc_node[pe];
+                self.total.escape_diversions += 1;
+                self.total.peak_escape = self.total.peak_escape.max(esc);
+                if let Some(j) = self.job_of(pid) {
+                    let c = &mut self.per_job[j];
+                    c.escape_diversions += 1;
+                    c.peak_escape = c.peak_escape.max(esc);
+                }
+            }
+            Event::Stalled { pid, kind, .. } => {
+                self.stall_any = true;
+                if kind == StallKind::Injection {
+                    self.stall_inj_total += 1;
+                    if let Some(j) = self.job_of(pid) {
+                        self.stall_inj_job[j] += 1;
+                    }
+                }
+            }
+            Event::Delivered {
+                round, pid, hops, ..
+            } => {
+                self.resolve(pid, ReplayOutcome::Delivered { round, hops }, Some(round));
+            }
+            Event::Dropped {
+                round, pid, reason, ..
+            } => {
+                let (outcome, advances) = match reason {
+                    DropReason::Fault => (ReplayOutcome::DroppedFault { round }, Some(round)),
+                    DropReason::Unreachable => {
+                        (ReplayOutcome::DroppedUnreachable { round }, Some(round))
+                    }
+                    DropReason::Overflow => (ReplayOutcome::DroppedOverflow { round }, Some(round)),
+                    // Stranding bypasses resolution: the engines never
+                    // advance `last_event` for a stranded packet.
+                    DropReason::Stranded => (ReplayOutcome::Stranded, None),
+                };
+                if reason == DropReason::Stranded {
+                    self.stranded = true;
+                }
+                self.resolve(pid, outcome, advances);
+            }
+            // Scheduler events may share a log with net events but
+            // carry no network accounting.
+            Event::JobArrived { .. }
+            | Event::JobPlaced { .. }
+            | Event::JobReleased { .. }
+            | Event::JobReserved { .. }
+            | Event::JobBackfilled { .. } => {}
+        }
+    }
+
+    fn resolve(&mut self, pid: u32, outcome: ReplayOutcome, advances: Option<u32>) {
+        let Some(out) = self.outcomes.get_mut(pid as usize) else {
+            self.fail(format!(
+                "event names packet {pid}, but the preamble declares only {}",
+                self.outcomes.len()
+            ));
+            return;
+        };
+        if *out != ReplayOutcome::Pending {
+            self.fail(format!("packet {pid} resolved twice"));
+            return;
+        }
+        *out = outcome;
+        if let Some(round) = advances {
+            self.total.last_event = self.total.last_event.max(round);
+            if let Some(j) = self.job_of(pid) {
+                self.per_job[j].last_event = self.per_job[j].last_event.max(round);
+            }
+        }
+    }
+
+    /// Close the stream and hand back the reconstructed run.
+    ///
+    /// # Errors
+    /// [`TraceError::Inconsistent`] if any invariant failed along the
+    /// way, the stream ended mid-round without stranding, or a packet
+    /// never resolved.
+    pub fn finish(mut self) -> Result<ReplayedRun, TraceError> {
+        if let Some(msg) = self.error {
+            return Err(TraceError::Inconsistent { msg });
+        }
+        if let Some(round) = self.open {
+            if !self.stranded {
+                return Err(TraceError::Inconsistent {
+                    msg: format!("stream ends inside round {round} without stranding"),
+                });
+            }
+            // A deadlock strand runs the accounting phase (charging
+            // the final round's wait and stalls) and then breaks
+            // before `round_end`; a round-cap strand breaks at the
+            // top of the round, before anything could stall.
+            if self.stall_any {
+                self.total.total_wait_rounds += self.queued_total;
+                self.total.injection_stall_rounds += self.stall_inj_total;
+                for (c, (&q, &s)) in self
+                    .per_job
+                    .iter_mut()
+                    .zip(self.queued_job.iter().zip(&self.stall_inj_job))
+                {
+                    c.total_wait_rounds += q;
+                    c.injection_stall_rounds += s;
+                }
+            }
+        }
+        if let Some(pid) = self
+            .outcomes
+            .iter()
+            .position(|o| *o == ReplayOutcome::Pending)
+        {
+            return Err(TraceError::Inconsistent {
+                msg: format!("packet {pid} never resolved — is the log truncated?"),
+            });
+        }
+        Ok(ReplayedRun {
+            total: self.total,
+            per_job: self.per_job,
+            outcomes: self.outcomes,
+        })
+    }
+}
+
+/// Replay a parsed [`Trace`] end to end.
+///
+/// # Errors
+/// [`TraceError::DroppedEvents`] when the recorder's capacity bound
+/// dropped events (the stream is incomplete by its own admission);
+/// [`TraceError::Inconsistent`] when the stream fails replay
+/// invariants.
+pub fn replay_trace(trace: &Trace) -> Result<ReplayedRun, TraceError> {
+    if trace.header.dropped > 0 {
+        return Err(TraceError::DroppedEvents {
+            dropped: trace.header.dropped,
+        });
+    }
+    let jobs = trace.header.jobs as usize;
+    let owner: Option<Vec<u32>> = if jobs > 0 {
+        let mut owner = Vec::with_capacity(trace.packets.len());
+        for p in &trace.packets {
+            match p.job {
+                Some(j) => owner.push(j),
+                None => {
+                    return Err(TraceError::Inconsistent {
+                        msg: format!(
+                            "header declares {jobs} job(s) but packet {} has no owner",
+                            p.pid
+                        ),
+                    })
+                }
+            }
+        }
+        Some(owner)
+    } else {
+        None
+    };
+    let mut replay = NetReplay::new(trace.packets.len(), owner.as_deref(), jobs);
+    for ev in &trace.events {
+        replay.observe(ev);
+    }
+    replay.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(replay: &mut NetReplay, evs: &[Event]) {
+        for ev in evs {
+            replay.observe(ev);
+        }
+    }
+
+    /// One packet queued at round 0, forwarded at round 1, delivered
+    /// at round 2 — the smallest stream with a wait charge.
+    #[test]
+    fn tiny_stream_reconstructs_counters() {
+        let mut r = NetReplay::new(1, None, 0);
+        feed(
+            &mut r,
+            &[
+                Event::RoundBegin { round: 0 },
+                Event::Queued {
+                    round: 0,
+                    pid: 0,
+                    pe: 3,
+                    gen: 1,
+                    depth: 1,
+                    escape: false,
+                },
+                Event::RoundEnd {
+                    round: 0,
+                    queued: 1,
+                    in_flight: 0,
+                    stalled: 0,
+                },
+                Event::RoundBegin { round: 1 },
+                Event::Forwarded {
+                    round: 1,
+                    pid: 0,
+                    from: 3,
+                    to: 5,
+                    gen: 1,
+                    escape: false,
+                },
+                Event::RoundEnd {
+                    round: 1,
+                    queued: 0,
+                    in_flight: 1,
+                    stalled: 0,
+                },
+                Event::RoundBegin { round: 2 },
+                Event::Delivered {
+                    round: 2,
+                    pid: 0,
+                    pe: 5,
+                    hops: 1,
+                },
+                Event::RoundEnd {
+                    round: 2,
+                    queued: 0,
+                    in_flight: 0,
+                    stalled: 0,
+                },
+            ],
+        );
+        let run = r.finish().expect("consistent");
+        assert_eq!(run.total.total_wait_rounds, 1);
+        assert_eq!(run.total.forwarded, 1);
+        assert_eq!(run.total.peak_edge, 1);
+        assert_eq!(run.total.peak_node, 1);
+        assert_eq!(run.total.last_event, 2);
+        assert_eq!(
+            run.outcomes,
+            vec![ReplayOutcome::Delivered { round: 2, hops: 1 }]
+        );
+    }
+
+    #[test]
+    fn per_job_attribution_follows_owners() {
+        let owner = [0u32, 1];
+        let mut r = NetReplay::new(2, Some(&owner), 2);
+        feed(
+            &mut r,
+            &[
+                Event::RoundBegin { round: 0 },
+                Event::Queued {
+                    round: 0,
+                    pid: 0,
+                    pe: 0,
+                    gen: 1,
+                    depth: 1,
+                    escape: false,
+                },
+                Event::Queued {
+                    round: 0,
+                    pid: 1,
+                    pe: 0,
+                    gen: 2,
+                    depth: 1,
+                    escape: false,
+                },
+                Event::RoundEnd {
+                    round: 0,
+                    queued: 2,
+                    in_flight: 0,
+                    stalled: 0,
+                },
+                Event::RoundBegin { round: 1 },
+                Event::Forwarded {
+                    round: 1,
+                    pid: 0,
+                    from: 0,
+                    to: 1,
+                    gen: 1,
+                    escape: false,
+                },
+                Event::RoundEnd {
+                    round: 1,
+                    queued: 1,
+                    in_flight: 1,
+                    stalled: 0,
+                },
+                Event::RoundBegin { round: 2 },
+                Event::Forwarded {
+                    round: 2,
+                    pid: 1,
+                    from: 0,
+                    to: 2,
+                    gen: 2,
+                    escape: false,
+                },
+                Event::Delivered {
+                    round: 2,
+                    pid: 0,
+                    pe: 1,
+                    hops: 1,
+                },
+                Event::RoundEnd {
+                    round: 2,
+                    queued: 0,
+                    in_flight: 1,
+                    stalled: 0,
+                },
+                Event::RoundBegin { round: 3 },
+                Event::Delivered {
+                    round: 3,
+                    pid: 1,
+                    pe: 2,
+                    hops: 1,
+                },
+                Event::RoundEnd {
+                    round: 3,
+                    queued: 0,
+                    in_flight: 0,
+                    stalled: 0,
+                },
+            ],
+        );
+        let run = r.finish().expect("consistent");
+        // Job 0 waited 1 round (round 0); job 1 waited 2 (rounds 0–1).
+        assert_eq!(run.per_job[0].total_wait_rounds, 1);
+        assert_eq!(run.per_job[1].total_wait_rounds, 2);
+        assert_eq!(run.per_job[0].last_event, 2);
+        assert_eq!(run.per_job[1].last_event, 3);
+        assert_eq!(run.total.total_wait_rounds, 3);
+        // The shared PE peaked at 2 queued flits; both jobs were
+        // enqueuing while it did, so both observed the peak.
+        assert_eq!(run.total.peak_node, 2);
+        assert_eq!(run.per_job[1].peak_node, 2);
+    }
+
+    #[test]
+    fn census_mismatch_is_inconsistent() {
+        let mut r = NetReplay::new(1, None, 0);
+        feed(
+            &mut r,
+            &[
+                Event::RoundBegin { round: 0 },
+                Event::RoundEnd {
+                    round: 0,
+                    queued: 5,
+                    in_flight: 0,
+                    stalled: 0,
+                },
+            ],
+        );
+        assert!(matches!(r.finish(), Err(TraceError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn mid_round_truncation_is_inconsistent() {
+        let mut r = NetReplay::new(0, None, 0);
+        feed(&mut r, &[Event::RoundBegin { round: 0 }]);
+        assert!(matches!(r.finish(), Err(TraceError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn unresolved_packet_is_inconsistent() {
+        let r = NetReplay::new(1, None, 0);
+        assert!(matches!(r.finish(), Err(TraceError::Inconsistent { .. })));
+    }
+
+    /// A deadlock strand (stall events in the final, unclosed round)
+    /// charges the round's wait; a round-cap strand (no stalls — the
+    /// break happens before any phase runs) does not.
+    #[test]
+    fn strand_rounds_charge_wait_only_on_deadlock() {
+        let deadlock = [
+            Event::RoundBegin { round: 0 },
+            Event::Queued {
+                round: 0,
+                pid: 0,
+                pe: 0,
+                gen: 1,
+                depth: 1,
+                escape: false,
+            },
+            Event::RoundEnd {
+                round: 0,
+                queued: 1,
+                in_flight: 0,
+                stalled: 0,
+            },
+            Event::RoundBegin { round: 1 },
+            Event::Stalled {
+                round: 1,
+                pid: 0,
+                pe: 0,
+                kind: StallKind::CreditHead,
+            },
+            Event::Dropped {
+                round: 1,
+                pid: 0,
+                pe: 0,
+                reason: DropReason::Stranded,
+            },
+        ];
+        let mut r = NetReplay::new(1, None, 0);
+        feed(&mut r, &deadlock);
+        let run = r.finish().expect("consistent");
+        assert_eq!(run.total.total_wait_rounds, 2, "strand round charged");
+        assert_eq!(run.total.last_event, 0, "stranding never advances makespan");
+        assert_eq!(run.outcomes, vec![ReplayOutcome::Stranded]);
+
+        let capped = [
+            Event::RoundBegin { round: 9 },
+            Event::Dropped {
+                round: 9,
+                pid: 0,
+                pe: 0,
+                reason: DropReason::Stranded,
+            },
+        ];
+        let mut r = NetReplay::new(1, None, 0);
+        feed(&mut r, &capped);
+        let run = r.finish().expect("consistent");
+        assert_eq!(run.total.total_wait_rounds, 0, "cap strand charges nothing");
+    }
+}

@@ -16,8 +16,11 @@ use crate::job::{JobId, JobSpec, TenantRouting};
 use crate::policy::{tenant_policy, AdmissionPolicy, ReleaseMode, SchedConfig, SchedPolicy};
 use rayon::prelude::*;
 use sg_net::{Injection, Network, QuiescenceViolation, RoutingPolicy, TrafficStats, Workload};
-use sg_obs::{Event, NullProbe, Probe};
+use sg_obs::{
+    Event, EventLog, NullProbe, Probe, SchedPhaseProfile, Trace, TraceHeader, SCHEMA_VERSION,
+};
 use sg_star::substar::SubStar;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -324,6 +327,88 @@ pub fn schedule_with<P: Probe>(
     cfg: &SchedConfig<'_>,
     probe: &mut P,
 ) -> Schedule {
+    schedule_inner(jobs, alloc, cfg, probe, None).0
+}
+
+/// [`schedule_with`] under an injected monotonic clock, returning the
+/// event loop's [`SchedPhaseProfile`] next to the schedule — which is
+/// **byte-identical** to the unprofiled one (profiling only reads the
+/// clock; it never touches scheduling state).
+///
+/// Use [`sg_obs::wall_clock`] for real timings or the deterministic
+/// [`sg_obs::tick_clock`] (after [`sg_obs::reset_tick_clock`]) for
+/// exact assertable phase counts.
+///
+/// # Panics
+/// As [`schedule_with`].
+#[must_use]
+pub fn schedule_profiled<P: Probe>(
+    jobs: &[JobSpec],
+    alloc: &mut dyn SubstarAllocator,
+    cfg: &SchedConfig<'_>,
+    probe: &mut P,
+    clock: fn() -> u64,
+) -> (Schedule, SchedPhaseProfile) {
+    let (schedule, prof) = schedule_inner(jobs, alloc, cfg, probe, Some(clock));
+    (schedule, prof.expect("profiler was armed"))
+}
+
+/// Armed profiler state: the injected clock, the running mark, and
+/// the accumulators. Lives in a `RefCell` so the placement closure
+/// and the loop body can both charge through a shared borrow.
+struct SchedProf {
+    clock: fn() -> u64,
+    mark: u64,
+    prof: SchedPhaseProfile,
+}
+
+#[derive(Clone, Copy)]
+enum SchedPhase {
+    Placement,
+    Drain,
+    Backfill,
+    Release,
+}
+
+/// Charge the delta since the last mark to `phase` and advance the
+/// mark. No-op when the profiler is unarmed. Nested phases share the
+/// one mark, so an inner charge (the drain co-simulation inside a
+/// placement) is automatically subtracted from the enclosing phase.
+fn charge(slot: &RefCell<Option<SchedProf>>, phase: SchedPhase) {
+    if let Some(p) = slot.borrow_mut().as_mut() {
+        let now = (p.clock)();
+        let delta = now - p.mark;
+        match phase {
+            SchedPhase::Placement => p.prof.placement_ticks += delta,
+            SchedPhase::Drain => p.prof.drain_ticks += delta,
+            SchedPhase::Backfill => p.prof.backfill_ticks += delta,
+            SchedPhase::Release => p.prof.release_ticks += delta,
+        }
+        p.mark = now;
+    }
+}
+
+/// Open a new event round: count it and reset the mark so the
+/// inter-round gap is charged to nothing.
+fn begin_round(slot: &RefCell<Option<SchedProf>>) {
+    if let Some(p) = slot.borrow_mut().as_mut() {
+        p.prof.rounds += 1;
+        p.mark = (p.clock)();
+    }
+}
+
+fn schedule_inner<P: Probe>(
+    jobs: &[JobSpec],
+    alloc: &mut dyn SubstarAllocator,
+    cfg: &SchedConfig<'_>,
+    probe: &mut P,
+    clock: Option<fn() -> u64>,
+) -> (Schedule, Option<SchedPhaseProfile>) {
+    let prof: RefCell<Option<SchedProf>> = RefCell::new(clock.map(|clock| SchedProf {
+        clock,
+        mark: clock(),
+        prof: SchedPhaseProfile::default(),
+    }));
     let n = alloc.n();
     for j in jobs {
         assert!(
@@ -374,7 +459,12 @@ pub fn schedule_with<P: Probe>(
         let hold = match cfg.release {
             ReleaseMode::Declared => job.duration.max(1),
             ReleaseMode::Drained => {
-                drained_hold(cfg.net.expect("validated above"), n, job, &substar)
+                // The allocator work so far belongs to placement; the
+                // co-simulation itself is its own phase.
+                charge(&prof, SchedPhase::Placement);
+                let hold = drained_hold(cfg.net.expect("validated above"), n, job, &substar);
+                charge(&prof, SchedPhase::Drain);
+                hold
             }
         };
         let finish = now + hold;
@@ -402,6 +492,7 @@ pub fn schedule_with<P: Probe>(
         });
     };
     while next_arrival < sorted.len() || !pending.is_empty() {
+        begin_round(&prof);
         let mut now = u32::MAX;
         if let Some(j) = sorted.get(next_arrival) {
             now = j.arrival;
@@ -423,6 +514,7 @@ pub fn schedule_with<P: Probe>(
                 });
             }
         }
+        charge(&prof, SchedPhase::Release);
         while sorted.get(next_arrival).is_some_and(|j| j.arrival <= now) {
             if P::ENABLED {
                 probe.event(&Event::JobArrived {
@@ -448,6 +540,7 @@ pub fn schedule_with<P: Probe>(
                 probe,
             );
         }
+        charge(&prof, SchedPhase::Placement);
         if cfg.policy == SchedPolicy::EasyBackfill {
             if let Some(&head) = pending.front() {
                 // The head is blocked: reserve it a start (sticky per
@@ -491,6 +584,7 @@ pub fn schedule_with<P: Probe>(
                     i += 1;
                 }
             }
+            charge(&prof, SchedPhase::Backfill);
         }
         frag.push(FragSample {
             round: now,
@@ -511,13 +605,61 @@ pub fn schedule_with<P: Probe>(
             });
         }
     }
+    charge(&prof, SchedPhase::Release);
     let horizon = placements.iter().map(|p| p.finish).max().unwrap_or(0);
-    Schedule {
-        n,
-        placements,
-        frag,
-        horizon,
-    }
+    let profile = prof.into_inner().map(|p| p.prof);
+    (
+        Schedule {
+            n,
+            placements,
+            frag,
+            horizon,
+        },
+        profile,
+    )
+}
+
+/// Record a profiled scheduling run as an `sg-trace` [`Trace`]:
+/// engine `"sched"`, the [`SchedPhaseProfile`] embedded in the
+/// header's `"sched_profile"` field, a policy-bundle fingerprint, and
+/// the full job event stream. Scheduler traces carry no packet
+/// preamble (`packets: 0`) — jobs, not flits, are the unit here.
+///
+/// # Panics
+/// As [`schedule_with`].
+#[must_use]
+pub fn schedule_traced(
+    jobs: &[JobSpec],
+    alloc: &mut dyn SubstarAllocator,
+    cfg: &SchedConfig<'_>,
+    seed: u64,
+    clock: fn() -> u64,
+) -> (Schedule, Trace) {
+    let n = alloc.n();
+    let mut log = EventLog::new();
+    let (schedule, prof) = schedule_profiled(jobs, alloc, cfg, &mut log, clock);
+    let trace = Trace {
+        header: TraceHeader {
+            schema: SCHEMA_VERSION,
+            engine: "sched".to_string(),
+            n: n as u32,
+            seed,
+            fingerprint: format!(
+                "sched;release={};policy={};admission={}",
+                cfg.release.name(),
+                cfg.policy.name(),
+                cfg.admission.name(),
+            ),
+            jobs: jobs.len() as u32,
+            packets: 0,
+            events: log.events().len() as u64,
+            dropped: log.dropped(),
+            sched_profile: Some(prof),
+        },
+        packets: Vec::new(),
+        events: log.events().to_vec(),
+    };
+    (schedule, trace)
 }
 
 /// A schedule compiled down to one shared-network run: the composed
@@ -1130,5 +1272,118 @@ mod tests {
         // Once everything is released, the machine coalesces whole.
         let last = s.frag_timeline().last().unwrap();
         assert_eq!(last.pending, 0);
+    }
+
+    /// A tick clock private to the calling thread, so exact phase
+    /// counts cannot be perturbed by parallel tests sharing the
+    /// process-wide [`sg_obs::tick_clock`].
+    fn thread_tick() -> u64 {
+        use std::cell::Cell;
+        thread_local!(static T: Cell<u64> = const { Cell::new(0) });
+        T.with(|t| {
+            let v = t.get();
+            t.set(v + 1);
+            v
+        })
+    }
+
+    #[test]
+    fn profiling_never_perturbs_the_schedule() {
+        let cfg = StreamConfig {
+            greedy_pct: 25,
+            ..StreamConfig::isolated(5, 20, 77)
+        };
+        let jobs = generate(&cfg);
+        for policy in AllocPolicy::ALL {
+            let bare = schedule(&jobs, policy.build(5).as_mut());
+            let (profiled, prof) = schedule_profiled(
+                &jobs,
+                policy.build(5).as_mut(),
+                &SchedConfig::default(),
+                &mut NullProbe,
+                thread_tick,
+            );
+            assert_eq!(
+                bare,
+                profiled,
+                "{}: profiling must not perturb",
+                policy.name()
+            );
+            assert!(prof.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn tick_clock_phase_counts_are_exact() {
+        // Fcfs + Declared: exactly one release charge and one
+        // placement charge per event round, plus the post-loop heap
+        // drain; drain and backfill never run.
+        let (_, prof) = schedule_profiled(
+            &tiny_jobs(),
+            AllocPolicy::Buddy.build(4).as_mut(),
+            &SchedConfig::default(),
+            &mut NullProbe,
+            thread_tick,
+        );
+        assert!(prof.rounds > 0);
+        assert_eq!(prof.release_ticks, prof.rounds + 1);
+        assert_eq!(prof.placement_ticks, prof.rounds);
+        assert_eq!(prof.drain_ticks, 0);
+        assert_eq!(prof.backfill_ticks, 0);
+        assert_eq!(prof.total_ticks(), 2 * prof.rounds + 1);
+    }
+
+    #[test]
+    fn drained_and_backfill_phases_self_charge() {
+        let net = Network::new(4);
+        let cfg = SchedConfig {
+            policy: SchedPolicy::EasyBackfill,
+            ..SchedConfig::drained(&net)
+        };
+        let (s, prof) = schedule_profiled(
+            &tiny_jobs(),
+            AllocPolicy::Buddy.build(4).as_mut(),
+            &cfg,
+            &mut NullProbe,
+            thread_tick,
+        );
+        let placed = s.placements().len() as u64;
+        assert_eq!(placed, 3);
+        // Every placement runs one drain co-simulation (one extra
+        // placement charge + one drain charge); backfill charges once
+        // per round under EasyBackfill.
+        assert_eq!(prof.drain_ticks, placed);
+        assert_eq!(prof.placement_ticks, prof.rounds + placed);
+        assert_eq!(prof.backfill_ticks, prof.rounds);
+        assert_eq!(prof.release_ticks, prof.rounds + 1);
+    }
+
+    #[test]
+    fn traced_run_embeds_profile_and_round_trips() {
+        let (s, trace) = schedule_traced(
+            &tiny_jobs(),
+            AllocPolicy::Buddy.build(4).as_mut(),
+            &SchedConfig::default(),
+            42,
+            thread_tick,
+        );
+        assert_eq!(trace.header.engine, "sched");
+        assert_eq!(trace.header.jobs, 3);
+        assert_eq!(trace.header.packets, 0);
+        assert_eq!(trace.header.seed, 42);
+        assert!(trace
+            .header
+            .fingerprint
+            .starts_with("sched;release=declared"));
+        let prof = trace.header.sched_profile.expect("profile embedded");
+        assert!(prof.rounds > 0);
+        // Event stream matches an independent probed run, and the
+        // whole trace survives the JSONL round trip.
+        let mut log = EventLog::new();
+        let probed = schedule_probed(&tiny_jobs(), AllocPolicy::Buddy.build(4).as_mut(), &mut log);
+        assert_eq!(probed, s);
+        assert_eq!(trace.events, log.events());
+        let back = Trace::parse(&trace.to_jsonl()).expect("round-trips");
+        assert_eq!(back, trace);
     }
 }
