@@ -1,0 +1,206 @@
+//! Cost of the `sg-coll` collective schedules: structured algorithms
+//! (dimension-tree broadcast, recursive-doubling allgather, lattice
+//! allreduce) vs their naive references, compiled and run on the
+//! interconnect simulator.
+//!
+//! Set `SG_BENCH_SMOKE=1` for the minimal CI configuration. Smoke
+//! mode also **asserts** the PR's tentpole cost claims and appends a
+//! trajectory entry to `BENCH_coll.json` at the workspace root:
+//!
+//! * tree broadcast on `S_6` finishes in exactly `2·ecc − 1` rounds
+//!   with zero waits, and beats the naive root blast by > 10×;
+//! * recursive-doubling allgather on `S_5` beats all-pairs on both
+//!   makespan and contention.
+//!
+//! Non-smoke (full) runs additionally measure broadcast on `S_7`
+//! (5 040 PEs) and append the measured gap to the trajectory.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use sg_coll::{
+    allgather_doubling, allgather_naive, allreduce_lattice, broadcast_naive, broadcast_tree,
+    distance_lower_bound,
+};
+use sg_net::{GreedyRouting, Network};
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("SG_BENCH_SMOKE").is_some()
+}
+
+/// Schedule construction + compilation to a chained workload: the
+/// spanning-tree walk and the route planning, without running it.
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coll_compile");
+    group.sample_size(if smoke() { 2 } else { 20 });
+    let orders: &[usize] = if smoke() { &[4] } else { &[4, 5, 6] };
+    for &m in orders {
+        let net = Network::new(m);
+        group.bench_with_input(BenchmarkId::new("broadcast_tree", m), &m, |b, &m| {
+            b.iter(|| broadcast_tree(m, 0).compile(&net, &GreedyRouting));
+        });
+        group.bench_with_input(BenchmarkId::new("allreduce_lattice", m), &m, |b, &m| {
+            b.iter(|| allreduce_lattice(m).compile(&net, &GreedyRouting));
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end: compile + run, structured vs naive, per collective.
+fn bench_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coll_run");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let orders: &[usize] = if smoke() { &[4] } else { &[4, 5] };
+    for &m in orders {
+        let net = Network::new(m);
+        let pairs = [
+            ("broadcast_tree", broadcast_tree(m, 0)),
+            ("broadcast_naive", broadcast_naive(m, 0)),
+            ("allgather_doubling", allgather_doubling(m)),
+            ("allgather_naive", allgather_naive(m)),
+            ("allreduce_lattice", allreduce_lattice(m)),
+        ];
+        for (label, s) in pairs {
+            let chained = s.compile(&net, &GreedyRouting);
+            group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
+                b.iter(|| net.run(&chained.workload, &GreedyRouting));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Measures the PR's guarded cost claims and appends a trajectory
+/// entry to `BENCH_coll.json` (one JSON object per line, newest
+/// last). In smoke mode the claims are hard assertions — this is the
+/// CI regression gate for the collective cost model.
+fn coll_trajectory() {
+    // Claim 1: tree broadcast on S_6 (720 PEs) is contention-free and
+    // round-optimal among one-hop phase schedules — makespan exactly
+    // 2·ecc − 1 with zero waits — while the naive root blast
+    // serializes on the root's 5 links and loses by > 10×.
+    let m = 6;
+    let net = Network::new(m);
+    let lb = distance_lower_bound(m);
+    let tree = broadcast_tree(m, 0).compile(&net, &GreedyRouting);
+    let naive = broadcast_naive(m, 0).compile(&net, &GreedyRouting);
+    let t = Instant::now();
+    let tstats = net.run(&tree.workload, &GreedyRouting);
+    let tree_ns = t.elapsed().as_nanos();
+    let t = Instant::now();
+    let nstats = net.run(&naive.workload, &GreedyRouting);
+    let naive_ns = t.elapsed().as_nanos();
+    let gap = f64::from(nstats.makespan) / f64::from(tstats.makespan);
+    println!("broadcast on S_6 (720 PEs, ecc = {lb}):");
+    println!(
+        "  tree : makespan {:>4} rounds, waits {:>7}, {:>9.3} ms",
+        tstats.makespan,
+        tstats.total_wait_rounds,
+        tree_ns as f64 / 1e6
+    );
+    println!(
+        "  naive: makespan {:>4} rounds, waits {:>7}, {:>9.3} ms   (gap {gap:.1}x)",
+        nstats.makespan,
+        nstats.total_wait_rounds,
+        naive_ns as f64 / 1e6
+    );
+
+    // Claim 2: recursive doubling on S_5 (120 PEs) beats all-pairs
+    // allgather on makespan and by orders of magnitude on contention.
+    let net5 = Network::new(5);
+    let ag = allgather_doubling(5).compile(&net5, &GreedyRouting);
+    let agn = allgather_naive(5).compile(&net5, &GreedyRouting);
+    let ag_stats = net5.run(&ag.workload, &GreedyRouting);
+    let agn_stats = net5.run(&agn.workload, &GreedyRouting);
+    println!("allgather on S_5 (120 PEs):");
+    println!(
+        "  doubling : makespan {:>4} rounds, waits {:>8}",
+        ag_stats.makespan, ag_stats.total_wait_rounds
+    );
+    println!(
+        "  all-pairs: makespan {:>4} rounds, waits {:>8}",
+        agn_stats.makespan, agn_stats.total_wait_rounds
+    );
+
+    if smoke() {
+        // CI gates — these are structural properties of deterministic
+        // schedules, not timings, so no noise allowance is needed.
+        assert_eq!(
+            tstats.makespan,
+            2 * lb - 1,
+            "tree broadcast lost its 2·ecc − 1 makespan"
+        );
+        assert_eq!(tstats.total_wait_rounds, 0, "tree phases must not contend");
+        assert!(
+            f64::from(tstats.makespan) * 10.0 < f64::from(nstats.makespan),
+            "tree broadcast no longer beats naive by 10x at n = 6"
+        );
+        assert!(
+            ag_stats.makespan < agn_stats.makespan
+                && ag_stats.total_wait_rounds * 100 < agn_stats.total_wait_rounds,
+            "recursive doubling no longer beats all-pairs allgather"
+        );
+    }
+
+    // Full (non-smoke) mode only: the S_7 broadcast gap — 5 040 PEs,
+    // the largest tree the rounds suite exercises — to track the
+    // asymptotic trajectory.
+    let s7 = (!smoke()).then(|| {
+        let net7 = Network::new(7);
+        let tree7 = broadcast_tree(7, 0).compile(&net7, &GreedyRouting);
+        let naive7 = broadcast_naive(7, 0).compile(&net7, &GreedyRouting);
+        let t = Instant::now();
+        let t7 = net7.run(&tree7.workload, &GreedyRouting);
+        let tree7_ns = t.elapsed().as_nanos();
+        let n7 = net7.run(&naive7.workload, &GreedyRouting);
+        assert_eq!(t7.makespan, 2 * distance_lower_bound(7) - 1);
+        println!(
+            "broadcast on S_7: tree {} rounds vs naive {} rounds (gap {:.1}x, {:.3} ms)",
+            t7.makespan,
+            n7.makespan,
+            f64::from(n7.makespan) / f64::from(t7.makespan),
+            tree7_ns as f64 / 1e6
+        );
+        (t7.makespan, n7.makespan, tree7_ns)
+    });
+
+    // One trajectory line per run, appended at the workspace root.
+    let s7_fields = s7
+        .map(|(t, n, ns)| {
+            format!(",\"s7_tree_rounds\":{t},\"s7_naive_rounds\":{n},\"s7_tree_ns\":{ns}")
+        })
+        .unwrap_or_default();
+    let entry = format!(
+        "{{\"bench\":\"coll\",\"mode\":\"{}\",\
+         \"s6_tree_rounds\":{},\"s6_naive_rounds\":{},\"s6_gap\":{gap:.3},\
+         \"s6_tree_ns\":{tree_ns},\"s6_naive_ns\":{naive_ns},\
+         \"s5_ag_rounds\":{},\"s5_ag_naive_rounds\":{},\
+         \"s5_ag_waits\":{},\"s5_ag_naive_waits\":{}{s7_fields}}}\n",
+        if smoke() { "smoke" } else { "full" },
+        tstats.makespan,
+        nstats.makespan,
+        ag_stats.makespan,
+        agn_stats.makespan,
+        ag_stats.total_wait_rounds,
+        agn_stats.total_wait_rounds,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coll.json");
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(mut f) => {
+            let _ = f.write_all(entry.as_bytes());
+            println!("trajectory entry appended to BENCH_coll.json");
+        }
+        Err(e) => eprintln!("could not append BENCH_coll.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_compile, bench_run);
+
+fn main() {
+    benches();
+    coll_trajectory();
+}

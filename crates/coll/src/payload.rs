@@ -1,0 +1,208 @@
+//! Reference payload cases: seeded initial states and the fold every
+//! schedule must reproduce.
+//!
+//! Each builder returns a [`PayloadCase`] — the initial
+//! [`GlobalState`] a collective starts from and the exact final state
+//! the reference fold predicts. A schedule is *payload-correct* when
+//! [`crate::exec::execute`] maps `init` to `expected`; the structured
+//! algorithm and its naive reference are checked against the **same**
+//! case, so they can only both pass by agreeing with the fold (and
+//! with each other). All sums are `u64::wrapping_add`, matching
+//! [`crate::SlotAction::Reduce`].
+
+use crate::alltoall::origin_slot;
+use crate::exec::{GlobalState, PeState};
+use crate::tree::TREE_SLOT;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sg_perm::factorial::factorial;
+use sg_star::SubStar;
+
+/// A collective's initial payload state and the reference result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PayloadCase {
+    /// State before phase 0.
+    pub init: GlobalState,
+    /// The reference fold of `init`.
+    pub expected: GlobalState,
+}
+
+impl PayloadCase {
+    /// The case with every PE lifted onto `sub`'s nodes (slot keys
+    /// unchanged) — the payload mirror of
+    /// [`crate::CollSchedule::lifted`].
+    ///
+    /// # Panics
+    /// Panics if a PE rank is outside `S_{sub.order()}`.
+    #[must_use]
+    pub fn lifted(&self, sub: &SubStar) -> PayloadCase {
+        let lift = |state: &GlobalState| {
+            state
+                .iter()
+                .map(|(&pe, slots)| (sub.lift_rank(pe), slots.clone()))
+                .collect()
+        };
+        PayloadCase {
+            init: lift(&self.init),
+            expected: lift(&self.expected),
+        }
+    }
+}
+
+/// One seeded value per PE of `S_order`.
+#[must_use]
+pub fn seeded_values(order: usize, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..factorial(order)).map(|_| rng.gen()).collect()
+}
+
+/// One seeded value per (source PE, destination PE) pair —
+/// `matrix[u][v]` is `u`'s block for `v`.
+#[must_use]
+pub fn seeded_matrix(order: usize, seed: u64) -> Vec<Vec<u64>> {
+    let nodes = factorial(order) as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..nodes)
+        .map(|_| (0..nodes).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// Broadcast of `value` from `root`: only the root starts with
+/// [`TREE_SLOT`]; every PE ends with it.
+#[must_use]
+pub fn broadcast_case(order: usize, root: u64, value: u64) -> PayloadCase {
+    let init = GlobalState::from([(root, PeState::from([(TREE_SLOT, value)]))]);
+    let expected = (0..factorial(order))
+        .map(|v| (v, PeState::from([(TREE_SLOT, value)])))
+        .collect();
+    PayloadCase { init, expected }
+}
+
+/// Reduce to `root`: PE `u` starts with `values[u]`; the root ends
+/// with the wrapping sum and everyone else with nothing.
+///
+/// # Panics
+/// Panics unless `values` has one entry per PE.
+#[must_use]
+pub fn reduce_case(order: usize, root: u64, values: &[u64]) -> PayloadCase {
+    assert_eq!(values.len() as u64, factorial(order));
+    let init = values
+        .iter()
+        .enumerate()
+        .map(|(u, &x)| (u as u64, PeState::from([(TREE_SLOT, x)])))
+        .collect();
+    let total = values.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+    let expected = GlobalState::from([(root, PeState::from([(TREE_SLOT, total)]))]);
+    PayloadCase { init, expected }
+}
+
+/// Allgather: PE `u` starts with its own block in slot `u`; every PE
+/// ends with all `m!` blocks.
+///
+/// # Panics
+/// Panics unless `values` has one entry per PE.
+#[must_use]
+pub fn allgather_case(order: usize, values: &[u64]) -> PayloadCase {
+    assert_eq!(values.len() as u64, factorial(order));
+    let init = values
+        .iter()
+        .enumerate()
+        .map(|(u, &x)| (u as u64, PeState::from([(u as u64, x)])))
+        .collect();
+    let full: PeState = values
+        .iter()
+        .enumerate()
+        .map(|(v, &x)| (v as u64, x))
+        .collect();
+    let expected = (0..factorial(order)).map(|u| (u, full.clone())).collect();
+    PayloadCase { init, expected }
+}
+
+/// Reduce-scatter: PE `u` starts with a full vector (`matrix[u]`,
+/// slot per destination) and ends with only its own slot, folded over
+/// all contributors.
+///
+/// # Panics
+/// Panics unless `matrix` is `m! × m!`.
+#[must_use]
+pub fn reduce_scatter_case(order: usize, matrix: &[Vec<u64>]) -> PayloadCase {
+    let nodes = factorial(order) as usize;
+    assert_eq!(matrix.len(), nodes);
+    let init = matrix
+        .iter()
+        .enumerate()
+        .map(|(u, row)| {
+            assert_eq!(row.len(), nodes);
+            let slots = row
+                .iter()
+                .enumerate()
+                .map(|(v, &x)| (v as u64, x))
+                .collect();
+            (u as u64, slots)
+        })
+        .collect();
+    let expected = (0..nodes)
+        .map(|v| {
+            let total = matrix.iter().fold(0u64, |a, row| a.wrapping_add(row[v]));
+            (v as u64, PeState::from([(v as u64, total)]))
+        })
+        .collect();
+    PayloadCase { init, expected }
+}
+
+/// Allreduce: same start as [`reduce_scatter_case`]; every PE ends
+/// with the full column-sum vector.
+///
+/// # Panics
+/// Panics unless `matrix` is `m! × m!`.
+#[must_use]
+pub fn allreduce_case(order: usize, matrix: &[Vec<u64>]) -> PayloadCase {
+    let nodes = factorial(order) as usize;
+    let init = reduce_scatter_case(order, matrix).init;
+    let sums: PeState = (0..nodes)
+        .map(|v| {
+            let total = matrix.iter().fold(0u64, |a, row| a.wrapping_add(row[v]));
+            (v as u64, total)
+        })
+        .collect();
+    let expected = (0..nodes).map(|u| (u as u64, sums.clone())).collect();
+    PayloadCase { init, expected }
+}
+
+/// Personalized all-to-all: PE `u` starts with its outgoing blocks
+/// (slot `v` holds `matrix[u][v]`; its own block pre-placed in
+/// [`origin_slot`]`(u)`) and ends holding everyone's block *for it*,
+/// keyed by origin.
+///
+/// # Panics
+/// Panics unless `matrix` is `m! × m!`.
+#[must_use]
+pub fn all_to_all_case(order: usize, matrix: &[Vec<u64>]) -> PayloadCase {
+    let nodes = factorial(order) as usize;
+    assert_eq!(matrix.len(), nodes);
+    let init = matrix
+        .iter()
+        .enumerate()
+        .map(|(u, row)| {
+            assert_eq!(row.len(), nodes);
+            let mut slots = PeState::new();
+            for (v, &x) in row.iter().enumerate() {
+                if v == u {
+                    slots.insert(origin_slot(order, u as u64), x);
+                } else {
+                    slots.insert(v as u64, x);
+                }
+            }
+            (u as u64, slots)
+        })
+        .collect();
+    let expected = (0..nodes)
+        .map(|v| {
+            let slots = (0..nodes)
+                .map(|u| (origin_slot(order, u as u64), matrix[u][v]))
+                .collect();
+            (v as u64, slots)
+        })
+        .collect();
+    PayloadCase { init, expected }
+}

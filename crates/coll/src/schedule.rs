@@ -1,0 +1,242 @@
+//! The collective schedule IR: barrier-synchronized phases of
+//! point-to-point transfers, compiled onto `sg-net` via
+//! [`Network::chain_phases`].
+//!
+//! A [`CollSchedule`] is pure data — which PE sends which payload
+//! slots to which PE in which phase — so the same schedule drives
+//! three independent checks: the payload executor
+//! ([`crate::exec::execute`]) folds the values and compares against
+//! the reference result, the network compiler measures rounds against
+//! the distance lower bound, and `sg-trace` replays the compiled run
+//! byte-for-byte.
+
+use sg_net::{ChainedWorkload, Injection, Network, RoutingPolicy, Workload};
+use sg_perm::factorial::factorial;
+use sg_star::SubStar;
+
+/// How a transfer combines into the receiver's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotAction {
+    /// The sender keeps its copy; the receiver must not already hold
+    /// the destination slot. The duplicate check makes every gather
+    /// exactly-once: a schedule that delivers a block twice is
+    /// rejected by the executor, not silently overwritten.
+    Copy,
+    /// The sender gives the slots up; the receiver wrapping-adds each
+    /// value into its own slot (missing slots count as 0). The fold
+    /// is commutative and associative, so arrival order within a
+    /// phase cannot matter.
+    Reduce,
+    /// The sender gives the slots up; the receiver must not already
+    /// hold them — personalized (all-to-all) transfers.
+    Move,
+}
+
+/// One point-to-point transfer inside a phase. On the network it is a
+/// single packet `src → dst` regardless of how many slots it carries
+/// (the unit-message, latency-dominated cost model — see the crate
+/// docs); at the payload level it moves each `(src_slot, dst_slot)`
+/// pair under the phase's snapshot semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Send {
+    /// Sending PE (rank in the schedule's `S_order`).
+    pub src: u64,
+    /// Receiving PE (rank in the schedule's `S_order`).
+    pub dst: u64,
+    /// `(slot at the sender, slot at the receiver)` pairs carried.
+    pub slots: Vec<(u64, u64)>,
+    /// How the payload combines at the receiver.
+    pub action: SlotAction,
+}
+
+/// A collective as a sequence of barrier-synchronized phases: all
+/// sends of phase `k` complete (network: deliver; payload: read,
+/// remove, land) before any send of phase `k + 1` starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollSchedule {
+    name: String,
+    order: usize,
+    phases: Vec<Vec<Send>>,
+}
+
+impl CollSchedule {
+    /// Builds a schedule over `S_order` and validates every send:
+    /// ranks in range, no self-sends, no empty slot lists.
+    ///
+    /// # Panics
+    /// Panics on an invalid send.
+    #[must_use]
+    pub fn new(name: &str, order: usize, phases: Vec<Vec<Send>>) -> Self {
+        assert!(order >= 2, "collectives need S_2 or larger");
+        let nodes = factorial(order);
+        for (k, phase) in phases.iter().enumerate() {
+            for s in phase {
+                assert!(
+                    s.src < nodes && s.dst < nodes,
+                    "{name} phase {k}: send {} -> {} outside S_{order}",
+                    s.src,
+                    s.dst
+                );
+                assert_ne!(s.src, s.dst, "{name} phase {k}: self-send at {}", s.src);
+                assert!(
+                    !s.slots.is_empty(),
+                    "{name} phase {k}: empty send {} -> {}",
+                    s.src,
+                    s.dst
+                );
+            }
+        }
+        CollSchedule {
+            name: name.to_owned(),
+            order,
+            phases,
+        }
+    }
+
+    /// Schedule name (used for workload names and tables).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Star order `m` the schedule targets (`m!` PEs).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The phases, in barrier order.
+    #[must_use]
+    pub fn phases(&self) -> &[Vec<Send>] {
+        &self.phases
+    }
+
+    /// Number of phases (each costs one barrier on the network).
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Total number of point-to-point sends (= network packets).
+    #[must_use]
+    pub fn total_sends(&self) -> usize {
+        self.phases.iter().map(Vec::len).sum()
+    }
+
+    /// Concatenates schedules over the same order into one (e.g.
+    /// allreduce = reduce-scatter ++ allgather).
+    ///
+    /// # Panics
+    /// Panics if the parts disagree on order or `parts` is empty.
+    #[must_use]
+    pub fn concat(name: &str, parts: &[CollSchedule]) -> Self {
+        let order = parts.first().expect("at least one part").order;
+        let mut phases = Vec::new();
+        for p in parts {
+            assert_eq!(p.order, order, "concat of schedules over different orders");
+            phases.extend(p.phases.iter().cloned());
+        }
+        CollSchedule::new(name, order, phases)
+    }
+
+    /// One round-0 [`Workload`] per phase — each send is a single
+    /// packet. Packets are emitted in the schedule's send order, so
+    /// the compiled run is deterministic.
+    #[must_use]
+    pub fn phase_workloads(&self) -> Vec<Workload> {
+        self.phases
+            .iter()
+            .enumerate()
+            .map(|(k, phase)| {
+                let injections = phase
+                    .iter()
+                    .map(|s| Injection {
+                        round: 0,
+                        src: s.src,
+                        dst: s.dst,
+                    })
+                    .collect();
+                Workload::from_injections(&format!("{}/p{k}", self.name), self.order, injections)
+            })
+            .collect()
+    }
+
+    /// Compiles the schedule for the whole of `net` (which must be
+    /// `S_order`): phases become a [`ChainedWorkload`] with
+    /// inject-after-quiescence barriers under `policy`.
+    ///
+    /// # Panics
+    /// Panics if `net.n() != order`.
+    #[must_use]
+    pub fn compile(&self, net: &Network, policy: &dyn RoutingPolicy) -> ChainedWorkload {
+        assert_eq!(
+            net.n(),
+            self.order,
+            "schedule over S_{} compiled for S_{}",
+            self.order,
+            net.n()
+        );
+        net.chain_phases(&self.name, &self.phase_workloads(), policy)
+    }
+
+    /// The same schedule with every PE lifted onto `sub`'s nodes in
+    /// the host star — slots are payload keys and stay as they are.
+    /// Because lift commutes with the generators, the lifted sends
+    /// stay inside the sub-star under greedy routing (geodesic
+    /// closure), which is what lets a collective run as a confined,
+    /// byte-isolated `sg-sched` tenant.
+    ///
+    /// # Panics
+    /// Panics if `sub.order() != order`.
+    #[must_use]
+    pub fn lifted(&self, sub: &SubStar) -> CollSchedule {
+        assert_eq!(
+            sub.order(),
+            self.order,
+            "schedule over S_{} lifted onto an order-{} sub-star",
+            self.order,
+            sub.order()
+        );
+        let nodes = sub.node_ranks();
+        let phases = self
+            .phases
+            .iter()
+            .map(|phase| {
+                phase
+                    .iter()
+                    .map(|s| Send {
+                        src: nodes[s.src as usize],
+                        dst: nodes[s.dst as usize],
+                        slots: s.slots.clone(),
+                        action: s.action,
+                    })
+                    .collect()
+            })
+            .collect();
+        CollSchedule {
+            name: format!("{}@{:?}", self.name, sub.fixed_suffix()),
+            order: sub.n(),
+            phases,
+        }
+    }
+
+    /// Compiles the schedule onto sub-star `sub` of the **host**
+    /// network: lifts every send, then chains the phases on the host
+    /// (barrier offsets are measured where the packets will actually
+    /// run). The result injects only at `sub`'s nodes and, under a
+    /// confined policy, never leaves them.
+    ///
+    /// # Panics
+    /// Panics if `sub.order() != order` or `net.n() != sub.n()`.
+    #[must_use]
+    pub fn compile_on(
+        &self,
+        net: &Network,
+        sub: &SubStar,
+        policy: &dyn RoutingPolicy,
+    ) -> ChainedWorkload {
+        assert_eq!(net.n(), sub.n(), "sub-star of a different host");
+        let lifted = self.lifted(sub);
+        net.chain_phases(&lifted.name, &lifted.phase_workloads(), policy)
+    }
+}

@@ -1,0 +1,107 @@
+//! Payload-correctness matrix (the acceptance gate).
+//!
+//! Exhaustive `m ≤ 5`: every collective × {structured, naive} must
+//! map the seeded initial state to the reference fold — and for the
+//! rooted collectives, from **every** root. Seeded `m = 6, 7` extend
+//! coverage to the larger orders (full tree collectives at `m = 7`;
+//! the gather family at `m = 6`, where a full `m! × m!` state is
+//! still cheap). The executor's exactly-once slot accounting means a
+//! schedule cannot pass by double-delivering or overwriting.
+
+use sg_coll::{
+    all_to_all_case, all_to_all_naive, all_to_all_rotation, allgather_case, allgather_doubling,
+    allgather_naive, allreduce_case, allreduce_lattice, allreduce_naive, broadcast_case,
+    broadcast_naive, broadcast_tree, execute, reduce_case, reduce_naive, reduce_scatter_case,
+    reduce_scatter_halving, reduce_scatter_naive, reduce_tree, seeded_matrix, seeded_values,
+    CollSchedule, PayloadCase,
+};
+use sg_perm::factorial::factorial;
+
+fn check(schedule: &CollSchedule, case: &PayloadCase) {
+    let got = execute(schedule, &case.init)
+        .unwrap_or_else(|e| panic!("{}: payload violation: {e}", schedule.name()));
+    assert_eq!(
+        got,
+        case.expected,
+        "{} (order {}) diverges from the reference fold",
+        schedule.name(),
+        schedule.order()
+    );
+}
+
+/// Rooted collectives, exhaustive: every order `m ≤ 5`, every root.
+#[test]
+fn rooted_collectives_exhaustive() {
+    for m in 2..=5usize {
+        let values = seeded_values(m, 0xc011 + m as u64);
+        for root in 0..factorial(m) {
+            let b = broadcast_case(m, root, values[root as usize]);
+            check(&broadcast_tree(m, root), &b);
+            check(&broadcast_naive(m, root), &b);
+            let r = reduce_case(m, root, &values);
+            check(&reduce_tree(m, root), &r);
+            check(&reduce_naive(m, root), &r);
+        }
+    }
+}
+
+/// Gather-family collectives, exhaustive orders `m ≤ 5`.
+#[test]
+fn gather_family_exhaustive() {
+    for m in 2..=5usize {
+        let values = seeded_values(m, 0x9a7 + m as u64);
+        let matrix = seeded_matrix(m, 0x5ca7 + m as u64);
+
+        let ag = allgather_case(m, &values);
+        check(&allgather_doubling(m), &ag);
+        check(&allgather_naive(m), &ag);
+
+        let rs = reduce_scatter_case(m, &matrix);
+        check(&reduce_scatter_halving(m), &rs);
+        check(&reduce_scatter_naive(m), &rs);
+
+        let ar = allreduce_case(m, &matrix);
+        check(&allreduce_lattice(m), &ar);
+        check(&allreduce_naive(m), &ar);
+
+        let a2a = all_to_all_case(m, &matrix);
+        check(&all_to_all_rotation(m), &a2a);
+        check(&all_to_all_naive(m), &a2a);
+    }
+}
+
+/// Seeded large orders: tree collectives over the full `S_6`/`S_7`
+/// (5040 PEs), several roots each.
+#[test]
+fn tree_collectives_large_orders_seeded() {
+    for m in [6usize, 7] {
+        let values = seeded_values(m, 0xb16 + m as u64);
+        let nodes = factorial(m);
+        for root in [0, nodes / 3, nodes - 1] {
+            let b = broadcast_case(m, root, values[root as usize]);
+            check(&broadcast_tree(m, root), &b);
+            let r = reduce_case(m, root, &values);
+            check(&reduce_tree(m, root), &r);
+        }
+        // One naive reference at each order pins tree vs naive
+        // agreement beyond the exhaustive range too.
+        check(&broadcast_naive(m, 1), &broadcast_case(m, 1, values[1]));
+        check(&reduce_naive(m, 1), &reduce_case(m, 1, &values));
+    }
+}
+
+/// Seeded `m = 6` gather family (full `720 × 720` payload state).
+#[test]
+fn gather_family_order_six_seeded() {
+    let m = 6usize;
+    let values = seeded_values(m, 0x6a7);
+    let ag = allgather_case(m, &values);
+    check(&allgather_doubling(m), &ag);
+
+    let matrix = seeded_matrix(m, 0x65ca7);
+    let rs = reduce_scatter_case(m, &matrix);
+    check(&reduce_scatter_halving(m), &rs);
+
+    let ar = allreduce_case(m, &matrix);
+    check(&allreduce_lattice(m), &ar);
+}

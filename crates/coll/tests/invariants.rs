@@ -1,0 +1,93 @@
+//! Property suite: payload correctness of the gather-family
+//! collectives over random payloads, seeds, and sub-star placements,
+//! plus per-seed determinism of the whole pipeline (schedule →
+//! compile → run).
+
+use proptest::prelude::*;
+use sg_coll::{
+    allgather_case, allgather_doubling, allgather_naive, allreduce_case, allreduce_lattice,
+    allreduce_naive, execute, seeded_matrix, seeded_values, CollSchedule, PayloadCase,
+};
+use sg_net::{GreedyRouting, Network};
+use sg_star::substar::substars_of_order;
+
+fn agrees(schedule: &CollSchedule, case: &PayloadCase) {
+    let got = execute(schedule, &case.init)
+        .unwrap_or_else(|e| panic!("{}: payload violation: {e}", schedule.name()));
+    assert_eq!(
+        got,
+        case.expected,
+        "{} order {} diverges from the reference fold",
+        schedule.name(),
+        schedule.order()
+    );
+}
+
+proptest! {
+    /// Allreduce — structured and naive — reproduces the reference
+    /// column-sum fold for any seeded payload at any order `m ≤ 4`.
+    #[test]
+    fn prop_allreduce_payload_correct(m in 2usize..=4, seed in any::<u64>()) {
+        let matrix = seeded_matrix(m, seed);
+        let case = allreduce_case(m, &matrix);
+        agrees(&allreduce_lattice(m), &case);
+        agrees(&allreduce_naive(m), &case);
+    }
+
+    /// Allgather — structured and naive — distributes every block to
+    /// every PE for any seeded payload at any order `m ≤ 5`.
+    #[test]
+    fn prop_allgather_payload_correct(m in 2usize..=5, seed in any::<u64>()) {
+        let values = seeded_values(m, seed);
+        let case = allgather_case(m, &values);
+        agrees(&allgather_doubling(m), &case);
+        agrees(&allgather_naive(m), &case);
+    }
+
+    /// Lifting onto a random sub-star placement of a random host
+    /// preserves payload correctness: the lifted schedule maps the
+    /// lifted initial state to the lifted fold. Covers hosts up to
+    /// `S_7` with sub-star orders `2..=4`.
+    #[test]
+    fn prop_substar_placement_payload_correct(
+        n in 4usize..=7,
+        m_sel in any::<u64>(),
+        sub_sel in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let m = 2 + (m_sel % 3) as usize; // 2..=4, always < n
+        let subs = substars_of_order(n, m);
+        let sub = &subs[(sub_sel % subs.len() as u64) as usize];
+
+        let matrix = seeded_matrix(m, seed);
+        let case = allreduce_case(m, &matrix).lifted(sub);
+        agrees(&allreduce_lattice(m).lifted(sub), &case);
+
+        let values = seeded_values(m, seed ^ 0xa6);
+        let ag = allgather_case(m, &values).lifted(sub);
+        agrees(&allgather_doubling(m).lifted(sub), &ag);
+    }
+
+    /// Determinism per seed: building, compiling, and running the
+    /// same collective twice yields byte-identical schedules,
+    /// chained workloads, and traffic statistics.
+    #[test]
+    fn prop_deterministic_per_seed(m in 2usize..=4, seed in any::<u64>()) {
+        let a = allreduce_lattice(m);
+        let b = allreduce_lattice(m);
+        prop_assert_eq!(&a, &b, "schedule construction must be deterministic");
+
+        let matrix = seeded_matrix(m, seed);
+        prop_assert_eq!(seeded_matrix(m, seed), matrix, "seeded payloads repeat");
+
+        let net = Network::new(m);
+        let ca = a.compile(&net, &GreedyRouting);
+        let cb = b.compile(&net, &GreedyRouting);
+        prop_assert_eq!(&ca, &cb, "compilation must be deterministic");
+        prop_assert_eq!(
+            net.run(&ca.workload, &GreedyRouting),
+            net.run(&cb.workload, &GreedyRouting),
+            "runs must be byte-identical"
+        );
+    }
+}

@@ -96,4 +96,4 @@ pub use packet::{HopRecord, PacketId, PacketOutcome, PacketRecord};
 pub use routing::{AdaptiveRouting, EmbeddingRouting, GreedyRouting, RoutingPolicy};
 pub use stats::{saturation_sweep, RunCounters, SaturationPoint, TrafficStats};
 pub use trace::ReplayedStats;
-pub use workload::{Injection, Workload};
+pub use workload::{ChainedWorkload, Injection, Workload};

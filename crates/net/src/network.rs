@@ -77,7 +77,7 @@ use crate::fault::{FaultPlan, FaultPolicy};
 use crate::packet::{HopRecord, PacketId, PacketOutcome, PacketRecord};
 use crate::routing::RoutingPolicy;
 use crate::stats::{RunCounters, TrafficStats};
-use crate::workload::{Injection, Workload};
+use crate::workload::{ChainedWorkload, Injection, Workload};
 use rayon::prelude::*;
 use sg_core::convert::convert_s_d;
 use sg_core::lemma3::{minus_swap_symbols, plus_swap_symbols};
@@ -336,6 +336,77 @@ impl Network {
     #[must_use]
     pub fn run(&self, workload: &Workload, policy: &dyn RoutingPolicy) -> TrafficStats {
         self.run_with(workload, policy, Engine::Fast)
+    }
+
+    /// Composes `phases` into one workload with
+    /// inject-after-quiescence barriers: phase `k + 1` starts
+    /// strictly after the round in which phase `k`'s last packet
+    /// resolves (delivery or drop), so the network is completely
+    /// empty at every phase boundary.
+    ///
+    /// Each phase is first run alone (fast engine, `policy`) to
+    /// measure its isolated makespan; phase `k + 1` then starts at
+    /// `start_k + makespan_k + 1` (an empty phase advances the clock
+    /// by one round). Because the network state at each boundary is
+    /// empty and the simulator is deterministic, the composed run
+    /// behaves per phase exactly like the isolated runs shifted in
+    /// time — the temporal analogue of the spatial isolation theorem;
+    /// `tests/phases.rs` asserts byte-identical per-phase statistics
+    /// on both engines. This is the primitive `sg-coll` compiles
+    /// multi-phase collectives onto.
+    ///
+    /// The returned [`ChainedWorkload`] carries the phase start
+    /// rounds, the isolated makespans, and an owner map (phase index
+    /// per packet) ready for [`Network::run_partitioned`].
+    ///
+    /// # Panics
+    /// Panics if a phase targets a different star order, or if a
+    /// phase strands packets under this network's flow control (a
+    /// stranded packet never resolves, so "after quiescence" would be
+    /// meaningless).
+    #[must_use]
+    pub fn chain_phases(
+        &self,
+        name: &str,
+        phases: &[Workload],
+        policy: &dyn RoutingPolicy,
+    ) -> ChainedWorkload {
+        let mut phase_starts = Vec::with_capacity(phases.len());
+        let mut phase_makespans = Vec::with_capacity(phases.len());
+        let mut offset = 0u32;
+        for (k, phase) in phases.iter().enumerate() {
+            assert_eq!(
+                phase.n(),
+                self.n,
+                "phase {k} targets S_{} not S_{}",
+                phase.n(),
+                self.n
+            );
+            let makespan = if phase.injections().is_empty() {
+                0
+            } else {
+                let stats = self.run(phase, policy);
+                assert_eq!(
+                    stats.stranded,
+                    0,
+                    "phase {k} ({:?}) strands packets and never quiesces",
+                    phase.name()
+                );
+                stats.makespan
+            };
+            phase_starts.push(offset);
+            phase_makespans.push(makespan);
+            offset = offset + makespan + 1;
+        }
+        let parts: Vec<(&Workload, u32)> =
+            phases.iter().zip(phase_starts.iter().copied()).collect();
+        let (workload, owner) = Workload::compose(name, self.n, &parts);
+        ChainedWorkload {
+            workload,
+            phase_starts,
+            phase_makespans,
+            owner,
+        }
     }
 
     /// Runs a multi-tenant `workload` and splits the statistics by

@@ -51,6 +51,22 @@ impl PacketOutcome {
     pub fn is_delivered(&self) -> bool {
         matches!(self, PacketOutcome::Delivered { .. })
     }
+
+    /// Round the packet resolved — delivery or any drop; `None` for
+    /// [`PacketOutcome::Stranded`], which never resolves. The round a
+    /// quiescence barrier (see [`crate::Network::chain_phases`]) must
+    /// wait past.
+    #[inline]
+    #[must_use]
+    pub fn resolution_round(&self) -> Option<u32> {
+        match *self {
+            PacketOutcome::Delivered { round, .. }
+            | PacketOutcome::DroppedFault { round }
+            | PacketOutcome::DroppedUnreachable { round }
+            | PacketOutcome::DroppedOverflow { round } => Some(round),
+            PacketOutcome::Stranded => None,
+        }
+    }
 }
 
 /// One packet's life, as recorded in [`crate::TrafficStats`].

@@ -241,6 +241,27 @@ impl Workload {
         (Workload::from_injections(name, n, injections), owner)
     }
 
+    /// The same injections shifted `offset` rounds later — the
+    /// building block [`crate::Network::chain_phases`] uses to place a
+    /// phase after its predecessor's quiescence round.
+    #[must_use]
+    pub fn shifted(&self, offset: u32) -> Self {
+        let injections = self
+            .injections
+            .iter()
+            .map(|i| Injection {
+                round: i.round + offset,
+                src: i.src,
+                dst: i.dst,
+            })
+            .collect();
+        Workload {
+            name: self.name.clone(),
+            n: self.n,
+            injections,
+        }
+    }
+
     /// Workload name (used in tables and reports).
     #[must_use]
     pub fn name(&self) -> &str {
@@ -269,6 +290,54 @@ impl Workload {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.injections.is_empty()
+    }
+}
+
+/// A multi-phase workload with inject-after-quiescence barriers,
+/// produced by [`crate::Network::chain_phases`].
+///
+/// Phase `k + 1`'s injections are scheduled strictly after the round
+/// in which phase `k`'s last packet resolves (delivery or drop), so
+/// at every phase boundary the network is completely empty. Running
+/// [`workload`](Self::workload) therefore behaves, phase by phase,
+/// exactly like running each phase alone — the temporal analogue of
+/// the spatial isolation theorem for confined tenants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainedWorkload {
+    /// The composed workload: all phases merged, each shifted to its
+    /// start round. Run it like any other [`Workload`].
+    pub workload: Workload,
+    /// Round at which each phase begins injecting. `phase_starts[0]`
+    /// is 0; `phase_starts[k + 1] = phase_starts[k] +
+    /// phase_makespans[k] + 1`.
+    pub phase_starts: Vec<u32>,
+    /// Makespan of each phase run in isolation on its own clock (the
+    /// round of its last packet resolution; 0 for an empty phase).
+    pub phase_makespans: Vec<u32>,
+    /// Phase index of each packet of [`workload`](Self::workload), in
+    /// injection order — the owner map
+    /// [`crate::Network::run_partitioned`] expects, so per-phase
+    /// statistics of the chained run can be split out directly.
+    pub owner: Vec<u32>,
+}
+
+impl ChainedWorkload {
+    /// Number of phases.
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.phase_starts.len()
+    }
+
+    /// Total rounds the chain occupies: the round after the last
+    /// phase's final resolution (0 for an empty chain). Equals the
+    /// composed run's `makespan + 1` when the last phase is
+    /// non-empty.
+    #[must_use]
+    pub fn total_rounds(&self) -> u32 {
+        match (self.phase_starts.last(), self.phase_makespans.last()) {
+            (Some(s), Some(m)) => s + m + 1,
+            _ => 0,
+        }
     }
 }
 

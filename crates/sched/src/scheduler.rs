@@ -168,10 +168,48 @@ impl Schedule {
     /// Builds the composed multi-tenant run for this schedule.
     #[must_use]
     pub fn tenant_run(&self) -> TenantRun {
+        self.tenant_run_with(|_, _| None)
+    }
+
+    /// [`Schedule::tenant_run`] with a per-job traffic override:
+    /// `part_override(i, placement)` may replace placement `i`'s
+    /// declared [`crate::TrafficProfile`] with an explicit workload —
+    /// **global** PE ranks, **job-local** rounds (exactly what an
+    /// isolated run of the job would inject; the job's start offset
+    /// is applied here, as for declared traffic). Return `None` to
+    /// keep the declared profile.
+    ///
+    /// This is how structured traffic that cannot be described by a
+    /// profile enum — e.g. an `sg-coll` collective compiled onto the
+    /// job's sub-star — runs as a tenant: confined overrides keep the
+    /// byte-isolation theorem, since the run machinery downstream is
+    /// identical.
+    ///
+    /// # Panics
+    /// Panics if an override targets a different star order.
+    #[must_use]
+    pub fn tenant_run_with<F>(&self, part_override: F) -> TenantRun
+    where
+        F: Fn(usize, &Placement) -> Option<Workload>,
+    {
         let parts: Vec<Workload> = self
             .placements
             .iter()
-            .map(|p| lift_workload(self.n, p))
+            .enumerate()
+            .map(|(i, p)| match part_override(i, p) {
+                Some(w) => {
+                    assert_eq!(
+                        w.n(),
+                        self.n,
+                        "override for job {} targets S_{} not S_{}",
+                        p.job.id,
+                        w.n(),
+                        self.n
+                    );
+                    w
+                }
+                None => lift_workload(self.n, p),
+            })
             .collect();
         let with_offsets: Vec<(&Workload, u32)> = parts
             .iter()

@@ -219,3 +219,65 @@ fn declared_release_fails_the_overlap_property() {
         "the declared-release counterexample must leak"
     );
 }
+
+/// `tenant_run_with`: a per-job traffic override (global PEs,
+/// job-local rounds) slots into the composed run exactly like
+/// declared traffic — the overridden part is carried verbatim, a
+/// `None` override reproduces `tenant_run()` byte-for-byte, and a
+/// confined override keeps the byte-isolation property.
+#[test]
+fn tenant_run_with_override_is_isolated() {
+    use sg_net::{Injection, Workload};
+    use sg_sched::{JobSpec, TenantRouting, TrafficProfile};
+
+    let n = 5;
+    let net = Network::new(n);
+    let jobs: Vec<JobSpec> = (0..3)
+        .map(|id| JobSpec {
+            id,
+            order: 3,
+            arrival: 0,
+            duration: 120,
+            traffic: TrafficProfile::UniformPairs {
+                pairs: 12,
+                seed: id as u64,
+            },
+            routing: TenantRouting::Greedy,
+            escape: false,
+        })
+        .collect();
+    let s = schedule(&jobs, AllocPolicy::BestFit.build(n).as_mut());
+    assert_eq!(s.placements().len(), 3);
+
+    // Job 0's custom traffic: a ring over its own sub-star's nodes,
+    // something no TrafficProfile variant can express.
+    let ring = {
+        let nodes = s.placements()[0].substar.node_ranks();
+        let injections = (0..nodes.len())
+            .map(|i| Injection {
+                round: i as u32,
+                src: nodes[i],
+                dst: nodes[(i + 1) % nodes.len()],
+            })
+            .collect();
+        Workload::from_injections("ring", n, injections)
+    };
+
+    let run = s.tenant_run_with(|i, _| (i == 0).then(|| ring.clone()));
+    assert_eq!(run.part(0), &ring, "override carried verbatim");
+
+    // A no-op override reproduces the plain path byte-for-byte.
+    let plain = s.tenant_run();
+    let noop = s.tenant_run_with(|_, _| None);
+    assert_eq!(noop.workload(), plain.workload());
+    assert_eq!(noop.owner(), plain.owner());
+    assert_eq!(run.part(1), plain.part(1), "non-overridden jobs unchanged");
+
+    // Confined override ⇒ byte-isolation still holds for every job.
+    let report = run.run_quiesce_checked(&net);
+    let isolated = run.isolated_stats(&net);
+    assert!(
+        report.perturbed_jobs(&isolated).is_empty(),
+        "a confined override must not perturb (or be perturbed by) neighbors"
+    );
+}

@@ -51,6 +51,26 @@ pub fn distance(a: &Perm, b: &Perm) -> u32 {
     length_to_identity(&a.relative_to(b))
 }
 
+/// Generators whose application moves `p` one hop closer to `target`,
+/// ascending. Empty iff `p == target`: in a Cayley graph every
+/// non-target node has at least one improving generator (greedy
+/// routing terminates), and taking the **lowest** one everywhere
+/// orients a spanning tree toward `target` along the star's dimension
+/// structure — the tree `sg-coll` builds its broadcast and reduce
+/// collectives on.
+///
+/// # Panics
+/// Panics if the permutations have different lengths.
+#[must_use]
+pub fn improving_generators(p: &Perm, target: &Perm) -> Vec<u8> {
+    assert_eq!(p.len(), target.len(), "nodes of different star orders");
+    let d = distance(p, target);
+    (1..p.len())
+        .filter(|&j| distance(&p.with_slots_swapped(0, j), target) < d)
+        .map(|j| j as u8)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +161,32 @@ mod tests {
         for r in 0..factorial(6) {
             let p = unrank(r, 6).unwrap();
             assert!(length_to_identity(&p) as usize >= sg_perm::cycles::cayley_distance(&p));
+        }
+    }
+
+    #[test]
+    fn improving_generators_exact() {
+        // Non-empty off-target, each listed generator reduces the
+        // distance by exactly 1, each omitted one does not, ascending.
+        for n in 2..=5usize {
+            for t_rank in [0u64, 3] {
+                let t = unrank(t_rank % factorial(n), n).unwrap();
+                for r in 0..factorial(n) {
+                    let p = unrank(r, n).unwrap();
+                    let d = distance(&p, &t);
+                    let gens = improving_generators(&p, &t);
+                    assert_eq!(gens.is_empty(), d == 0);
+                    assert!(gens.windows(2).all(|w| w[0] < w[1]));
+                    for j in 1..n {
+                        let dn = distance(&p.with_slots_swapped(0, j), &t);
+                        if gens.contains(&(j as u8)) {
+                            assert_eq!(dn, d - 1);
+                        } else {
+                            assert!(dn >= d);
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -21,11 +21,13 @@
 //!
 //! See the crate-level docs of each member crate for the details:
 //! [`sg_perm`], [`sg_graph`], [`sg_star`], [`sg_mesh`], [`sg_core`],
-//! [`sg_simd`], [`sg_algo`], [`sg_net`], [`sg_sched`], [`sg_obs`].
+//! [`sg_simd`], [`sg_algo`], [`sg_net`], [`sg_sched`], [`sg_coll`],
+//! [`sg_obs`].
 
 #![forbid(unsafe_code)]
 
 pub use sg_algo as algo;
+pub use sg_coll as coll;
 pub use sg_core as core;
 pub use sg_graph as graph;
 pub use sg_mesh as mesh;
